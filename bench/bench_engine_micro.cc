@@ -1,0 +1,145 @@
+// Microbenchmarks of the storage substrate (google-benchmark): B+-tree
+// inserts/lookups, heap-file inserts/scans, tuple codec, buffer-pool churn
+// and XML parsing throughput. Supporting evidence for DESIGN.md's cost
+// model of the higher-level experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ordb/bptree.h"
+#include "ordb/buffer_pool.h"
+#include "ordb/heap_file.h"
+#include "ordb/pager.h"
+#include "ordb/tuple.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xorator::ordb {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryPager pager;
+    BufferPool pool(&pager, 8192);
+    auto tree = BPlusTree::Create(&pool);
+    std::mt19937_64 rng(42);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(tree->Insert(rng(), i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 8192);
+  auto tree = BPlusTree::Create(&pool);
+  std::mt19937_64 rng(42);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    keys.push_back(rng());
+    (void)tree->Insert(keys.back(), i);
+  }
+  size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Find(keys[at++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(100000);
+
+void BM_HeapFileInsert(benchmark::State& state) {
+  std::string record(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryPager pager;
+    BufferPool pool(&pager, 8192);
+    auto file = HeapFile::Create(&pool);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      benchmark::DoNotOptimize(file->Insert(record));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_HeapFileInsert)->Arg(64)->Arg(512);
+
+void BM_HeapFileScan(benchmark::State& state) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 8192);
+  auto file = HeapFile::Create(&pool);
+  std::string record(128, 'r');
+  for (int i = 0; i < 50000; ++i) (void)file->Insert(record);
+  for (auto _ : state) {
+    auto scanner = file->Scan();
+    Rid rid;
+    std::string rec;
+    int64_t count = 0;
+    while (*scanner.Next(&rid, &rec)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_HeapFileScan);
+
+void BM_TupleCodec(benchmark::State& state) {
+  TableSchema schema;
+  schema.columns = {{"id", TypeId::kInteger},
+                    {"parent", TypeId::kInteger},
+                    {"order", TypeId::kInteger},
+                    {"value", TypeId::kVarchar}};
+  Tuple tuple = {Value::Int(12345), Value::Int(678), Value::Int(3),
+                 Value::Varchar("But soft what light through yonder window")};
+  for (auto _ : state) {
+    std::string bytes;
+    EncodeTuple(schema, tuple, &bytes);
+    auto decoded = DecodeTuple(schema, bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleCodec);
+
+void BM_BufferPoolChurn(benchmark::State& state) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 64);  // smaller than the working set
+  std::vector<PageId> pages;
+  for (int i = 0; i < 256; ++i) {
+    auto p = pool.NewPage();
+    pages.push_back(p->first);
+    pool.Unpin(p->first, true);
+  }
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    PageId id = pages[rng() % pages.size()];
+    auto frame = pool.FetchPage(id);
+    benchmark::DoNotOptimize(frame);
+    pool.Unpin(id, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolChurn);
+
+void BM_XmlParse(benchmark::State& state) {
+  std::string doc = "<SPEECH>";
+  for (int i = 0; i < 32; ++i) {
+    doc += "<LINE>but soft what light through yonder window breaks</LINE>";
+  }
+  doc += "</SPEECH>";
+  for (auto _ : state) {
+    auto parsed = xml::ParseDocument(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+}  // namespace xorator::ordb
+
+BENCHMARK_MAIN();

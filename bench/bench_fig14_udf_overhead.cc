@@ -1,0 +1,86 @@
+// Reproduces Figure 14 of the paper: the cost of invoking a UDF relative to
+// the equivalent built-in function. QT1 computes length(speaker_value) and
+// QT2 substr(speaker_value, 5) over the Hybrid Shakespeare speaker table,
+// once with the built-in and once with a UDF twin that goes through the UDF
+// marshaling dispatch.
+//
+// Paper result: the UDF is ~40% more expensive than the built-in.
+
+#include <cstdio>
+
+#include "benchutil/benchutil.h"
+#include "benchutil/fixture.h"
+#include "benchutil/workload.h"
+#include "datagen/dtds.h"
+#include "datagen/generators.h"
+#include "figure_common.h"
+
+namespace xorator {
+namespace {
+
+using benchutil::BuildExperimentDb;
+using benchutil::ExperimentOptions;
+using benchutil::Mapping;
+
+int Run() {
+  bool full = benchutil::FullScale();
+  datagen::ShakespeareOptions gen_opts;
+  gen_opts.plays = bench::EnvInt("PLAYS", full ? 37 : 12);
+  int runs = bench::EnvInt("RUNS", 7);
+  // Load the corpus several times so each query touches enough tuples for
+  // stable timing (the paper's run returned 31,028 tuples).
+  int multiplier = bench::EnvInt("UDF_MULTIPLIER", 4);
+
+  auto corpus = datagen::ShakespeareGenerator(gen_opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+
+  ExperimentOptions opts;
+  opts.mapping = Mapping::kHybrid;
+  opts.load_multiplier = multiplier;
+  auto db = BuildExperimentDb(datagen::kShakespeareDtd, docs, opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto rows = db->db->Query("SELECT COUNT(*) AS n FROM speaker");
+  if (!rows.ok()) {
+    std::fprintf(stderr, "count: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "== Figure 14: UDF invocation overhead (QT1/QT2 over %lld speaker "
+      "tuples, %d runs) ==\n\n",
+      static_cast<long long>(rows->rows[0][0].AsInt()), runs);
+
+  benchutil::TablePrinter table({"Query", "Built-in (ms)", "UDF (ms)",
+                                 "UDF/Built-in", "Paper"});
+  for (const auto& q : benchutil::UdfOverheadQueries()) {
+    auto builtin = benchutil::TimeMedianOfMiddle(
+        [&]() { return db->db->Query(q.hybrid_sql).status(); }, runs);
+    auto udf = benchutil::TimeMedianOfMiddle(
+        [&]() { return db->db->Query(q.xorator_sql).status(); }, runs);
+    if (!builtin.ok() || !udf.ok()) {
+      std::fprintf(stderr, "%s failed\n", q.id.c_str());
+      return 1;
+    }
+    table.AddRow({q.id, benchutil::Fmt(*builtin, 2), benchutil::Fmt(*udf, 2),
+                  benchutil::Fmt(*udf / *builtin, 2), "~1.4"});
+  }
+  table.Print();
+
+  auto stats = db->db->Query("SELECT udf_length(speaker_value) FROM speaker");
+  if (stats.ok()) {
+    std::printf(
+        "\nUDF dispatch accounting for one QT1 run: %llu scalar calls, %s "
+        "marshaled across the UDF boundary\n",
+        static_cast<unsigned long long>(stats->udf_stats.scalar_calls),
+        benchutil::FmtBytes(stats->udf_stats.marshaled_bytes).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xorator
+
+int main() { return xorator::Run(); }

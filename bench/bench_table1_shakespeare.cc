@@ -1,0 +1,85 @@
+// Reproduces Table 1 of the paper: number of tables, database size and
+// index size for the Shakespeare data set under the Hybrid and XORator
+// mappings.
+//
+// Environment: XORATOR_PLAYS (default 37, the paper's corpus size),
+// XORATOR_BENCH_FULL=1 for paper-scale defaults everywhere.
+
+#include <cstdio>
+
+#include "benchutil/benchutil.h"
+#include "benchutil/fixture.h"
+#include "benchutil/workload.h"
+#include "datagen/dtds.h"
+#include "datagen/generators.h"
+#include "figure_common.h"
+
+namespace xorator {
+namespace {
+
+using benchutil::BuildExperimentDb;
+using benchutil::ExperimentOptions;
+using benchutil::Mapping;
+
+int Run() {
+  datagen::ShakespeareOptions gen_opts;
+  gen_opts.plays =
+      bench::EnvInt("PLAYS", benchutil::FullScale() ? 37 : 12);
+  auto corpus = datagen::ShakespeareGenerator(gen_opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+  std::printf(
+      "== Table 1: Shakespeare data set (%d synthetic plays, %s of XML) ==\n",
+      gen_opts.plays, benchutil::FmtBytes(datagen::CorpusBytes(corpus)).c_str());
+
+  std::vector<std::string> advisor;
+  for (const auto& q : benchutil::ShakespeareQueries()) {
+    advisor.push_back(q.hybrid_sql);
+    advisor.push_back(q.xorator_sql);
+  }
+
+  ExperimentOptions hybrid_opts;
+  hybrid_opts.mapping = Mapping::kHybrid;
+  hybrid_opts.advisor_queries = advisor;
+  auto hybrid = BuildExperimentDb(datagen::kShakespeareDtd, docs, hybrid_opts);
+  if (!hybrid.ok()) {
+    std::fprintf(stderr, "hybrid: %s\n", hybrid.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentOptions xorator_opts;
+  xorator_opts.mapping = Mapping::kXorator;
+  xorator_opts.advisor_queries = advisor;
+  auto xorator =
+      BuildExperimentDb(datagen::kShakespeareDtd, docs, xorator_opts);
+  if (!xorator.ok()) {
+    std::fprintf(stderr, "xorator: %s\n", xorator.status().ToString().c_str());
+    return 1;
+  }
+
+  benchutil::TablePrinter table(
+      {"Metric", "Hybrid", "XORator", "Paper (Hybrid)", "Paper (XORator)"});
+  table.AddRow({"Number of tables",
+                std::to_string(hybrid->schema.tables.size()),
+                std::to_string(xorator->schema.tables.size()), "17", "7"});
+  table.AddRow({"Database size", benchutil::FmtBytes(hybrid->db->DataBytes()),
+                benchutil::FmtBytes(xorator->db->DataBytes()), "15 MB",
+                "9 MB"});
+  table.AddRow({"Index size", benchutil::FmtBytes(hybrid->db->IndexBytes()),
+                benchutil::FmtBytes(xorator->db->IndexBytes()), "30 MB",
+                "3 MB"});
+  table.Print();
+  double size_ratio = static_cast<double>(xorator->db->DataBytes()) /
+                      static_cast<double>(hybrid->db->DataBytes());
+  std::printf(
+      "\nXORator/Hybrid database size: %s (paper: ~0.60); XADT "
+      "representation: %s (paper: uncompressed)\n",
+      benchutil::Fmt(size_ratio, 2).c_str(),
+      xorator->load.used_compression ? "compressed" : "uncompressed");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xorator
+
+int main() { return xorator::Run(); }

@@ -1,0 +1,164 @@
+// Interactive shell: load a synthetic corpus under any mapping, then run
+// SQL or path expressions against it from stdin.
+//
+//   ./build/examples/xorator_shell [shakespeare|sigmod] [hybrid|xorator|
+//                                   shared|perelement] [docs]
+//
+// Commands:
+//   <SQL>;                e.g. SELECT COUNT(*) AS n FROM speech;
+//   \path <expr>          e.g. \path /PLAY/ACT/SCENE/SPEECH/LINE[contains(., 'love')]
+//   \text <expr>          like \path but returns element text
+//   \schema               prints the mapped DDL
+//   \tables               table sizes
+//   \explain <SQL>        query plan
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchutil/benchutil.h"
+#include "benchutil/fixture.h"
+#include "benchutil/workload.h"
+#include "common/timer.h"
+#include "xorator.h"
+#include "xpath/xpath.h"
+
+namespace {
+
+using namespace xorator;
+
+benchutil::Mapping ParseMapping(const std::string& name) {
+  if (name == "hybrid") return benchutil::Mapping::kHybrid;
+  if (name == "shared") return benchutil::Mapping::kShared;
+  if (name == "perelement") return benchutil::Mapping::kPerElement;
+  return benchutil::Mapping::kXorator;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_name = argc > 1 ? argv[1] : "shakespeare";
+  std::string mapping_name = argc > 2 ? argv[2] : "xorator";
+  int docs_count = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  std::vector<std::unique_ptr<xml::Node>> corpus;
+  std::string dtd_text;
+  if (corpus_name == "sigmod") {
+    datagen::SigmodOptions opts;
+    opts.documents = docs_count > 0 ? docs_count : 200;
+    corpus = datagen::SigmodGenerator(opts).GenerateCorpus();
+    dtd_text = datagen::kSigmodDtd;
+  } else {
+    datagen::ShakespeareOptions opts;
+    opts.plays = docs_count > 0 ? docs_count : 6;
+    corpus = datagen::ShakespeareGenerator(opts).GenerateCorpus();
+    dtd_text = datagen::kShakespeareDtd;
+  }
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+
+  std::vector<std::string> advisor;
+  for (const auto& q : benchutil::ShakespeareQueries()) {
+    advisor.push_back(q.hybrid_sql);
+    advisor.push_back(q.xorator_sql);
+  }
+  for (const auto& q : benchutil::SigmodQueries()) {
+    advisor.push_back(q.hybrid_sql);
+    advisor.push_back(q.xorator_sql);
+  }
+  benchutil::ExperimentOptions opts;
+  opts.mapping = ParseMapping(mapping_name);
+  opts.advisor_queries = advisor;
+  auto db = benchutil::BuildExperimentDb(dtd_text, docs, opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed_dtd = xml::ParseDtd(dtd_text);
+  auto simplified = dtdgraph::Simplify(*parsed_dtd);
+  xpath::Translator translator(&db->schema, &*simplified);
+
+  std::printf(
+      "Loaded %zu %s documents under the %s mapping (%zu tables, %s).\n"
+      "Enter SQL terminated by ';', or \\path, \\text, \\schema, \\tables, "
+      "\\explain, \\quit.\n",
+      docs.size(), corpus_name.c_str(), db->schema.algorithm.c_str(),
+      db->schema.tables.size(),
+      benchutil::FmtBytes(db->db->DataBytes()).c_str());
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::fputs(buffer.empty() ? "xorator> " : "      -> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(xorator::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '\\') {
+      std::istringstream iss(trimmed);
+      std::string cmd;
+      iss >> cmd;
+      std::string rest;
+      std::getline(iss, rest);
+      rest = std::string(xorator::StripWhitespace(rest));
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\schema") {
+        std::fputs(db->schema.ToDdl().c_str(), stdout);
+      } else if (cmd == "\\tables") {
+        for (const auto& t : db->db->catalog()->tables()) {
+          std::printf("%-16s %8llu rows  %s\n", t->name.c_str(),
+                      static_cast<unsigned long long>(t->heap->record_count()),
+                      benchutil::FmtBytes(t->heap->bytes()).c_str());
+        }
+      } else if (cmd == "\\explain") {
+        auto plan = db->db->Explain(rest);
+        std::printf("%s\n", plan.ok() ? plan->c_str()
+                                      : plan.status().ToString().c_str());
+      } else if (cmd == "\\path" || cmd == "\\text") {
+        auto path = xpath::ParsePath(rest);
+        if (!path.ok()) {
+          std::printf("parse error: %s\n", path.status().ToString().c_str());
+          continue;
+        }
+        auto sql = translator.ToSql(*path, cmd == "\\path"
+                                               ? xpath::OutputMode::kCount
+                                               : xpath::OutputMode::kText);
+        if (!sql.ok()) {
+          std::printf("translate error: %s\n",
+                      sql.status().ToString().c_str());
+          continue;
+        }
+        std::printf("-- %s\n", sql->c_str());
+        auto result = db->db->Query(*sql);
+        std::printf("%s\n", result.ok()
+                                ? result->ToString(20).c_str()
+                                : result.status().ToString().c_str());
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+    buffer += (buffer.empty() ? "" : " ") + std::string(trimmed);
+    if (buffer.back() != ';') continue;
+    xorator::Timer timer;
+    auto result = db->db->Query(buffer);
+    double ms = timer.ElapsedMillis();
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::fputs(result->ToString(20).c_str(), stdout);
+    std::printf("(%.2f ms", ms);
+    if (result->udf_stats.scalar_calls + result->udf_stats.table_calls > 0) {
+      std::printf(", %llu UDF calls",
+                  static_cast<unsigned long long>(
+                      result->udf_stats.scalar_calls +
+                      result->udf_stats.table_calls));
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "benchutil/benchutil.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace xorator::benchutil {
+
+Result<double> TimeMedianOfMiddle(const std::function<Status()>& fn,
+                                  int runs) {
+  if (runs < 1) return Status::InvalidArgument("runs must be >= 1");
+  std::vector<double> times;
+  times.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    Timer timer;
+    XO_RETURN_NOT_OK(fn());
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  size_t lo = 0;
+  size_t hi = times.size();
+  if (times.size() >= 3) {
+    lo = 1;
+    hi = times.size() - 1;
+  }
+  double sum = 0;
+  for (size_t i = lo; i < hi; ++i) sum += times[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = line(headers_);
+  std::string sep = "|";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mb >= 1.0) return Fmt(mb, 1) + " MB";
+  return Fmt(static_cast<double>(bytes) / 1024.0, 1) + " KB";
+}
+
+bool FullScale() {
+  const char* env = std::getenv("XORATOR_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace xorator::benchutil

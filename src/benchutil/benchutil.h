@@ -1,0 +1,45 @@
+#ifndef XORATOR_BENCHUTIL_BENCHUTIL_H_
+#define XORATOR_BENCHUTIL_BENCHUTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xorator::benchutil {
+
+/// Runs `fn` `runs` times and returns the paper's timing statistic: the
+/// mean of the middle `runs - 2` measurements (the paper ran each query five
+/// times and averaged the middle three). Milliseconds.
+Result<double> TimeMedianOfMiddle(const std::function<Status()>& fn,
+                                  int runs = 5);
+
+/// Fixed-width text table printer for paper-style outputs.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double value, int digits = 2);
+
+/// Formats bytes as "12.3 MB".
+std::string FmtBytes(uint64_t bytes);
+
+/// True when the environment asks for paper-scale benchmarks
+/// (XORATOR_BENCH_FULL=1); otherwise benches run a reduced scale so the
+/// whole suite finishes in minutes.
+bool FullScale();
+
+}  // namespace xorator::benchutil
+
+#endif  // XORATOR_BENCHUTIL_BENCHUTIL_H_

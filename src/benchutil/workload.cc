@@ -1,0 +1,170 @@
+#include "benchutil/workload.h"
+
+namespace xorator::benchutil {
+
+const std::vector<PaperQuery>& ShakespeareQueries() {
+  static const std::vector<PaperQuery>* kQueries = new std::vector<PaperQuery>{
+      {"QS1", "Flattening: list speakers and the lines that they speak",
+       "SELECT speaker_value, line_value "
+       "FROM speech, speaker, line "
+       "WHERE speaker_parentID = speechID AND line_parentID = speechID",
+       "SELECT s.out, l.out "
+       "FROM speech, table(unnest(speech_speaker, 'SPEAKER')) s, "
+       "table(unnest(speech_line, 'LINE')) l"},
+      {"QS2",
+       "Full path expression: lines that have stage directions associated "
+       "with the lines",
+       "SELECT line_value "
+       "FROM line, stagedir "
+       "WHERE stagedir_parentID = lineID AND stagedir_parentCODE = 'LINE'",
+       "SELECT getElm(speech_line, 'LINE', 'STAGEDIR', '') "
+       "FROM speech "
+       "WHERE findKeyInElm(speech_line, 'STAGEDIR', '') = 1"},
+      {"QS3",
+       "Selection: lines with the keyword 'Rising' in the text of the stage "
+       "direction",
+       "SELECT line_value "
+       "FROM line, stagedir "
+       "WHERE stagedir_parentID = lineID AND stagedir_parentCODE = 'LINE' "
+       "AND stagedir_value LIKE '%Rising%'",
+       "SELECT getElm(speech_line, 'LINE', 'STAGEDIR', 'Rising') "
+       "FROM speech "
+       "WHERE findKeyInElm(speech_line, 'STAGEDIR', 'Rising') = 1"},
+      {"QS4",
+       "Multiple selections: speeches spoken by ROMEO in 'Romeo and Juliet'",
+       "SELECT speechID "
+       "FROM play, act, scene, speech, speaker "
+       "WHERE play_title = 'Romeo and Juliet' AND act_parentID = playID "
+       "AND scene_parentID = actID AND scene_parentCODE = 'ACT' "
+       "AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE' "
+       "AND speaker_parentID = speechID AND speaker_value = 'ROMEO'",
+       "SELECT speechID "
+       "FROM play, act, scene, speech "
+       "WHERE play_title = 'Romeo and Juliet' AND act_parentID = playID "
+       "AND scene_parentID = actID AND scene_parentCODE = 'ACT' "
+       "AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE' "
+       "AND findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1"},
+      {"QS5",
+       "Twig with selection: ROMEO's speeches in 'Romeo and Juliet' with "
+       "lines containing 'love'",
+       "SELECT line_value "
+       "FROM play, act, scene, speech, speaker, line "
+       "WHERE play_title = 'Romeo and Juliet' AND act_parentID = playID "
+       "AND scene_parentID = actID AND scene_parentCODE = 'ACT' "
+       "AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE' "
+       "AND speaker_parentID = speechID AND speaker_value = 'ROMEO' "
+       "AND line_parentID = speechID AND line_value LIKE '%love%'",
+       "SELECT getElm(speech_line, 'LINE', 'LINE', 'love') "
+       "FROM play, act, scene, speech "
+       "WHERE play_title = 'Romeo and Juliet' AND act_parentID = playID "
+       "AND scene_parentID = actID AND scene_parentCODE = 'ACT' "
+       "AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE' "
+       "AND findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1 "
+       "AND findKeyInElm(speech_line, 'LINE', 'love') = 1"},
+      {"QS6",
+       "Order access: the second line in all speeches that are in prologues",
+       "SELECT line_value "
+       "FROM prologue, speech, line "
+       "WHERE speech_parentID = prologueID "
+       "AND speech_parentCODE = 'PROLOGUE' "
+       "AND line_parentID = speechID AND line_childOrder = 2",
+       "SELECT getElmIndex(speech_line, '', 'LINE', 2, 2) "
+       "FROM speech "
+       "WHERE speech_parentCODE = 'PROLOGUE'"},
+  };
+  return *kQueries;
+}
+
+const std::vector<PaperQuery>& SigmodQueries() {
+  static const std::vector<PaperQuery>* kQueries = new std::vector<PaperQuery>{
+      {"QG1",
+       "Selection and extraction: authors of papers with 'Join' in the title",
+       "SELECT author_value "
+       "FROM atuple, authors, author "
+       "WHERE atuple_title LIKE '%Join%' "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID",
+       "SELECT getElm(getElm(pp_slist, 'aTuple', 'title', 'Join'), "
+       "'author', '', '') "
+       "FROM pp "
+       "WHERE findKeyInElm(pp_slist, 'title', 'Join') = 1"},
+      {"QG2",
+       "Flattening: all authors with the section names their papers appear "
+       "in",
+       "SELECT author_value, slisttuple_sectionname "
+       "FROM slisttuple, articles, atuple, authors, author "
+       "WHERE articles_parentID = slisttupleID "
+       "AND atuple_parentID = articlesID "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID",
+       "SELECT a.out, s.out "
+       "FROM pp, table(unnest(pp_slist, 'sListTuple')) t, "
+       "table(unnest(getElm(t.frag, 'sectionName', '', ''), "
+       "'sectionName')) s, "
+       "table(unnest(getElm(t.frag, 'author', '', ''), 'author')) a"},
+      {"QG3",
+       "Flattening with selection: section names of papers by authors "
+       "matching 'Worthy'",
+       "SELECT slisttuple_sectionname "
+       "FROM slisttuple, articles, atuple, authors, author "
+       "WHERE articles_parentID = slisttupleID "
+       "AND atuple_parentID = articlesID "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID "
+       "AND author_value LIKE '%Worthy%'",
+       "SELECT getElm(getElm(pp_slist, 'sListTuple', 'author', 'Worthy'), "
+       "'sectionName', '', '') "
+       "FROM pp "
+       "WHERE findKeyInElm(pp_slist, 'author', 'Worthy') = 1"},
+      {"QG4",
+       "Aggregation: per author, the number of sections with their papers",
+       "SELECT author_value, COUNT(*) AS sections "
+       "FROM slisttuple, articles, atuple, authors, author "
+       "WHERE articles_parentID = slisttupleID "
+       "AND atuple_parentID = articlesID "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID "
+       "GROUP BY author_value",
+       "SELECT a.out, COUNT(*) AS sections "
+       "FROM pp, table(unnest(pp_slist, 'sListTuple')) t, "
+       "table(unnest(getElm(t.frag, 'author', '', ''), 'author')) a "
+       "GROUP BY a.out"},
+      {"QG5",
+       "Aggregation with selection: sections having papers by authors "
+       "matching 'Bird'",
+       "SELECT COUNT(*) AS sections "
+       "FROM slisttuple, articles, atuple, authors, author "
+       "WHERE articles_parentID = slisttupleID "
+       "AND atuple_parentID = articlesID "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID "
+       "AND author_value LIKE '%Bird%'",
+       "SELECT COUNT(*) AS sections "
+       "FROM pp, table(unnest(getElm(pp_slist, 'sListTuple', 'author', "
+       "'Bird'), 'sListTuple')) t "
+       "WHERE findKeyInElm(pp_slist, 'author', 'Bird') = 1"},
+      {"QG6",
+       "Order access with selection: the second author of papers with "
+       "'Join' in the title",
+       "SELECT author_value "
+       "FROM atuple, authors, author "
+       "WHERE atuple_title LIKE '%Join%' "
+       "AND authors_parentID = atupleID AND author_parentID = authorsID "
+       "AND author_childOrder = 2",
+       "SELECT getElmIndex(getElm(pp_slist, 'aTuple', 'title', 'Join'), "
+       "'authors', 'author', 2, 2) "
+       "FROM pp "
+       "WHERE findKeyInElm(pp_slist, 'title', 'Join') = 1"},
+  };
+  return *kQueries;
+}
+
+const std::vector<PaperQuery>& UdfOverheadQueries() {
+  static const std::vector<PaperQuery>* kQueries = new std::vector<PaperQuery>{
+      {"QT1", "Return the length of the SPEAKER attribute",
+       "SELECT length(speaker_value) FROM speaker",
+       "SELECT udf_length(speaker_value) FROM speaker"},
+      {"QT2",
+       "Return the substring of the SPEAKER attribute from position 5",
+       "SELECT substr(speaker_value, 5) FROM speaker",
+       "SELECT udf_substr(speaker_value, 5) FROM speaker"},
+  };
+  return *kQueries;
+}
+
+}  // namespace xorator::benchutil

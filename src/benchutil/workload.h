@@ -1,0 +1,31 @@
+#ifndef XORATOR_BENCHUTIL_WORKLOAD_H_
+#define XORATOR_BENCHUTIL_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace xorator::benchutil {
+
+/// One paper query in both dialects: SQL over the Hybrid (relational) schema
+/// and SQL (with XADT UDFs) over the XORator schema.
+struct PaperQuery {
+  std::string id;           // "QS1" ... "QG6"
+  std::string description;  // the paper's one-line description
+  std::string hybrid_sql;
+  std::string xorator_sql;
+};
+
+/// The Shakespeare query set of Section 4.3 (QS1-QS6).
+const std::vector<PaperQuery>& ShakespeareQueries();
+
+/// The SIGMOD-Proceedings query set of Section 4.4 (QG1-QG6).
+const std::vector<PaperQuery>& SigmodQueries();
+
+/// The UDF-overhead microqueries of Figure 14 (QT1/QT2), over the Hybrid
+/// Shakespeare schema. `.hybrid_sql` uses the built-in, `.xorator_sql` the
+/// UDF twin.
+const std::vector<PaperQuery>& UdfOverheadQueries();
+
+}  // namespace xorator::benchutil
+
+#endif  // XORATOR_BENCHUTIL_WORKLOAD_H_

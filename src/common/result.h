@@ -1,0 +1,80 @@
+#ifndef XORATOR_COMMON_RESULT_H_
+#define XORATOR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xorator {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced.
+///
+/// Usage:
+///   Result<int> Parse(...);
+///   XO_ASSIGN_OR_RETURN(int n, Parse(...));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status. Intentionally implicit
+  /// so functions can `return Status::ParseError(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define XO_CONCAT_IMPL_(x, y) x##y
+#define XO_CONCAT_(x, y) XO_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a `Result<T>`); on failure returns its status from the
+/// enclosing function, otherwise moves the value into `lhs` (which may be a
+/// declaration such as `auto v`).
+#define XO_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  XO_ASSIGN_OR_RETURN_IMPL_(XO_CONCAT_(_xo_result_, __LINE__), lhs,  \
+                            rexpr)
+
+#define XO_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value();
+
+}  // namespace xorator
+
+#endif  // XORATOR_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#ifndef XORATOR_COMMON_STATUS_H_
+#define XORATOR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xorator {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail.
+///
+/// The library does not use exceptions; fallible functions return a `Status`
+/// (or a `Result<T>`, see result.h) in the style of Arrow and RocksDB.
+/// A default-constructed `Status` is OK and carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the singleton-like OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<Code>: <message>" rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a `Status`); returns it from the enclosing function if
+/// it is not OK.
+#define XO_RETURN_NOT_OK(expr)                        \
+  do {                                                \
+    ::xorator::Status _xo_status = (expr);            \
+    if (!_xo_status.ok()) return _xo_status;          \
+  } while (false)
+
+}  // namespace xorator
+
+#endif  // XORATOR_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef XORATOR_COMMON_STR_UTIL_H_
+#define XORATOR_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xorator {
+
+/// ASCII-lowercases `s` (XML names in this codebase are ASCII).
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases `s`.
+std::string ToUpper(std::string_view s);
+
+/// True if `haystack` contains `needle` (case-sensitive). An empty needle
+/// matches everything.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// SQL LIKE matching with `%` (any run) and `_` (any one char) wildcards.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// 64-bit FNV-1a hash, used for hash joins and string index keys.
+uint64_t Hash64(std::string_view s);
+
+}  // namespace xorator
+
+#endif  // XORATOR_COMMON_STR_UTIL_H_

@@ -1,0 +1,26 @@
+#include "common/varint.h"
+
+namespace xorator {
+
+void PutVarint(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+Result<uint64_t> GetVarint(std::string_view src, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < src.size()) {
+    uint8_t byte = static_cast<uint8_t>(src[(*pos)++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return Status::OutOfRange("varint too long");
+  }
+  return Status::OutOfRange("truncated varint");
+}
+
+}  // namespace xorator

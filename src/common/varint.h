@@ -1,0 +1,30 @@
+#ifndef XORATOR_COMMON_VARINT_H_
+#define XORATOR_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xorator {
+
+/// LEB128-style unsigned varint append, used by the tuple codec and the
+/// compressed XADT representation.
+void PutVarint(std::string* dst, uint64_t value);
+
+/// Decodes a varint at `*pos` in `src`, advancing `*pos` past it.
+/// Fails with OutOfRange if the buffer ends mid-varint.
+Result<uint64_t> GetVarint(std::string_view src, size_t* pos);
+
+/// ZigZag encoding so small negative integers stay small on the wire.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace xorator
+
+#endif  // XORATOR_COMMON_VARINT_H_

@@ -1,0 +1,77 @@
+#include "datagen/dtds.h"
+
+namespace xorator::datagen {
+
+const char kPlaysDtd[] = R"dtd(
+<!ELEMENT PLAY (INDUCT?, ACT+)>
+<!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE+)>
+<!ELEMENT ACT (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+<!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+<!ELEMENT SPEECH (SPEAKER, LINE)+>
+<!ELEMENT PROLOGUE (#PCDATA)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA)>
+)dtd";
+
+const char kShakespeareDtd[] = R"dtd(
+<!ELEMENT PLAY (TITLE, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?,
+                PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT FM (P+)>
+<!ELEMENT P (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT GRPDESCR (#PCDATA)>
+<!ELEMENT SCNDESCR (#PCDATA)>
+<!ELEMENT PLAYSUBT (#PCDATA)>
+<!ELEMENT INDUCT (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+<!ELEMENT ACT (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT PROLOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT SPEECH (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+)dtd";
+
+const char kSigmodDtd[] = R"dtd(
+<!ENTITY % Xlink "href CDATA #IMPLIED">
+<!ELEMENT PP (volume, number, month, year, conference,
+              date, confyear, location, sList)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT number (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT conference (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT confyear (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT sList (sListTuple)*>
+<!ELEMENT sListTuple (sectionName, articles)>
+<!ELEMENT sectionName (#PCDATA)>
+<!ATTLIST sectionName SectionPosition CDATA #IMPLIED>
+<!ELEMENT articles (aTuple)*>
+<!ELEMENT aTuple (title, authors, initPage, endPage, Toindex, fullText)>
+<!ELEMENT title (#PCDATA)>
+<!ATTLIST title articleCode CDATA #IMPLIED>
+<!ELEMENT authors (author)*>
+<!ELEMENT author (#PCDATA)>
+<!ATTLIST author AuthorPosition CDATA #IMPLIED>
+<!ELEMENT initPage (#PCDATA)>
+<!ELEMENT endPage (#PCDATA)>
+<!ELEMENT Toindex (index)?>
+<!ELEMENT index (#PCDATA)>
+<!ATTLIST index %Xlink;>
+<!ELEMENT fullText (size)?>
+<!ELEMENT size (#PCDATA)>
+<!ATTLIST size %Xlink;>
+)dtd";
+
+}  // namespace xorator::datagen

@@ -1,0 +1,18 @@
+#ifndef XORATOR_DATAGEN_DTDS_H_
+#define XORATOR_DATAGEN_DTDS_H_
+
+namespace xorator::datagen {
+
+/// The Plays DTD of the paper's Figure 1 (used for the worked example and
+/// the Figure 5/6 schema tests).
+extern const char kPlaysDtd[];
+
+/// The Shakespeare DTD of Figure 10 (Bosak's corpus DTD, as printed).
+extern const char kShakespeareDtd[];
+
+/// The SIGMOD Proceedings DTD of Figure 12 (deep DTD, XORator worst case).
+extern const char kSigmodDtd[];
+
+}  // namespace xorator::datagen
+
+#endif  // XORATOR_DATAGEN_DTDS_H_

@@ -1,0 +1,440 @@
+#include "datagen/generators.h"
+
+#include <array>
+
+#include "xml/serializer.h"
+
+namespace xorator::datagen {
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "thou",   "art",    "more",    "lovely",  "temperate", "rough",
+    "winds",  "shake",  "darling", "buds",    "summer",    "lease",
+    "hath",   "short",  "date",    "sometime", "hot",      "eye",
+    "heaven", "shines", "gold",    "complexion", "dimmed", "fair",
+    "declines", "chance", "nature", "changing", "course",  "untrimmed",
+    "eternal", "fade",  "possession", "owe",   "wander",   "shade",
+    "grow",   "time",   "breathe", "eyes",    "see",       "long",
+    "lives",  "gives",  "life",    "thee",    "night",     "candle",
+    "burns",  "sword",  "honour",  "crown",   "kingdom",   "horse"};
+
+constexpr const char* kSpeakerNames[] = {
+    "ROMEO",    "JULIET",   "HAMLET",    "OPHELIA",  "MACBETH", "BANQUO",
+    "PORTIA",   "BRUTUS",   "CASSIUS",   "OTHELLO",  "IAGO",    "LEAR",
+    "CORDELIA", "PROSPERO", "MIRANDA",   "FALSTAFF", "HENRY",   "RICHARD",
+    "TITANIA",  "OBERON",   "PUCK",      "VIOLA",    "ORSINO",  "MALVOLIO"};
+
+constexpr const char* kStageActions[] = {
+    "Enter the court", "Exeunt all",     "Aside to the crowd",
+    "Drawing a sword", "Reads a letter", "Trumpets sound",
+    "Dies",            "Kneeling down",  "They fight"};
+
+constexpr const char* kConferenceCities[] = {
+    "San Jose",  "Seattle", "Tucson",  "Dallas", "Philadelphia",
+    "Montreal",  "Athens",  "Seoul",   "Sydney", "Edinburgh"};
+
+constexpr const char* kFirstNames[] = {"Alice", "Bob",   "Carol", "David",
+                                       "Erika", "Frank", "Grace", "Henry",
+                                       "Irene", "Jack",  "Kanda", "Laura"};
+constexpr const char* kLastNames[] = {
+    "Smith",  "Jones", "Chen",    "Patel",  "Garcia", "Kim",
+    "Muller", "Rossi", "Tanaka",  "Novak",  "Silva",  "Dubois"};
+
+constexpr const char* kPaperTopics[] = {
+    "Query Optimization",   "Index Structures",    "Transaction Recovery",
+    "Data Mining",          "View Maintenance",    "Spatial Access Methods",
+    "Parallel Aggregation", "Schema Evolution",    "Cache Consistency",
+    "Stream Processing"};
+
+template <size_t N>
+const char* Pick(std::mt19937_64& rng, const char* const (&pool)[N]) {
+  return pool[rng() % N];
+}
+
+bool Chance(std::mt19937_64& rng, double p) {
+  return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+}
+
+std::string Sentence(std::mt19937_64& rng, int min_words, int max_words,
+                     const char* inject = nullptr) {
+  int n = min_words +
+          static_cast<int>(rng() % static_cast<uint64_t>(
+                                       std::max(1, max_words - min_words + 1)));
+  std::string out;
+  int inject_at = inject != nullptr ? static_cast<int>(rng() % n) : -1;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += " ";
+    out += i == inject_at ? inject : Pick(rng, kWords);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t CorpusBytes(const std::vector<std::unique_ptr<xml::Node>>& corpus) {
+  uint64_t bytes = 0;
+  for (const auto& doc : corpus) {
+    std::string text;
+    xml::SerializeTo(*doc, &text);
+    bytes += text.size();
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------------- Shakespeare
+
+ShakespeareGenerator::ShakespeareGenerator(const ShakespeareOptions& options)
+    : options_(options) {}
+
+std::unique_ptr<xml::Node> ShakespeareGenerator::GeneratePlay(int i) const {
+  std::mt19937_64 rng(options_.seed * 1000003 + static_cast<uint64_t>(i));
+  auto play = xml::Node::Element("PLAY");
+  bool romeo = (i == 0);
+  std::string title =
+      romeo ? "Romeo and Juliet"
+            : "The Chronicle of " + std::string(Pick(rng, kSpeakerNames)) +
+                  " Part " + std::to_string(i);
+  play->AddElementWithText("TITLE", title);
+
+  // Front matter.
+  xml::Node* fm = play->AddChild(xml::Node::Element("FM"));
+  int paragraphs = 2 + static_cast<int>(rng() % 3);
+  for (int p = 0; p < paragraphs; ++p) {
+    fm->AddElementWithText("P", Sentence(rng, 8, 16));
+  }
+
+  // Cast of the play: a local pool of speakers.
+  std::vector<std::string> cast;
+  if (romeo) cast.push_back("ROMEO");
+  while (cast.size() < 12) {
+    std::string name = Pick(rng, kSpeakerNames);
+    name += " " + std::to_string(rng() % 4 + 1);
+    cast.push_back(name);
+  }
+  xml::Node* personae = play->AddChild(xml::Node::Element("PERSONAE"));
+  personae->AddElementWithText("TITLE", "Dramatis Personae");
+  for (size_t c = 0; c < cast.size(); ++c) {
+    if (c + 2 < cast.size() && Chance(rng, 0.15)) {
+      xml::Node* group = personae->AddChild(xml::Node::Element("PGROUP"));
+      group->AddElementWithText("PERSONA", cast[c]);
+      group->AddElementWithText("PERSONA", cast[c + 1]);
+      group->AddElementWithText("GRPDESCR", Sentence(rng, 3, 6));
+      ++c;
+    } else {
+      personae->AddElementWithText("PERSONA", cast[c]);
+    }
+  }
+  play->AddElementWithText("SCNDESCR", "SCENE " + Sentence(rng, 3, 8));
+  play->AddElementWithText("PLAYSUBT", title);
+
+  auto add_speech = [&](xml::Node* parent) {
+    xml::Node* speech = parent->AddChild(xml::Node::Element("SPEECH"));
+    // In the Romeo play, ROMEO (cast[0]) reliably speaks a share of the
+    // speeches so that QS4/QS5 have a non-empty, stable answer.
+    std::string speaker = (romeo && Chance(rng, 0.15))
+                              ? cast[0]
+                              : cast[rng() % cast.size()];
+    speech->AddElementWithText("SPEAKER", speaker);
+    if (Chance(rng, 0.05)) {
+      speech->AddElementWithText("SPEAKER", cast[rng() % cast.size()]);
+    }
+    int lines =
+        1 + static_cast<int>(rng() % static_cast<uint64_t>(
+                                         options_.max_lines_per_speech));
+    for (int l = 0; l < lines; ++l) {
+      const char* inject = nullptr;
+      if (Chance(rng, 0.02)) inject = "friend";
+      else if (Chance(rng, 0.05)) inject = "love";
+      auto line = xml::Node::Element("LINE");
+      line->AddChild(xml::Node::Text(Sentence(rng, 5, 9, inject)));
+      if (Chance(rng, 0.06)) {
+        // Mixed content: a stage direction embedded in the line.
+        const char* action =
+            Chance(rng, 0.3) ? "Rising" : Pick(rng, kStageActions);
+        line->AddElementWithText("STAGEDIR", action);
+        line->AddChild(xml::Node::Text(Sentence(rng, 2, 5)));
+      }
+      speech->AddChild(std::move(line));
+    }
+    if (Chance(rng, 0.08)) {
+      speech->AddElementWithText("STAGEDIR", Pick(rng, kStageActions));
+    }
+  };
+
+  auto fill_scene_body = [&](xml::Node* scene) {
+    int speeches =
+        options_.speeches_per_scene / 2 +
+        static_cast<int>(rng() % static_cast<uint64_t>(
+                                     std::max(1, options_.speeches_per_scene)));
+    for (int s = 0; s < speeches; ++s) {
+      if (Chance(rng, 0.04)) {
+        const char* action =
+            Chance(rng, 0.25) ? "Rising" : Pick(rng, kStageActions);
+        scene->AddElementWithText("STAGEDIR", action);
+      }
+      if (Chance(rng, 0.03)) {
+        scene->AddElementWithText("SUBHEAD", Sentence(rng, 2, 4));
+      }
+      add_speech(scene);
+    }
+  };
+
+  auto add_scene = [&](xml::Node* parent, int act_no, int scene_no) {
+    xml::Node* scene = parent->AddChild(xml::Node::Element("SCENE"));
+    scene->AddElementWithText("TITLE", "SCENE " + std::to_string(scene_no) +
+                                           ". " + Sentence(rng, 3, 6));
+    if (Chance(rng, 0.2)) {
+      scene->AddElementWithText("SUBTITLE", Sentence(rng, 2, 4));
+    }
+    (void)act_no;
+    fill_scene_body(scene);
+  };
+
+  if (Chance(rng, 0.3)) {
+    xml::Node* induct = play->AddChild(xml::Node::Element("INDUCT"));
+    induct->AddElementWithText("TITLE", "INDUCTION");
+    if (Chance(rng, 0.5)) {
+      induct->AddElementWithText("SUBTITLE", Sentence(rng, 2, 4));
+    }
+    add_scene(induct, 0, 1);
+  }
+  if (Chance(rng, 0.4)) {
+    xml::Node* prologue = play->AddChild(xml::Node::Element("PROLOGUE"));
+    prologue->AddElementWithText("TITLE", "PROLOGUE");
+    add_speech(prologue);
+  }
+  for (int a = 1; a <= options_.acts_per_play; ++a) {
+    xml::Node* act = play->AddChild(xml::Node::Element("ACT"));
+    act->AddElementWithText("TITLE", "ACT " + std::to_string(a));
+    if (Chance(rng, 0.1)) {
+      act->AddElementWithText("SUBTITLE", Sentence(rng, 2, 4));
+    }
+    if (Chance(rng, 0.15)) {
+      xml::Node* prologue = act->AddChild(xml::Node::Element("PROLOGUE"));
+      prologue->AddElementWithText("TITLE", "PROLOGUE");
+      add_speech(prologue);
+      add_speech(prologue);
+    }
+    int scenes = std::max(1, options_.scenes_per_act / 2 +
+                                 static_cast<int>(
+                                     rng() % static_cast<uint64_t>(std::max(
+                                                 1, options_.scenes_per_act))));
+    for (int s = 1; s <= scenes; ++s) add_scene(act, a, s);
+    if (Chance(rng, 0.1)) {
+      xml::Node* epilogue = act->AddChild(xml::Node::Element("EPILOGUE"));
+      epilogue->AddElementWithText("TITLE", "EPILOGUE");
+      add_speech(epilogue);
+    }
+  }
+  if (Chance(rng, 0.25)) {
+    xml::Node* epilogue = play->AddChild(xml::Node::Element("EPILOGUE"));
+    epilogue->AddElementWithText("TITLE", "EPILOGUE");
+    add_speech(epilogue);
+  }
+  return play;
+}
+
+std::vector<std::unique_ptr<xml::Node>> ShakespeareGenerator::GenerateCorpus()
+    const {
+  std::vector<std::unique_ptr<xml::Node>> out;
+  out.reserve(options_.plays);
+  for (int i = 0; i < options_.plays; ++i) out.push_back(GeneratePlay(i));
+  return out;
+}
+
+// ------------------------------------------------------------------ SIGMOD
+
+SigmodGenerator::SigmodGenerator(const SigmodOptions& options)
+    : options_(options) {}
+
+std::unique_ptr<xml::Node> SigmodGenerator::GenerateProceedings(int i) const {
+  std::mt19937_64 rng(options_.seed * 7771 + static_cast<uint64_t>(i));
+  auto pp = xml::Node::Element("PP");
+  int year = 1975 + (i % 28);
+  pp->AddElementWithText("volume", std::to_string(10 + i % 30));
+  pp->AddElementWithText("number", std::to_string(1 + i % 4));
+  pp->AddElementWithText("month", std::to_string(1 + i % 12));
+  pp->AddElementWithText("year", std::to_string(year));
+  pp->AddElementWithText("conference", "SIGMOD");
+  pp->AddElementWithText("date", std::to_string(1 + i % 28) + "/" +
+                                     std::to_string(1 + i % 12) + "/" +
+                                     std::to_string(year));
+  pp->AddElementWithText("confyear", std::to_string(year));
+  pp->AddElementWithText("location", Pick(rng, kConferenceCities));
+  xml::Node* slist = pp->AddChild(xml::Node::Element("sList"));
+  int sections = std::max(1, options_.sections_per_doc / 2 +
+                                 static_cast<int>(rng() % static_cast<uint64_t>(
+                                     std::max(1, options_.sections_per_doc))));
+  int article_seq = 0;
+  for (int s = 0; s < sections; ++s) {
+    xml::Node* tuple = slist->AddChild(xml::Node::Element("sListTuple"));
+    auto section_name = xml::Node::Element("sectionName");
+    section_name->AddAttribute("SectionPosition", std::to_string(s + 1));
+    section_name->AddChild(
+        xml::Node::Text(std::string(Pick(rng, kPaperTopics)) + " Session"));
+    tuple->AddChild(std::move(section_name));
+    xml::Node* articles = tuple->AddChild(xml::Node::Element("articles"));
+    int narticles = std::max(
+        1, options_.articles_per_section / 2 +
+               static_cast<int>(rng() % static_cast<uint64_t>(std::max(
+                                    1, options_.articles_per_section))));
+    int page = 1 + static_cast<int>(rng() % 400);
+    for (int a = 0; a < narticles; ++a) {
+      xml::Node* at = articles->AddChild(xml::Node::Element("aTuple"));
+      std::string title_text = std::string(Pick(rng, kPaperTopics));
+      if (Chance(rng, 0.05)) title_text += " with Adaptive Join Processing";
+      if (Chance(rng, 0.2)) {
+        title_text += " for " + std::string(Pick(rng, kPaperTopics));
+      }
+      auto title = xml::Node::Element("title");
+      title->AddAttribute("articleCode",
+                          "A" + std::to_string(i) + "-" +
+                              std::to_string(article_seq++));
+      title->AddChild(xml::Node::Text(title_text));
+      at->AddChild(std::move(title));
+      xml::Node* authors = at->AddChild(xml::Node::Element("authors"));
+      int nauthors = 1 + static_cast<int>(
+                             rng() % static_cast<uint64_t>(std::max(
+                                         1, options_.max_authors_per_article)));
+      for (int u = 0; u < nauthors; ++u) {
+        std::string name;
+        if (Chance(rng, 0.004)) {
+          name = "Worthy Writer";
+        } else if (Chance(rng, 0.004)) {
+          name = "Bird Brain";
+        } else {
+          name = std::string(Pick(rng, kFirstNames)) + " " +
+                 Pick(rng, kLastNames);
+        }
+        auto author = xml::Node::Element("author");
+        author->AddAttribute("AuthorPosition", std::to_string(u + 1));
+        author->AddChild(xml::Node::Text(name));
+        authors->AddChild(std::move(author));
+      }
+      int length = 8 + static_cast<int>(rng() % 20);
+      at->AddElementWithText("initPage", std::to_string(page));
+      at->AddElementWithText("endPage", std::to_string(page + length));
+      page += length + 1;
+      xml::Node* toindex = at->AddChild(xml::Node::Element("Toindex"));
+      if (Chance(rng, 0.8)) {
+        auto index = xml::Node::Element("index");
+        index->AddAttribute("href", "index/" + std::to_string(i) + "/" +
+                                        std::to_string(article_seq) + ".xml");
+        index->AddChild(xml::Node::Text("term list"));
+        toindex->AddChild(std::move(index));
+      }
+      xml::Node* full = at->AddChild(xml::Node::Element("fullText"));
+      if (Chance(rng, 0.9)) {
+        auto size = xml::Node::Element("size");
+        size->AddAttribute("href", "ft/" + std::to_string(i) + "/" +
+                                       std::to_string(article_seq) + ".pdf");
+        size->AddChild(
+            xml::Node::Text(std::to_string(100 + rng() % 900) + "KB"));
+        full->AddChild(std::move(size));
+      }
+    }
+  }
+  return pp;
+}
+
+std::vector<std::unique_ptr<xml::Node>> SigmodGenerator::GenerateCorpus()
+    const {
+  std::vector<std::unique_ptr<xml::Node>> out;
+  out.reserve(options_.documents);
+  for (int i = 0; i < options_.documents; ++i) {
+    out.push_back(GenerateProceedings(i));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ generic DTD
+
+RandomDocGenerator::RandomDocGenerator(const xml::Dtd* dtd,
+                                       const RandomDocOptions& options)
+    : dtd_(dtd), options_(options), rng_(options.seed) {}
+
+std::string RandomDocGenerator::RandomText() {
+  return Sentence(rng_, 1, std::max(1, options_.max_words));
+}
+
+Result<std::unique_ptr<xml::Node>> RandomDocGenerator::Generate(
+    const std::string& root_element) {
+  auto holder = xml::Node::Element("#holder");
+  XO_RETURN_NOT_OK(BuildElement(root_element, holder.get(), 0));
+  if (holder->children().empty()) {
+    return Status::Internal("generation produced no root");
+  }
+  // Detach the root from the holder.
+  auto root = holder->children().front()->Clone();
+  return root;
+}
+
+Status RandomDocGenerator::BuildElement(const std::string& name,
+                                        xml::Node* parent, int depth) {
+  const xml::ElementDecl* decl = dtd_->Find(name);
+  if (decl == nullptr) {
+    return Status::InvalidArgument("undeclared element '" + name + "'");
+  }
+  xml::Node* elem = parent->AddChild(xml::Node::Element(name));
+  for (const xml::AttributeDecl& attr : decl->attributes) {
+    if (attr.default_decl == "#REQUIRED" || Chance(rng_, 0.7)) {
+      elem->AddAttribute(attr.name, RandomText());
+    }
+  }
+  if (decl->content_kind == xml::ContentKind::kEmpty) return Status::OK();
+  if (decl->content_kind == xml::ContentKind::kMixed &&
+      decl->content->children.size() <= 1) {
+    // Pure (#PCDATA).
+    elem->AddChild(xml::Node::Text(RandomText()));
+    return Status::OK();
+  }
+  if (decl->content == nullptr) return Status::OK();
+  return Expand(*decl->content, elem, depth + 1);
+}
+
+Status RandomDocGenerator::Expand(const xml::ContentParticle& particle,
+                                  xml::Node* parent, int depth) {
+  int repeats = 1;
+  switch (particle.occurrence) {
+    case xml::Occurrence::kOne:
+      repeats = 1;
+      break;
+    case xml::Occurrence::kOptional:
+      repeats = Chance(rng_, options_.optional_prob) ? 1 : 0;
+      break;
+    case xml::Occurrence::kStar:
+      repeats = static_cast<int>(rng_() %
+                                 static_cast<uint64_t>(options_.max_repeat + 1));
+      break;
+    case xml::Occurrence::kPlus:
+      repeats = 1 + static_cast<int>(
+                        rng_() % static_cast<uint64_t>(options_.max_repeat));
+      break;
+  }
+  if (depth >= options_.max_depth) repeats = 0;
+  for (int r = 0; r < repeats; ++r) {
+    switch (particle.kind) {
+      case xml::ContentParticle::Kind::kElementRef:
+        XO_RETURN_NOT_OK(BuildElement(particle.name, parent, depth));
+        break;
+      case xml::ContentParticle::Kind::kPCData:
+        parent->AddChild(xml::Node::Text(RandomText()));
+        break;
+      case xml::ContentParticle::Kind::kSequence:
+        for (const auto& c : particle.children) {
+          XO_RETURN_NOT_OK(Expand(*c, parent, depth));
+        }
+        break;
+      case xml::ContentParticle::Kind::kChoice: {
+        if (particle.children.empty()) break;
+        size_t pick = rng_() % particle.children.size();
+        XO_RETURN_NOT_OK(Expand(*particle.children[pick], parent, depth));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xorator::datagen

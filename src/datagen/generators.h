@@ -1,0 +1,109 @@
+#ifndef XORATOR_DATAGEN_GENERATORS_H_
+#define XORATOR_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xorator::datagen {
+
+/// Synthetic Shakespeare corpus conforming to the Figure 10 DTD, replacing
+/// Bosak's copyrighted data set. Keyword frequencies are calibrated so the
+/// paper's queries QS1-QS6 are selective in the same way:
+///   * "friend" in ~2% of lines, "love" in ~5%;
+///   * "Rising" in ~3% of stage directions;
+///   * play 0 is titled "Romeo and Juliet" with a speaker "ROMEO";
+///   * some lines embed STAGEDIR children (mixed content).
+struct ShakespeareOptions {
+  int plays = 37;
+  uint64_t seed = 42;
+  int acts_per_play = 5;
+  int scenes_per_act = 4;
+  int speeches_per_scene = 18;
+  int max_lines_per_speech = 6;
+};
+
+class ShakespeareGenerator {
+ public:
+  explicit ShakespeareGenerator(const ShakespeareOptions& options = {});
+
+  /// Generates play number `i` (deterministic in (seed, i)).
+  std::unique_ptr<xml::Node> GeneratePlay(int i) const;
+
+  /// Generates the whole corpus.
+  std::vector<std::unique_ptr<xml::Node>> GenerateCorpus() const;
+
+ private:
+  ShakespeareOptions options_;
+};
+
+/// Synthetic SIGMOD Proceedings documents conforming to the Figure 12 DTD
+/// (replaces IBM's XML Generator). Keywords: "Join" in ~5% of titles,
+/// authors "Worthy Writer" and "Bird Brain" appear rarely, matching the
+/// selectivity shape of QG1-QG6.
+struct SigmodOptions {
+  int documents = 3000;
+  uint64_t seed = 7;
+  int sections_per_doc = 3;
+  int articles_per_section = 5;
+  int max_authors_per_article = 4;
+};
+
+class SigmodGenerator {
+ public:
+  explicit SigmodGenerator(const SigmodOptions& options = {});
+
+  std::unique_ptr<xml::Node> GenerateProceedings(int i) const;
+  std::vector<std::unique_ptr<xml::Node>> GenerateCorpus() const;
+
+ private:
+  SigmodOptions options_;
+};
+
+/// Generic DTD-driven random document generator (in the spirit of the IBM
+/// XML Generator the paper used): produces documents conforming to any
+/// non-recursive DTD, used by property tests to fuzz the shred/query
+/// pipeline.
+struct RandomDocOptions {
+  uint64_t seed = 1;
+  /// Expansion count for `*`; `+` uses 1..max_repeat.
+  int max_repeat = 3;
+  /// Probability that a `?` particle is present.
+  double optional_prob = 0.5;
+  /// Hard depth cap (recursion in the DTD is truncated here).
+  int max_depth = 12;
+  /// Words per text node.
+  int max_words = 6;
+};
+
+class RandomDocGenerator {
+ public:
+  RandomDocGenerator(const xml::Dtd* dtd, const RandomDocOptions& options);
+
+  /// Generates one document rooted at `root_element`.
+  Result<std::unique_ptr<xml::Node>> Generate(const std::string& root_element);
+
+ private:
+  Status Expand(const xml::ContentParticle& particle, xml::Node* parent,
+                int depth);
+  Status BuildElement(const std::string& name, xml::Node* parent, int depth);
+  std::string RandomText();
+
+  const xml::Dtd* dtd_;
+  RandomDocOptions options_;
+  std::mt19937_64 rng_;
+};
+
+/// Serializes a generated corpus and reports its total size in bytes
+/// (handy for matching the paper's 7.5 MB / 12 MB corpus sizes).
+uint64_t CorpusBytes(const std::vector<std::unique_ptr<xml::Node>>& corpus);
+
+}  // namespace xorator::datagen
+
+#endif  // XORATOR_DATAGEN_GENERATORS_H_

@@ -1,0 +1,148 @@
+#include "dtdgraph/dtd_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "xml/dtd.h"
+
+namespace xorator::dtdgraph {
+
+namespace {
+
+// A leaf for duplication purposes: no element children in the simplified DTD.
+bool IsLeafElement(const SimplifiedElement& e) { return e.children.empty(); }
+
+}  // namespace
+
+Result<DtdGraph> DtdGraph::Build(const SimplifiedDtd& dtd,
+                                 const DtdGraphOptions& options) {
+  DtdGraph g;
+  std::map<std::string, int> index;  // element name -> node (non-duplicated)
+
+  // Count how many distinct parents reference each element, to know which
+  // leaves need duplication.
+  std::map<std::string, int> ref_count;
+  for (const SimplifiedElement& e : dtd.elements()) {
+    for (const ChildSpec& c : e.children) ref_count[c.name]++;
+  }
+
+  auto make_node = [&](const SimplifiedElement& e,
+                       const std::string& id) -> int {
+    GraphNode node;
+    node.id = id;
+    node.element = e.name;
+    node.has_pcdata = e.has_pcdata;
+    node.attributes = e.attributes;
+    g.nodes_.push_back(std::move(node));
+    return static_cast<int>(g.nodes_.size()) - 1;
+  };
+
+  // First create one node per element (shared leaves get extra copies on
+  // demand while wiring edges).
+  for (const SimplifiedElement& e : dtd.elements()) {
+    index[e.name] = make_node(e, e.name);
+  }
+
+  std::map<std::string, int> dup_counter;
+  for (const SimplifiedElement& e : dtd.elements()) {
+    int parent = index[e.name];
+    for (const ChildSpec& c : e.children) {
+      const SimplifiedElement* child_elem = dtd.Find(c.name);
+      if (child_elem == nullptr) {
+        return Status::InvalidArgument("undeclared element '" + c.name + "'");
+      }
+      int child;
+      bool shared_leaf = options.duplicate_shared_leaves &&
+                         IsLeafElement(*child_elem) &&
+                         ref_count[c.name] > 1;
+      if (shared_leaf) {
+        int k = ++dup_counter[c.name];
+        child = make_node(*child_elem, c.name + "#" + std::to_string(k));
+        // Re-fetch parent pointer: make_node may have reallocated nodes_.
+      } else {
+        child = index[c.name];
+      }
+      g.nodes_[parent].children.push_back({child, c.occurrence});
+      auto& parents = g.nodes_[child].parents;
+      if (std::find(parents.begin(), parents.end(), parent) == parents.end()) {
+        parents.push_back(parent);
+      }
+    }
+  }
+
+  // With duplication enabled, the original node of a fully-duplicated shared
+  // leaf is left parentless and childless; drop such orphans from root
+  // candidacy by requiring either parents or a reference count of zero.
+  for (int i = 0; i < static_cast<int>(g.nodes_.size()); ++i) {
+    const GraphNode& n = g.nodes_[i];
+    bool orphan_copy_source = options.duplicate_shared_leaves &&
+                              n.parents.empty() &&
+                              ref_count[n.element] > 1 &&
+                              n.id == n.element;
+    if (n.parents.empty() && !orphan_copy_source) {
+      g.roots_.push_back(i);
+    }
+  }
+  return g;
+}
+
+int DtdGraph::FindId(const std::string& id) const {
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[i].id == id) return i;
+  }
+  return -1;
+}
+
+std::set<int> DtdGraph::Descendants(int node, bool* recursive) const {
+  std::set<int> out;
+  if (recursive != nullptr) *recursive = false;
+  std::vector<int> stack;
+  for (const GraphNode::Edge& e : nodes_[node].children) stack.push_back(e.child);
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (cur == node) {
+      if (recursive != nullptr) *recursive = true;
+      continue;
+    }
+    if (!out.insert(cur).second) continue;
+    for (const GraphNode::Edge& e : nodes_[cur].children) {
+      stack.push_back(e.child);
+    }
+  }
+  return out;
+}
+
+bool DtdGraph::BelowStar(int node) const {
+  for (int p : nodes_[node].parents) {
+    for (const GraphNode::Edge& e : nodes_[p].children) {
+      if (e.child == node && e.occurrence == Occurrence::kStar) return true;
+    }
+  }
+  return false;
+}
+
+bool DtdGraph::HasStarredChild(int node) const {
+  for (const GraphNode::Edge& e : nodes_[node].children) {
+    if (e.occurrence == Occurrence::kStar) return true;
+  }
+  return false;
+}
+
+std::string DtdGraph::ToString() const {
+  std::string out;
+  for (const GraphNode& n : nodes_) {
+    out += n.id;
+    if (n.has_pcdata) out += " [pcdata]";
+    out += " ->";
+    for (const GraphNode::Edge& e : n.children) {
+      out += " " + nodes_[e.child].id;
+      char suffix = xml::OccurrenceSuffix(e.occurrence);
+      if (suffix != '\0') out.push_back(suffix);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xorator::dtdgraph

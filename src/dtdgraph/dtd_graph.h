@@ -1,0 +1,84 @@
+#ifndef XORATOR_DTDGRAPH_DTD_GRAPH_H_
+#define XORATOR_DTDGRAPH_DTD_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dtdgraph/simplify.h"
+
+namespace xorator::dtdgraph {
+
+/// A node of the DTD graph (Section 3.2 of the paper). Occurrence operators
+/// are folded onto the edges rather than materialized as nodes.
+struct GraphNode {
+  /// Unique node id within the graph. Equal to the element name, except for
+  /// duplicated leaf copies which are suffixed "#<k>" (see
+  /// `DtdGraphOptions::duplicate_shared_leaves`).
+  std::string id;
+  /// Underlying DTD element name.
+  std::string element;
+  bool has_pcdata = false;
+  std::vector<std::string> attributes;
+
+  struct Edge {
+    int child = -1;  // node index
+    Occurrence occurrence = Occurrence::kOne;
+  };
+  std::vector<Edge> children;  // content-model order
+  std::vector<int> parents;    // node indices (deduplicated)
+
+  /// A leaf carries no element children (it may carry text/attributes).
+  bool is_leaf() const { return children.empty(); }
+};
+
+struct DtdGraphOptions {
+  /// The paper's "revised DTD graph" (Figure 4): every *leaf* element shared
+  /// by several parents is duplicated, one copy per referencing parent, so
+  /// that XORator can inline it everywhere. Hybrid uses the unduplicated
+  /// graph (Figure 3).
+  bool duplicate_shared_leaves = false;
+};
+
+/// The DTD graph over a simplified DTD.
+class DtdGraph {
+ public:
+  static Result<DtdGraph> Build(const SimplifiedDtd& dtd,
+                                const DtdGraphOptions& options = {});
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(int i) const { return nodes_[i]; }
+
+  /// Indices of nodes with no parents (document-root candidates).
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Node index by id; -1 if absent.
+  int FindId(const std::string& id) const;
+
+  /// Number of distinct parent nodes.
+  int InDegree(int node) const {
+    return static_cast<int>(nodes_[node].parents.size());
+  }
+
+  /// All nodes reachable from `node` via child edges, excluding `node`
+  /// itself. Sets `*recursive` if `node` is reachable from itself.
+  std::set<int> Descendants(int node, bool* recursive) const;
+
+  /// True if `node` appears under a Star edge from at least one parent.
+  bool BelowStar(int node) const;
+
+  /// True if some child edge of `node` is a Star edge.
+  bool HasStarredChild(int node) const;
+
+  /// Renders nodes and edges for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<int> roots_;
+};
+
+}  // namespace xorator::dtdgraph
+
+#endif  // XORATOR_DTDGRAPH_DTD_GRAPH_H_

@@ -1,0 +1,129 @@
+#include "dtdgraph/simplify.h"
+
+namespace xorator::dtdgraph {
+
+namespace {
+
+// One < Optional < Star ordering on the simplified-occurrence lattice.
+int Rank(Occurrence occ) {
+  switch (occ) {
+    case Occurrence::kOne:
+      return 0;
+    case Occurrence::kOptional:
+      return 1;
+    case Occurrence::kPlus:  // normalized to kStar before use
+    case Occurrence::kStar:
+      return 2;
+  }
+  return 2;
+}
+
+Occurrence Normalize(Occurrence occ) {
+  return occ == Occurrence::kPlus ? Occurrence::kStar : occ;
+}
+
+// Occurrence of a child nested under an enclosing particle: anything under a
+// Star becomes Star; under an Optional, a One becomes Optional.
+Occurrence Multiply(Occurrence inner, Occurrence outer) {
+  int r = std::max(Rank(Normalize(inner)), Rank(Normalize(outer)));
+  switch (r) {
+    case 0:
+      return Occurrence::kOne;
+    case 1:
+      return Occurrence::kOptional;
+    default:
+      return Occurrence::kStar;
+  }
+}
+
+struct Accumulator {
+  SimplifiedElement* out;
+  std::map<std::string, size_t> seen;  // child name -> index in out->children
+
+  void AddChild(const std::string& name, Occurrence occ) {
+    auto it = seen.find(name);
+    if (it == seen.end()) {
+      seen.emplace(name, out->children.size());
+      out->children.push_back({name, occ});
+    } else {
+      // Grouping rule: a repeated subelement collapses to a starred one.
+      out->children[it->second].occurrence = Occurrence::kStar;
+    }
+  }
+};
+
+void Collect(const xml::ContentParticle& p, Occurrence outer,
+             Accumulator* acc) {
+  switch (p.kind) {
+    case xml::ContentParticle::Kind::kElementRef:
+      acc->AddChild(p.name, Multiply(p.occurrence, outer));
+      break;
+    case xml::ContentParticle::Kind::kPCData:
+      acc->out->has_pcdata = true;
+      break;
+    case xml::ContentParticle::Kind::kSequence: {
+      Occurrence group = Multiply(p.occurrence, outer);
+      for (const auto& c : p.children) Collect(*c, group, acc);
+      break;
+    }
+    case xml::ContentParticle::Kind::kChoice: {
+      // Each alternative of a choice is optional within one instance.
+      Occurrence group =
+          Multiply(Multiply(p.occurrence, outer), Occurrence::kOptional);
+      for (const auto& c : p.children) Collect(*c, group, acc);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const SimplifiedElement* SimplifiedDtd::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &elements_[it->second];
+}
+
+std::vector<std::string> SimplifiedDtd::Roots() const {
+  std::map<std::string, bool> referenced;
+  for (const SimplifiedElement& e : elements_) {
+    for (const ChildSpec& c : e.children) referenced[c.name] = true;
+  }
+  std::vector<std::string> out;
+  for (const SimplifiedElement& e : elements_) {
+    if (!referenced.count(e.name)) out.push_back(e.name);
+  }
+  return out;
+}
+
+void SimplifiedDtd::Add(SimplifiedElement elem) {
+  index_.emplace(elem.name, elements_.size());
+  elements_.push_back(std::move(elem));
+}
+
+Result<SimplifiedDtd> Simplify(const xml::Dtd& dtd) {
+  std::vector<std::string> undeclared = dtd.UndeclaredReferences();
+  if (!undeclared.empty()) {
+    return Status::InvalidArgument("content model references undeclared element '" +
+                                   undeclared.front() + "'");
+  }
+  SimplifiedDtd out;
+  for (const auto& decl : dtd.elements()) {
+    if (decl->content_kind == xml::ContentKind::kAny) {
+      return Status::InvalidArgument("element '" + decl->name +
+                                     "' has ANY content, which is unmappable");
+    }
+    SimplifiedElement elem;
+    elem.name = decl->name;
+    for (const xml::AttributeDecl& a : decl->attributes) {
+      elem.attributes.push_back(a.name);
+    }
+    if (decl->content != nullptr) {
+      Accumulator acc{&elem, {}};
+      Collect(*decl->content, Occurrence::kOne, &acc);
+    }
+    out.Add(std::move(elem));
+  }
+  return out;
+}
+
+}  // namespace xorator::dtdgraph

@@ -1,0 +1,63 @@
+#ifndef XORATOR_DTDGRAPH_SIMPLIFY_H_
+#define XORATOR_DTDGRAPH_SIMPLIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dtd.h"
+
+namespace xorator::dtdgraph {
+
+/// Occurrence of a child element after simplification. `kPlus` never
+/// survives simplification (the paper transforms e+ to e*).
+using xml::Occurrence;
+
+/// One child element of a simplified element declaration.
+struct ChildSpec {
+  std::string name;
+  Occurrence occurrence = Occurrence::kOne;
+};
+
+/// An element declaration after applying the DTD-simplification rules of
+/// Shanmugasundaram et al. (VLDB '99), as used in Section 3.1 of the paper:
+///
+///   * flattening:      (e1, e2)* -> e1*, e2*
+///   * simplification:  e1**      -> e1*,   e+ -> e*
+///   * grouping:        e0, e1, e1, e2 -> e0, e1*, e2
+///   * choice:          (e1 | e2) -> e1?, e2?
+///
+/// The result is a flat, ordered list of distinct child names, each occurring
+/// once / optionally / any number of times, plus a mixed-content flag.
+struct SimplifiedElement {
+  std::string name;
+  bool has_pcdata = false;
+  std::vector<ChildSpec> children;         // first-appearance order
+  std::vector<std::string> attributes;     // declared attribute names
+};
+
+/// A whole simplified DTD, preserving declaration order.
+class SimplifiedDtd {
+ public:
+  const std::vector<SimplifiedElement>& elements() const { return elements_; }
+  const SimplifiedElement* Find(const std::string& name) const;
+
+  /// Elements never referenced as a child: the document-root candidates.
+  std::vector<std::string> Roots() const;
+
+  void Add(SimplifiedElement elem);
+
+ private:
+  std::vector<SimplifiedElement> elements_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Applies the simplification rules to every declaration of `dtd`.
+/// Fails with InvalidArgument if a content model references an undeclared
+/// element (ANY content is rejected as unmappable).
+Result<SimplifiedDtd> Simplify(const xml::Dtd& dtd);
+
+}  // namespace xorator::dtdgraph
+
+#endif  // XORATOR_DTDGRAPH_SIMPLIFY_H_

@@ -1,0 +1,394 @@
+#include "mapping/mapper.h"
+
+#include <functional>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "mapping/xml_stats.h"
+#include "dtdgraph/dtd_graph.h"
+
+namespace xorator::mapping {
+
+namespace {
+
+using dtdgraph::DtdGraph;
+using dtdgraph::GraphNode;
+using dtdgraph::Occurrence;
+
+/// Builder shared by every mapping algorithm: allocates tables, keeps column
+/// names unique, and fills the bookkeeping maps used by the shredder.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string algorithm) {
+    schema_.algorithm = std::move(algorithm);
+  }
+
+  TableSpec* AddTable(const std::string& element) {
+    TableSpec table;
+    table.name = UniqueTableName(SqlName(element));
+    table.element = element;
+    schema_.relation_of_element[element] = schema_.tables.size();
+    schema_.tables.push_back(std::move(table));
+    return &schema_.tables.back();
+  }
+
+  /// Adds the surrogate key and, for non-root tables, parent/order columns.
+  void AddPrefixColumns(TableSpec* table, bool has_parent,
+                        const std::vector<std::string>& parent_elements) {
+    AddColumn(table, table->name + "ID", ColumnType::kInteger, ColumnRole::kId,
+              {}, "");
+    if (has_parent) {
+      AddColumn(table, table->name + "_parentID", ColumnType::kInteger,
+                ColumnRole::kParentId, {}, "");
+      if (parent_elements.size() > 1) {
+        AddColumn(table, table->name + "_parentCODE", ColumnType::kVarchar,
+                  ColumnRole::kParentCode, {}, "");
+      }
+      AddColumn(table, table->name + "_childOrder", ColumnType::kInteger,
+                ColumnRole::kChildOrder, {}, "");
+    }
+    schema_.parent_tables_of_element[table->element] = parent_elements;
+  }
+
+  void AddColumn(TableSpec* table, std::string name, ColumnType type,
+                 ColumnRole role, std::vector<std::string> path,
+                 std::string attr) {
+    ColumnSpec col;
+    col.name = UniqueColumnName(table, std::move(name));
+    col.type = type;
+    col.role = role;
+    col.path = std::move(path);
+    col.attr = std::move(attr);
+    table->columns.push_back(std::move(col));
+  }
+
+  MappedSchema Finish() { return std::move(schema_); }
+
+ private:
+  std::string UniqueTableName(std::string base) {
+    std::string name = base;
+    int k = 1;
+    while (used_tables_.count(name)) name = base + "_" + std::to_string(++k);
+    used_tables_.insert(name);
+    return name;
+  }
+
+  std::string UniqueColumnName(TableSpec* table, std::string base) {
+    std::string name = base;
+    int k = 1;
+    while (table->ColumnIndex(name) >= 0) {
+      name = base + "_" + std::to_string(++k);
+    }
+    return name;
+  }
+
+  MappedSchema schema_;
+  std::set<std::string> used_tables_;
+};
+
+/// The relations whose tables can host a given element's instances: the
+/// element's own relation, or (for an inlined element) the hosts of all its
+/// parents. Memoized; cycles are broken by the in-progress guard (a cyclic
+/// inlined chain always reaches a relation, which terminates the walk).
+class HostResolver {
+ public:
+  HostResolver(const DtdGraph& graph, const std::set<int>& relations)
+      : graph_(graph), relations_(relations) {}
+
+  const std::set<int>& Hosts(int node) {
+    auto it = memo_.find(node);
+    if (it != memo_.end()) return it->second;
+    auto [slot, inserted] = memo_.emplace(node, std::set<int>{});
+    if (!inserted) return slot->second;
+    if (relations_.count(node)) {
+      slot->second.insert(node);
+      return slot->second;
+    }
+    if (!in_progress_.insert(node).second) return slot->second;
+    std::set<int> hosts;
+    for (int p : graph_.node(node).parents) {
+      const std::set<int>& ph = Hosts(p);
+      hosts.insert(ph.begin(), ph.end());
+    }
+    in_progress_.erase(node);
+    memo_[node] = std::move(hosts);
+    return memo_[node];
+  }
+
+ private:
+  const DtdGraph& graph_;
+  const std::set<int>& relations_;
+  std::map<int, std::set<int>> memo_;
+  std::set<int> in_progress_;
+};
+
+std::vector<std::string> ParentElementsOf(const DtdGraph& graph,
+                                          HostResolver* hosts, int node) {
+  std::set<std::string> names;
+  for (int p : graph.node(node).parents) {
+    for (int h : hosts->Hosts(p)) names.insert(graph.node(h).element);
+  }
+  return {names.begin(), names.end()};
+}
+
+/// Emits inlined-value and attribute columns for `node` (already known to be
+/// inlined into `table`), then recurses into its non-relation children.
+/// `path` is the element path from the table's element down to `node`.
+void EmitInlinedColumns(const DtdGraph& graph, const std::set<int>& relations,
+                        SchemaBuilder* builder, TableSpec* table, int node,
+                        std::vector<std::string>* path, int depth) {
+  if (depth > 64) return;  // cycle guard; cyclic elements are relations
+  const GraphNode& n = graph.node(node);
+  std::string prefix = table->name;
+  for (const std::string& step : *path) prefix += "_" + SqlName(step);
+  if (n.has_pcdata) {
+    builder->AddColumn(table, prefix, ColumnType::kVarchar,
+                       ColumnRole::kInlinedValue, *path, "");
+  }
+  for (const std::string& attr : n.attributes) {
+    builder->AddColumn(table, prefix + "_" + SqlName(attr),
+                       ColumnType::kVarchar, ColumnRole::kInlinedAttr, *path,
+                       attr);
+  }
+  for (const GraphNode::Edge& e : n.children) {
+    if (relations.count(e.child)) continue;
+    path->push_back(graph.node(e.child).element);
+    EmitInlinedColumns(graph, relations, builder, table, e.child, path,
+                       depth + 1);
+    path->pop_back();
+  }
+}
+
+/// Builds the final schema for the inlining family (Hybrid/Shared/
+/// PerElement) given the chosen relation set.
+MappedSchema BuildInlinedSchema(const DtdGraph& graph,
+                                const std::set<int>& relations,
+                                std::string algorithm) {
+  SchemaBuilder builder(std::move(algorithm));
+  HostResolver hosts(graph, relations);
+  for (int r = 0; r < static_cast<int>(graph.nodes().size()); ++r) {
+    if (!relations.count(r)) continue;
+    const GraphNode& n = graph.node(r);
+    TableSpec* table = builder.AddTable(n.element);
+    std::vector<std::string> parent_elements =
+        ParentElementsOf(graph, &hosts, r);
+    builder.AddPrefixColumns(table, !n.parents.empty(), parent_elements);
+    if (n.has_pcdata) {
+      builder.AddColumn(table, table->name + "_value", ColumnType::kVarchar,
+                        ColumnRole::kValue, {}, "");
+    }
+    for (const std::string& attr : n.attributes) {
+      builder.AddColumn(table, table->name + "_" + SqlName(attr),
+                        ColumnType::kVarchar, ColumnRole::kInlinedAttr, {},
+                        attr);
+    }
+    for (const GraphNode::Edge& e : n.children) {
+      if (relations.count(e.child)) continue;
+      std::vector<std::string> path = {graph.node(e.child).element};
+      EmitInlinedColumns(graph, relations, &builder, table, e.child, &path, 0);
+    }
+  }
+  return builder.Finish();
+}
+
+/// True if `node` can reach itself via child edges.
+bool IsRecursive(const DtdGraph& graph, int node) {
+  bool recursive = false;
+  graph.Descendants(node, &recursive);
+  return recursive;
+}
+
+std::set<int> InliningRelations(const DtdGraph& graph, bool shared_variant) {
+  std::set<int> relations;
+  const auto& nodes = graph.nodes();
+  std::vector<bool> recursive(nodes.size());
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    recursive[i] = IsRecursive(graph, i);
+  }
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    bool is_root = nodes[i].parents.empty();
+    if (is_root || graph.BelowStar(i) || graph.HasStarredChild(i) ||
+        (recursive[i] && graph.InDegree(i) > 1) ||
+        (shared_variant && graph.InDegree(i) > 1)) {
+      relations.insert(i);
+    }
+  }
+  // One relation per mutually-recursive cycle whose members are all
+  // in-degree 1: pick the first such node (declaration order) whose cycle
+  // holds no relation yet.
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (!recursive[i] || relations.count(i)) continue;
+    bool unused = false;
+    std::set<int> reach = graph.Descendants(i, &unused);
+    bool cycle_has_relation = false;
+    for (int m : reach) {
+      if (!relations.count(m)) continue;
+      bool m_reaches_i = false;
+      std::set<int> back = graph.Descendants(m, &m_reaches_i);
+      if (back.count(i) || m == i) {
+        cycle_has_relation = true;
+        break;
+      }
+    }
+    if (!cycle_has_relation) relations.insert(i);
+  }
+  return relations;
+}
+
+}  // namespace
+
+Result<MappedSchema> MapHybrid(const dtdgraph::SimplifiedDtd& dtd) {
+  XO_ASSIGN_OR_RETURN(DtdGraph graph,
+                      DtdGraph::Build(dtd, {.duplicate_shared_leaves = false}));
+  return BuildInlinedSchema(graph, InliningRelations(graph, false), "hybrid");
+}
+
+Result<MappedSchema> MapShared(const dtdgraph::SimplifiedDtd& dtd) {
+  XO_ASSIGN_OR_RETURN(DtdGraph graph,
+                      DtdGraph::Build(dtd, {.duplicate_shared_leaves = false}));
+  return BuildInlinedSchema(graph, InliningRelations(graph, true), "shared");
+}
+
+Result<MappedSchema> MapPerElement(const dtdgraph::SimplifiedDtd& dtd) {
+  XO_ASSIGN_OR_RETURN(DtdGraph graph,
+                      DtdGraph::Build(dtd, {.duplicate_shared_leaves = false}));
+  std::set<int> relations;
+  for (int i = 0; i < static_cast<int>(graph.nodes().size()); ++i) {
+    relations.insert(i);
+  }
+  return BuildInlinedSchema(graph, relations, "per_element");
+}
+
+namespace {
+
+/// Shared XORator construction: `fragment_ok` lets the tuned variant veto
+/// XADT eligibility per node (based on XML data statistics).
+Result<MappedSchema> BuildXoratorSchema(
+    const DtdGraph& graph,
+    const std::function<bool(const GraphNode&)>& fragment_ok) {
+  const auto& nodes = graph.nodes();
+
+  // Rule 1 eligibility: a non-leaf node is XADT-eligible iff it has a single
+  // parent, is not recursive, and no node outside its subtree points into it.
+  auto eligible = [&](int n) {
+    if (nodes[n].is_leaf()) return false;
+    if (graph.InDegree(n) > 1) return false;
+    if (!fragment_ok(nodes[n])) return false;
+    bool recursive = false;
+    std::set<int> subtree = graph.Descendants(n, &recursive);
+    if (recursive) return false;
+    subtree.insert(n);
+    for (int d : subtree) {
+      if (d == n) continue;
+      for (int p : nodes[d].parents) {
+        if (!subtree.count(p)) return false;
+      }
+    }
+    return true;
+  };
+
+  // Relations: closure from the roots; a non-leaf child that is not
+  // XADT-eligible becomes a relation itself (Rule 2 plus the ancestor rule).
+  std::set<int> relations;
+  std::vector<int> work(graph.roots());
+  if (work.empty() && !nodes.empty()) {
+    // A fully-recursive DTD has no parentless element; seed with the first
+    // declared element as the document root.
+    work.push_back(0);
+  }
+  for (int r : work) relations.insert(r);
+  while (!work.empty()) {
+    int r = work.back();
+    work.pop_back();
+    for (const GraphNode::Edge& e : nodes[r].children) {
+      int c = e.child;
+      if (nodes[c].is_leaf() || eligible(c)) continue;
+      if (relations.insert(c).second) work.push_back(c);
+    }
+  }
+
+  SchemaBuilder builder("xorator");
+  for (int r = 0; r < static_cast<int>(nodes.size()); ++r) {
+    if (!relations.count(r)) continue;
+    const GraphNode& n = nodes[r];
+    TableSpec* table = builder.AddTable(n.element);
+    // Every parent of a relation is itself a relation under XORator.
+    std::set<std::string> parent_set;
+    for (int p : n.parents) parent_set.insert(nodes[p].element);
+    std::vector<std::string> parent_elements(parent_set.begin(),
+                                             parent_set.end());
+    builder.AddPrefixColumns(table, !n.parents.empty(), parent_elements);
+    if (n.has_pcdata) {
+      builder.AddColumn(table, table->name + "_value", ColumnType::kVarchar,
+                        ColumnRole::kValue, {}, "");
+    }
+    for (const std::string& attr : n.attributes) {
+      builder.AddColumn(table, table->name + "_" + SqlName(attr),
+                        ColumnType::kVarchar, ColumnRole::kInlinedAttr, {},
+                        attr);
+    }
+    for (const GraphNode::Edge& e : n.children) {
+      const GraphNode& c = nodes[e.child];
+      if (relations.count(e.child)) continue;
+      std::string base = table->name + "_" + SqlName(c.element);
+      if (!c.is_leaf()) {
+        // Rule 1: the whole subtree becomes one XADT attribute.
+        builder.AddColumn(table, base, ColumnType::kXadt,
+                          ColumnRole::kXadtFragment, {c.element}, "");
+        continue;
+      }
+      if (e.occurrence == Occurrence::kStar) {
+        // Rule 3, starred leaf: XADT attribute holding all occurrences.
+        builder.AddColumn(table, base, ColumnType::kXadt,
+                          ColumnRole::kXadtFragment, {c.element}, "");
+        continue;
+      }
+      // Rule 3, non-starred leaf: plain string attribute (plus attributes).
+      if (c.has_pcdata) {
+        builder.AddColumn(table, base, ColumnType::kVarchar,
+                          ColumnRole::kInlinedValue, {c.element}, "");
+      }
+      for (const std::string& attr : c.attributes) {
+        builder.AddColumn(table, base + "_" + SqlName(attr),
+                          ColumnType::kVarchar, ColumnRole::kInlinedAttr,
+                          {c.element}, attr);
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace
+
+Result<MappedSchema> MapXorator(const dtdgraph::SimplifiedDtd& dtd) {
+  XO_ASSIGN_OR_RETURN(DtdGraph graph,
+                      DtdGraph::Build(dtd, {.duplicate_shared_leaves = true}));
+  return BuildXoratorSchema(graph, [](const GraphNode&) { return true; });
+}
+
+Result<MappedSchema> MapXoratorTuned(const dtdgraph::SimplifiedDtd& dtd,
+                                     const XmlStats& stats,
+                                     const TunedOptions& options) {
+  XO_ASSIGN_OR_RETURN(DtdGraph graph,
+                      DtdGraph::Build(dtd, {.duplicate_shared_leaves = true}));
+  auto schema = BuildXoratorSchema(graph, [&](const GraphNode& node) {
+    const ElementStats* s = stats.Find(node.element);
+    if (s == nullptr) return true;  // never observed: assume small
+    if (options.max_fragment_bytes > 0 &&
+        s->avg_subtree_bytes > options.max_fragment_bytes) {
+      return false;
+    }
+    if (options.max_fragment_depth > 0 &&
+        s->max_subtree_depth > options.max_fragment_depth) {
+      return false;
+    }
+    return true;
+  });
+  if (schema.ok()) schema->algorithm = "xorator_tuned";
+  return schema;
+}
+
+}  // namespace xorator::mapping

@@ -1,0 +1,67 @@
+#ifndef XORATOR_MAPPING_MAPPER_H_
+#define XORATOR_MAPPING_MAPPER_H_
+
+#include "common/result.h"
+#include "dtdgraph/simplify.h"
+#include "mapping/schema.h"
+#include "mapping/xml_stats.h"
+
+namespace xorator::mapping {
+
+/// Hybrid inlining (Shanmugasundaram et al., VLDB '99), the paper's RDBMS
+/// baseline. Creates a relation for:
+///   * elements with in-degree zero (document roots),
+///   * elements directly below a `*` operator,
+///   * elements with a starred child (their starred children need a stable
+///     parent key — this is the variant the paper's Figure 5 exhibits, where
+///     INDUCT is a relation),
+///   * recursive elements with in-degree > 1, and one element per
+///     mutually-recursive cycle whose members all have in-degree 1.
+/// All other elements are inlined into their nearest relation ancestor with
+/// path-prefixed column names (e.g. act_title).
+Result<MappedSchema> MapHybrid(const dtdgraph::SimplifiedDtd& dtd);
+
+/// XORator (Section 3.3 of the paper). Works on the revised DTD graph in
+/// which shared PCDATA leaves are duplicated per parent, then applies:
+///   1. a maximal subgraph entered only through its root element, with no
+///      edge from outside into any descendant, becomes an XADT attribute of
+///      the parent relation;
+///   2. a non-leaf element that cannot be an XADT attribute becomes a
+///      relation (and so do its ancestors);
+///   3. a leaf below `*` becomes an XADT attribute; any other leaf becomes a
+///      VARCHAR attribute.
+Result<MappedSchema> MapXorator(const dtdgraph::SimplifiedDtd& dtd);
+
+/// "Shared" inlining from VLDB '99 (extension): like Hybrid, but every
+/// element with in-degree greater than one also becomes a relation.
+Result<MappedSchema> MapShared(const dtdgraph::SimplifiedDtd& dtd);
+
+/// Thresholds for the statistics-tuned XORator variant.
+struct TunedOptions {
+  /// XADT-eligible subtrees whose average serialized size exceeds this stay
+  /// relations (0 disables the size rule).
+  double max_fragment_bytes = 4096;
+  /// Subtrees nesting deeper than this stay relations (0 disables).
+  int max_fragment_depth = 6;
+};
+
+/// Statistics-tuned XORator (the paper's Section 5 future work: "expand the
+/// mapping rules to accommodate ... the statistics of XML data, including
+/// the number of levels and the size of the data that is in an XML
+/// fragment"): rule 1 assigns a subtree to an XADT attribute only when the
+/// sampled data says its fragments stay small and shallow; oversized
+/// subtrees keep the relational treatment so queries inside them can use
+/// joins and indexes.
+Result<MappedSchema> MapXoratorTuned(const dtdgraph::SimplifiedDtd& dtd,
+                                     const XmlStats& stats,
+                                     const TunedOptions& options = {});
+
+/// One relation per element (extension): the edge-style mapping in the
+/// spirit of Monet XML / Shimura et al., which the paper's related-work
+/// section contrasts against (95 tables for the Shakespeare DTD). Useful as
+/// an extreme baseline for table-count and join-count comparisons.
+Result<MappedSchema> MapPerElement(const dtdgraph::SimplifiedDtd& dtd);
+
+}  // namespace xorator::mapping
+
+#endif  // XORATOR_MAPPING_MAPPER_H_

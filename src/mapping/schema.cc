@@ -1,0 +1,78 @@
+#include "mapping/schema.h"
+
+#include "common/str_util.h"
+
+namespace xorator::mapping {
+
+std::string_view ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kVarchar:
+      return "VARCHAR";
+    case ColumnType::kXadt:
+      return "XADT";
+  }
+  return "VARCHAR";
+}
+
+bool TableSpec::has_parent_code() const {
+  return RoleIndex(ColumnRole::kParentCode) >= 0;
+}
+
+int TableSpec::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TableSpec::RoleIndex(ColumnRole role) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].role == role) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TableSpec* MappedSchema::FindTable(std::string_view table_name) const {
+  for (const TableSpec& t : tables) {
+    if (t.name == table_name) return &t;
+  }
+  return nullptr;
+}
+
+const TableSpec* MappedSchema::TableForElement(std::string_view element) const {
+  auto it = relation_of_element.find(std::string(element));
+  if (it == relation_of_element.end()) return nullptr;
+  return &tables[it->second];
+}
+
+bool MappedSchema::IsRelationElement(std::string_view element) const {
+  return relation_of_element.count(std::string(element)) > 0;
+}
+
+std::string MappedSchema::ToDdl() const {
+  std::string out;
+  for (const TableSpec& t : tables) {
+    out += "CREATE TABLE " + t.name + " (";
+    for (size_t i = 0; i < t.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t.columns[i].name;
+      out += " ";
+      out += ColumnTypeName(t.columns[i].type);
+      if (t.columns[i].role == ColumnRole::kId) out += " PRIMARY KEY";
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+std::string SqlName(std::string_view element) {
+  std::string out = ToLower(element);
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  return out;
+}
+
+}  // namespace xorator::mapping

@@ -1,0 +1,80 @@
+#ifndef XORATOR_MAPPING_SCHEMA_H_
+#define XORATOR_MAPPING_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xorator::mapping {
+
+/// SQL column types used by the generated schemas. kXadt is the paper's XML
+/// abstract data type (Section 3.4); under the Hybrid mapping it never
+/// appears.
+enum class ColumnType { kInteger, kVarchar, kXadt };
+
+std::string_view ColumnTypeName(ColumnType t);
+
+/// What a column stores; drives both DDL generation and shredding.
+enum class ColumnRole {
+  kId,           // surrogate primary key
+  kParentId,     // foreign key to the parent tuple
+  kParentCode,   // parent table discriminator (element name)
+  kChildOrder,   // 1-based order among same-tag siblings
+  kValue,        // PCDATA of the relation's own element
+  kInlinedValue, // text content of an inlined descendant (path non-empty)
+  kInlinedAttr,  // XML attribute of the element at `path` (may be empty path)
+  kXadtFragment, // XML fragments of the child element at `path` (XADT)
+};
+
+/// One column of a generated table.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kVarchar;
+  ColumnRole role = ColumnRole::kValue;
+  /// Element path below the table's element for inlined/XADT columns.
+  std::vector<std::string> path;
+  /// Attribute name for kInlinedAttr.
+  std::string attr;
+};
+
+/// One generated table; `element` is the DTD element it materializes.
+struct TableSpec {
+  std::string name;
+  std::string element;
+  std::vector<ColumnSpec> columns;
+
+  bool has_parent_code() const;
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(std::string_view column_name) const;
+  /// Index of the first column with the given role, or -1.
+  int RoleIndex(ColumnRole role) const;
+};
+
+/// Result of running a mapping algorithm over a DTD.
+struct MappedSchema {
+  /// "hybrid" or "xorator"; informational.
+  std::string algorithm;
+  std::vector<TableSpec> tables;
+  /// Element name -> index into `tables` for elements mapped to relations.
+  std::map<std::string, size_t> relation_of_element;
+  /// For each relation element, the element names of its possible parent
+  /// tables (used to decide parentCODE values).
+  std::map<std::string, std::vector<std::string>> parent_tables_of_element;
+
+  const TableSpec* FindTable(std::string_view table_name) const;
+  const TableSpec* TableForElement(std::string_view element) const;
+  bool IsRelationElement(std::string_view element) const;
+
+  /// SQL DDL (CREATE TABLE statements) for all tables.
+  std::string ToDdl() const;
+};
+
+/// Lowercases an element name into a SQL identifier.
+std::string SqlName(std::string_view element);
+
+}  // namespace xorator::mapping
+
+#endif  // XORATOR_MAPPING_SCHEMA_H_

@@ -1,0 +1,54 @@
+#include "mapping/xml_stats.h"
+
+#include <functional>
+
+#include "xml/serializer.h"
+
+namespace xorator::mapping {
+
+void XmlStats::AddDocument(const xml::Node& root) {
+  ++documents_;
+  // Depth-first walk computing serialized size and depth per element.
+  std::function<int(const xml::Node&)> walk =
+      [&](const xml::Node& elem) -> int {
+    int depth = 0;
+    for (const auto& child : elem.children()) {
+      if (child->is_element()) {
+        depth = std::max(depth, 1 + walk(*child));
+      }
+    }
+    std::string text;
+    xml::SerializeTo(elem, &text);
+    Accumulator& acc = acc_[elem.name()];
+    ++acc.instances;
+    acc.total_bytes += text.size();
+    acc.max_depth = std::max(acc.max_depth, depth);
+    return depth;
+  };
+  if (root.is_element()) walk(root);
+  // Refresh the published view.
+  stats_.clear();
+  for (const auto& [name, acc] : acc_) {
+    ElementStats s;
+    s.instances = acc.instances;
+    s.avg_subtree_bytes = acc.instances == 0
+                              ? 0
+                              : static_cast<double>(acc.total_bytes) /
+                                    static_cast<double>(acc.instances);
+    s.max_subtree_depth = acc.max_depth;
+    stats_[name] = s;
+  }
+}
+
+const ElementStats* XmlStats::Find(const std::string& element) const {
+  auto it = stats_.find(element);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+XmlStats CollectXmlStats(const std::vector<const xml::Node*>& documents) {
+  XmlStats stats;
+  for (const xml::Node* doc : documents) stats.AddDocument(*doc);
+  return stats;
+}
+
+}  // namespace xorator::mapping

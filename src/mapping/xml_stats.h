@@ -1,0 +1,54 @@
+#ifndef XORATOR_MAPPING_XML_STATS_H_
+#define XORATOR_MAPPING_XML_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace xorator::mapping {
+
+/// Per-element statistics gathered from sample documents — the "statistics
+/// of XML data, including the number of levels and the size of the data
+/// that is in an XML fragment" that Section 5 of the paper plans to feed
+/// into the mapping rules.
+struct ElementStats {
+  uint64_t instances = 0;
+  /// Serialized bytes of the element's whole subtree, averaged.
+  double avg_subtree_bytes = 0;
+  /// Deepest element nesting below (self = 0).
+  int max_subtree_depth = 0;
+};
+
+/// Statistics for every element name seen in the sampled documents.
+class XmlStats {
+ public:
+  /// Accounts one document (call repeatedly over a sample).
+  void AddDocument(const xml::Node& root);
+
+  const ElementStats* Find(const std::string& element) const;
+  const std::map<std::string, ElementStats>& elements() const {
+    return stats_;
+  }
+  uint64_t documents() const { return documents_; }
+
+ private:
+  struct Accumulator {
+    uint64_t instances = 0;
+    uint64_t total_bytes = 0;
+    int max_depth = 0;
+  };
+
+  std::map<std::string, ElementStats> stats_;
+  std::map<std::string, Accumulator> acc_;
+  uint64_t documents_ = 0;
+};
+
+/// Collects statistics over `documents`.
+XmlStats CollectXmlStats(const std::vector<const xml::Node*>& documents);
+
+}  // namespace xorator::mapping
+
+#endif  // XORATOR_MAPPING_XML_STATS_H_

@@ -1,0 +1,380 @@
+#include "ordb/bptree.h"
+
+#include <cstring>
+
+namespace xorator::ordb {
+
+namespace {
+
+// Node layout.
+//   byte 0:      type (0 = leaf, 1 = internal)
+//   bytes 2..3:  entry count (u16)
+//   bytes 4..7:  leaf: next-leaf page id; internal: first child page id
+// Leaf entries at offset 8:      (key u64, rid u64)            = 16 bytes
+// Internal entries at offset 8:  (key u64, rid u64, child u32) = 20 bytes
+// Internal separators are (key, rid) pairs so duplicate keys route
+// deterministically; child[i] holds entries < separator[i], the extra
+// child in the header holds the leftmost subtree.
+constexpr size_t kEntryOffset = 8;
+constexpr size_t kLeafEntryBytes = 16;
+constexpr size_t kInternalEntryBytes = 20;
+constexpr size_t kLeafCapacity = (kPageSize - kEntryOffset) / kLeafEntryBytes;
+constexpr size_t kInternalCapacity =
+    (kPageSize - kEntryOffset) / kInternalEntryBytes;
+
+struct EntryKey {
+  uint64_t key;
+  uint64_t rid;
+  bool operator<(const EntryKey& o) const {
+    return key != o.key ? key < o.key : rid < o.rid;
+  }
+};
+
+bool IsLeaf(const char* node) { return node[0] == 0; }
+void SetLeaf(char* node, bool leaf) { node[0] = leaf ? 0 : 1; }
+uint16_t Count(const char* node) {
+  uint16_t c;
+  std::memcpy(&c, node + 2, 2);
+  return c;
+}
+void SetCount(char* node, uint16_t c) { std::memcpy(node + 2, &c, 2); }
+PageId Link(const char* node) {
+  PageId p;
+  std::memcpy(&p, node + 4, 4);
+  return p;
+}
+void SetLink(char* node, PageId p) { std::memcpy(node + 4, &p, 4); }
+
+EntryKey LeafEntry(const char* node, size_t i) {
+  EntryKey e;
+  std::memcpy(&e.key, node + kEntryOffset + i * kLeafEntryBytes, 8);
+  std::memcpy(&e.rid, node + kEntryOffset + i * kLeafEntryBytes + 8, 8);
+  return e;
+}
+void SetLeafEntry(char* node, size_t i, EntryKey e) {
+  std::memcpy(node + kEntryOffset + i * kLeafEntryBytes, &e.key, 8);
+  std::memcpy(node + kEntryOffset + i * kLeafEntryBytes + 8, &e.rid, 8);
+}
+
+EntryKey InternalSep(const char* node, size_t i) {
+  EntryKey e;
+  std::memcpy(&e.key, node + kEntryOffset + i * kInternalEntryBytes, 8);
+  std::memcpy(&e.rid, node + kEntryOffset + i * kInternalEntryBytes + 8, 8);
+  return e;
+}
+PageId InternalChild(const char* node, size_t i) {
+  // child 0 lives in the header link; child i (i >= 1) follows separator i-1.
+  if (i == 0) return Link(node);
+  PageId p;
+  std::memcpy(&p,
+              node + kEntryOffset + (i - 1) * kInternalEntryBytes + 16, 4);
+  return p;
+}
+void SetInternalEntry(char* node, size_t i, EntryKey sep, PageId child) {
+  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes, &sep.key, 8);
+  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes + 8, &sep.rid, 8);
+  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes + 16, &child, 4);
+}
+
+// First index i such that target < separator[i]; the search key descends
+// into child i.
+size_t ChildIndexFor(const char* node, EntryKey target) {
+  size_t lo = 0, hi = Count(node);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (target < InternalSep(node, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// First leaf index i such that entry[i] >= target.
+size_t LeafLowerBound(const char* node, EntryKey target) {
+  size_t lo = 0, hi = Count(node);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafEntry(node, mid) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  XO_ASSIGN_OR_RETURN(auto page, pool->NewPage());
+  SetLeaf(page.second, true);
+  SetCount(page.second, 0);
+  SetLink(page.second, kInvalidPageId);
+  pool->Unpin(page.first, /*dirty=*/true);
+  return BPlusTree(pool, page.first, 1, 0);
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
+                                                          uint64_t key,
+                                                          uint64_t rid) {
+  XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(node_id));
+  EntryKey entry{key, rid};
+  if (IsLeaf(node)) {
+    uint16_t count = Count(node);
+    size_t pos = LeafLowerBound(node, entry);
+    if (count < kLeafCapacity) {
+      std::memmove(node + kEntryOffset + (pos + 1) * kLeafEntryBytes,
+                   node + kEntryOffset + pos * kLeafEntryBytes,
+                   (count - pos) * kLeafEntryBytes);
+      SetLeafEntry(node, pos, entry);
+      SetCount(node, count + 1);
+      pool_->Unpin(node_id, /*dirty=*/true);
+      return SplitResult{};
+    }
+    // Split the leaf: left keeps the lower half.
+    XO_ASSIGN_OR_RETURN(auto right_page, pool_->NewPage());
+    ++page_count_;
+    char* right = right_page.second;
+    SetLeaf(right, true);
+    size_t mid = count / 2;
+    size_t right_count = count - mid;
+    std::memcpy(right + kEntryOffset, node + kEntryOffset + mid * kLeafEntryBytes,
+                right_count * kLeafEntryBytes);
+    SetCount(right, static_cast<uint16_t>(right_count));
+    SetLink(right, Link(node));
+    SetCount(node, static_cast<uint16_t>(mid));
+    SetLink(node, right_page.first);
+    // Insert into the proper half.
+    char* target = pos <= mid ? node : right;
+    PageId target_id = pos <= mid ? node_id : right_page.first;
+    size_t tpos = pos <= mid ? pos : pos - mid;
+    uint16_t tcount = Count(target);
+    std::memmove(target + kEntryOffset + (tpos + 1) * kLeafEntryBytes,
+                 target + kEntryOffset + tpos * kLeafEntryBytes,
+                 (tcount - tpos) * kLeafEntryBytes);
+    SetLeafEntry(target, tpos, entry);
+    SetCount(target, tcount + 1);
+    (void)target_id;
+    EntryKey sep = LeafEntry(right, 0);
+    pool_->Unpin(right_page.first, /*dirty=*/true);
+    pool_->Unpin(node_id, /*dirty=*/true);
+    SplitResult out;
+    out.split = true;
+    out.separator = sep.key;
+    out.right = right_page.first;
+    separator_rid_ = sep.rid;
+    return out;
+  }
+
+  // Internal node.
+  size_t child_idx = ChildIndexFor(node, entry);
+  PageId child = InternalChild(node, child_idx);
+  pool_->Unpin(node_id, /*dirty=*/false);
+  XO_ASSIGN_OR_RETURN(SplitResult child_split,
+                      InsertRecursive(child, key, rid));
+  if (!child_split.split) return SplitResult{};
+
+  EntryKey sep{child_split.separator, separator_rid_};
+  PageId new_child = child_split.right;
+  XO_ASSIGN_OR_RETURN(node, pool_->FetchPage(node_id));
+  uint16_t count = Count(node);
+  size_t pos = ChildIndexFor(node, sep);
+  if (count < kInternalCapacity) {
+    std::memmove(node + kEntryOffset + (pos + 1) * kInternalEntryBytes,
+                 node + kEntryOffset + pos * kInternalEntryBytes,
+                 (count - pos) * kInternalEntryBytes);
+    SetInternalEntry(node, pos, sep, new_child);
+    SetCount(node, count + 1);
+    pool_->Unpin(node_id, /*dirty=*/true);
+    return SplitResult{};
+  }
+  // Split the internal node. Gather entries into a scratch array first.
+  struct Item {
+    EntryKey sep;
+    PageId child;
+  };
+  std::vector<Item> items;
+  items.reserve(count + 1);
+  for (size_t i = 0; i < count; ++i) {
+    items.push_back({InternalSep(node, i), InternalChild(node, i + 1)});
+  }
+  items.insert(items.begin() + pos, {sep, new_child});
+  size_t mid = items.size() / 2;
+  EntryKey up = items[mid].sep;
+
+  XO_ASSIGN_OR_RETURN(auto right_page, pool_->NewPage());
+  ++page_count_;
+  char* right = right_page.second;
+  SetLeaf(right, false);
+  SetLink(right, items[mid].child);  // leftmost child of the right node
+  uint16_t rcount = 0;
+  for (size_t i = mid + 1; i < items.size(); ++i) {
+    SetInternalEntry(right, rcount, items[i].sep, items[i].child);
+    ++rcount;
+  }
+  SetCount(right, rcount);
+
+  uint16_t lcount = 0;
+  for (size_t i = 0; i < mid; ++i) {
+    SetInternalEntry(node, lcount, items[i].sep, items[i].child);
+    ++lcount;
+  }
+  SetCount(node, lcount);
+  pool_->Unpin(right_page.first, /*dirty=*/true);
+  pool_->Unpin(node_id, /*dirty=*/true);
+  SplitResult out;
+  out.split = true;
+  out.separator = up.key;
+  out.right = right_page.first;
+  separator_rid_ = up.rid;
+  return out;
+}
+
+Status BPlusTree::Insert(uint64_t key, uint64_t rid) {
+  XO_ASSIGN_OR_RETURN(SplitResult split, InsertRecursive(root_, key, rid));
+  if (split.split) {
+    XO_ASSIGN_OR_RETURN(auto page, pool_->NewPage());
+    ++page_count_;
+    char* node = page.second;
+    SetLeaf(node, false);
+    SetCount(node, 1);
+    SetLink(node, root_);
+    SetInternalEntry(node, 0, EntryKey{split.separator, separator_rid_},
+                     split.right);
+    pool_->Unpin(page.first, /*dirty=*/true);
+    root_ = page.first;
+  }
+  ++entry_count_;
+  return Status::OK();
+}
+
+Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
+  EntryKey target{key, 0};
+  PageId cur = root_;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
+    if (IsLeaf(node)) {
+      pool_->Unpin(cur, /*dirty=*/false);
+      return cur;
+    }
+    PageId next = InternalChild(node, ChildIndexFor(node, target));
+    pool_->Unpin(cur, /*dirty=*/false);
+    cur = next;
+  }
+}
+
+Result<std::vector<uint64_t>> BPlusTree::Find(uint64_t key) const {
+  return FindRange(key, key);
+}
+
+Result<std::vector<uint64_t>> BPlusTree::FindRange(uint64_t lo,
+                                                   uint64_t hi) const {
+  std::vector<uint64_t> out;
+  XO_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
+  EntryKey target{lo, 0};
+  while (leaf != kInvalidPageId) {
+    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(leaf));
+    uint16_t count = Count(node);
+    size_t i = LeafLowerBound(node, target);
+    bool done = false;
+    for (; i < count; ++i) {
+      EntryKey e = LeafEntry(node, i);
+      if (e.key > hi) {
+        done = true;
+        break;
+      }
+      out.push_back(e.rid);
+    }
+    PageId next = Link(node);
+    pool_->Unpin(leaf, /*dirty=*/false);
+    if (done) break;
+    leaf = next;
+    target = EntryKey{0, 0};  // subsequent leaves: take from the start
+  }
+  return out;
+}
+
+Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
+  EntryKey target{key, rid};
+  PageId cur = root_;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
+    if (!IsLeaf(node)) {
+      PageId next = InternalChild(node, ChildIndexFor(node, target));
+      pool_->Unpin(cur, /*dirty=*/false);
+      cur = next;
+      continue;
+    }
+    uint16_t count = Count(node);
+    size_t i = LeafLowerBound(node, target);
+    if (i < count) {
+      EntryKey e = LeafEntry(node, i);
+      if (e.key == key && e.rid == rid) {
+        std::memmove(node + kEntryOffset + i * kLeafEntryBytes,
+                     node + kEntryOffset + (i + 1) * kLeafEntryBytes,
+                     (count - i - 1) * kLeafEntryBytes);
+        SetCount(node, count - 1);
+        pool_->Unpin(cur, /*dirty=*/true);
+        if (entry_count_ > 0) --entry_count_;
+        return Status::OK();
+      }
+    }
+    pool_->Unpin(cur, /*dirty=*/false);
+    return Status::NotFound("entry not in index");
+  }
+}
+
+Status BPlusTree::CheckNode(PageId node_id, uint64_t lo, uint64_t hi,
+                            int depth, int* leaf_depth) const {
+  XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(node_id));
+  uint16_t count = Count(node);
+  Status status = Status::OK();
+  if (IsLeaf(node)) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      status = Status::Internal("leaves at differing depths");
+    }
+    for (size_t i = 0; status.ok() && i < count; ++i) {
+      EntryKey e = LeafEntry(node, i);
+      if (e.key < lo || e.key > hi) {
+        status = Status::Internal("leaf key outside separator bounds");
+      }
+      if (i > 0 && e < LeafEntry(node, i - 1)) {
+        status = Status::Internal("leaf entries out of order");
+      }
+    }
+    pool_->Unpin(node_id, /*dirty=*/false);
+    return status;
+  }
+  std::vector<std::pair<PageId, std::pair<uint64_t, uint64_t>>> children;
+  uint64_t prev = lo;
+  for (size_t i = 0; i < count; ++i) {
+    EntryKey sep = InternalSep(node, i);
+    if (sep.key < lo || sep.key > hi) {
+      status = Status::Internal("separator outside bounds");
+    }
+    if (i > 0 && sep < InternalSep(node, i - 1)) {
+      status = Status::Internal("separators out of order");
+    }
+    children.push_back({InternalChild(node, i), {prev, sep.key}});
+    prev = sep.key;
+  }
+  children.push_back({InternalChild(node, count), {prev, hi}});
+  pool_->Unpin(node_id, /*dirty=*/false);
+  XO_RETURN_NOT_OK(status);
+  for (auto& [child, bounds] : children) {
+    XO_RETURN_NOT_OK(
+        CheckNode(child, bounds.first, bounds.second, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_, 0, UINT64_MAX, 0, &leaf_depth);
+}
+
+}  // namespace xorator::ordb

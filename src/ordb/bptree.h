@@ -1,0 +1,84 @@
+#ifndef XORATOR_ORDB_BPTREE_H_
+#define XORATOR_ORDB_BPTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/buffer_pool.h"
+#include "ordb/page.h"
+
+namespace xorator::ordb {
+
+/// Order-preserving index key for INTEGER columns.
+inline uint64_t IntIndexKey(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (1ULL << 63);
+}
+
+/// A paged B+-tree mapping fixed-size 64-bit keys to record ids.
+///
+/// Keys are 64-bit: integer columns use the order-preserving transform
+/// above; string columns index a 64-bit hash (point lookups only, with the
+/// executor rechecking the predicate on the heap tuple). Duplicate keys are
+/// supported — entries are unique on (key, rid).
+///
+/// Deletion is "lazy": the entry is removed from its leaf but nodes are not
+/// rebalanced, which is adequate for this engine's bulk-load-then-query
+/// usage.
+class BPlusTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf).
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  /// Re-attaches to an existing tree.
+  BPlusTree(BufferPool* pool, PageId root, uint64_t page_count,
+            uint64_t entry_count)
+      : pool_(pool),
+        root_(root),
+        page_count_(page_count),
+        entry_count_(entry_count) {}
+
+  PageId root() const { return root_; }
+  uint64_t page_count() const { return page_count_; }
+  uint64_t bytes() const { return page_count_ * kPageSize; }
+  uint64_t entry_count() const { return entry_count_; }
+
+  Status Insert(uint64_t key, uint64_t rid);
+
+  /// Removes one (key, rid) entry; NotFound if absent.
+  Status Delete(uint64_t key, uint64_t rid);
+
+  /// All rids whose key equals `key`.
+  Result<std::vector<uint64_t>> Find(uint64_t key) const;
+
+  /// All rids with key in [lo, hi], in key order.
+  Result<std::vector<uint64_t>> FindRange(uint64_t lo, uint64_t hi) const;
+
+  /// Structural invariant check for tests: keys sorted within nodes, leaf
+  /// chain ordered, parent separators bound children.
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    uint64_t separator = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  Result<SplitResult> InsertRecursive(PageId node, uint64_t key, uint64_t rid);
+  Result<PageId> FindLeaf(uint64_t key) const;
+  Status CheckNode(PageId node, uint64_t lo, uint64_t hi, int depth,
+                   int* leaf_depth) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t page_count_;
+  uint64_t entry_count_;
+  /// Rid half of the separator produced by the innermost split while an
+  /// insert is unwinding (separators are (key, rid) pairs).
+  uint64_t separator_rid_ = 0;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_BPTREE_H_

@@ -1,0 +1,92 @@
+#include "ordb/buffer_pool.h"
+
+#include <cstring>
+
+namespace xorator::ordb {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  frames_.resize(capacity == 0 ? 1 : capacity);
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  size_t victim = frames_.size();
+  uint64_t oldest = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId && f.pin_count == 0) return i;
+    if (f.pin_count == 0 && f.last_used < oldest) {
+      oldest = f.last_used;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    XO_RETURN_NOT_OK(pager_->Write(f.page_id, f.data.get()));
+    ++stats_.writebacks;
+  }
+  frame_of_page_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<char*> BufferPool::FetchPage(PageId id) {
+  auto it = frame_of_page_.find(id);
+  if (it != frame_of_page_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.last_used = ++clock_;
+    ++stats_.hits;
+    return f.data.get();
+  }
+  ++stats_.misses;
+  XO_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  if (f.data == nullptr) f.data = std::make_unique<char[]>(kPageSize);
+  XO_RETURN_NOT_OK(pager_->Read(id, f.data.get()));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.last_used = ++clock_;
+  frame_of_page_[id] = idx;
+  return f.data.get();
+}
+
+Result<std::pair<PageId, char*>> BufferPool::NewPage() {
+  XO_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+  XO_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  if (f.data == nullptr) f.data = std::make_unique<char[]>(kPageSize);
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.last_used = ++clock_;
+  frame_of_page_[id] = idx;
+  return std::make_pair(id, f.data.get());
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frame_of_page_.find(id);
+  if (it == frame_of_page_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pin_count > 0) --f.pin_count;
+  f.dirty = f.dirty || dirty;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      XO_RETURN_NOT_OK(pager_->Write(f.page_id, f.data.get()));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xorator::ordb

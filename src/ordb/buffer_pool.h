@@ -1,0 +1,67 @@
+#ifndef XORATOR_ORDB_BUFFER_POOL_H_
+#define XORATOR_ORDB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/page.h"
+#include "ordb/pager.h"
+
+namespace xorator::ordb {
+
+/// Counters for buffer-pool behaviour, surfaced by benchmarks.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+/// A fixed-capacity LRU buffer pool over a Pager.
+///
+/// Usage: FetchPage/NewPage pin a frame; callers must Unpin with the dirty
+/// flag once done. Not thread-safe (the engine is single-threaded by
+/// design; see DESIGN.md).
+class BufferPool {
+ public:
+  /// `capacity` is in pages.
+  BufferPool(Pager* pager, size_t capacity);
+
+  /// Returns a pinned pointer to the page contents.
+  Result<char*> FetchPage(PageId id);
+
+  /// Allocates a new page and returns it pinned (already zeroed).
+  Result<std::pair<PageId, char*>> NewPage();
+
+  void Unpin(PageId id, bool dirty);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    bool dirty = false;
+    int pin_count = 0;
+    uint64_t last_used = 0;
+  };
+
+  Result<size_t> GetVictimFrame();
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> frame_of_page_;
+  uint64_t clock_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_BUFFER_POOL_H_

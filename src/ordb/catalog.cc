@@ -1,0 +1,83 @@
+#include "ordb/catalog.h"
+
+namespace xorator::ordb {
+
+const IndexInfo* TableInfo::FindIndex(std::string_view column) const {
+  for (const IndexInfo* idx : indexes) {
+    if (idx->column == column) return idx;
+  }
+  return nullptr;
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        TableSchema schema, BufferPool* pool) {
+  if (table_by_name_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = std::move(schema);
+  XO_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
+  info->heap = std::make_unique<HeapFile>(heap);
+  info->stats.columns.resize(info->schema.size());
+  TableInfo* raw = info.get();
+  tables_.push_back(std::move(info));
+  table_by_name_[name] = raw;
+  return raw;
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                        const std::string& table,
+                                        const std::string& column,
+                                        BufferPool* pool) {
+  TableInfo* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  int col = t->schema.ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in '" + table + "'");
+  }
+  if (t->FindIndex(column) != nullptr) {
+    return Status::AlreadyExists("index on " + table + "(" + column +
+                                 ") exists");
+  }
+  TypeId type = t->schema.columns[col].type;
+  if (type == TypeId::kXadt) {
+    return Status::InvalidArgument("cannot index an XADT column");
+  }
+  auto info = std::make_unique<IndexInfo>();
+  info->name = index_name;
+  info->table = table;
+  info->column = column;
+  info->column_index = col;
+  info->key_type = type;
+  XO_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool));
+  info->tree = std::make_unique<BPlusTree>(tree);
+  IndexInfo* raw = info.get();
+  indexes_.push_back(std::move(info));
+  t->indexes.push_back(raw);
+  return raw;
+}
+
+TableInfo* Catalog::FindTable(std::string_view name) {
+  auto it = table_by_name_.find(name);
+  return it == table_by_name_.end() ? nullptr : it->second;
+}
+
+const TableInfo* Catalog::FindTable(std::string_view name) const {
+  auto it = table_by_name_.find(name);
+  return it == table_by_name_.end() ? nullptr : it->second;
+}
+
+uint64_t Catalog::DataBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->heap->bytes();
+  return bytes;
+}
+
+uint64_t Catalog::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& i : indexes_) bytes += i->tree->bytes();
+  return bytes;
+}
+
+}  // namespace xorator::ordb

@@ -1,0 +1,84 @@
+#ifndef XORATOR_ORDB_CATALOG_H_
+#define XORATOR_ORDB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/bptree.h"
+#include "ordb/heap_file.h"
+#include "ordb/tuple.h"
+
+namespace xorator::ordb {
+
+/// Per-column statistics gathered by RunStats (the engine's "runstats").
+struct ColumnStats {
+  /// Estimated number of distinct values.
+  double ndv = 0;
+};
+
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+  bool collected = false;
+};
+
+/// A secondary index over one column.
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::string column;
+  int column_index = -1;
+  TypeId key_type = TypeId::kInteger;
+  std::unique_ptr<BPlusTree> tree;
+};
+
+/// A stored table: declared schema plus its heap file.
+struct TableInfo {
+  std::string name;
+  TableSchema schema;
+  std::unique_ptr<HeapFile> heap;
+  TableStats stats;
+  std::vector<IndexInfo*> indexes;  // borrowed from Catalog
+
+  /// The index on `column`, or nullptr.
+  const IndexInfo* FindIndex(std::string_view column) const;
+};
+
+/// In-memory catalog of tables and indexes. The catalog owns all table and
+/// index metadata; heap files and trees reference the database's buffer
+/// pool.
+class Catalog {
+ public:
+  Result<TableInfo*> CreateTable(const std::string& name, TableSchema schema,
+                                 BufferPool* pool);
+  Result<IndexInfo*> CreateIndex(const std::string& index_name,
+                                 const std::string& table,
+                                 const std::string& column, BufferPool* pool);
+
+  TableInfo* FindTable(std::string_view name);
+  const TableInfo* FindTable(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<TableInfo>>& tables() const {
+    return tables_;
+  }
+  const std::vector<std::unique_ptr<IndexInfo>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Total pages/bytes across table heaps (the paper's "database size").
+  uint64_t DataBytes() const;
+  /// Total pages/bytes across indexes (the paper's "index size").
+  uint64_t IndexBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<TableInfo>> tables_;
+  std::vector<std::unique_ptr<IndexInfo>> indexes_;
+  std::map<std::string, TableInfo*, std::less<>> table_by_name_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_CATALOG_H_

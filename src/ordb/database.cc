@@ -1,0 +1,440 @@
+#include "ordb/database.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace xorator::ordb {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const Tuple& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  if (shown <= max_rows) {
+    out += "(" + std::to_string(rows.size()) + " rows)\n";
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  if (options.path.empty()) {
+    db->pager_ = std::make_unique<MemoryPager>();
+  } else {
+    XO_ASSIGN_OR_RETURN(auto pager, FilePager::Open(options.path));
+    db->pager_ = std::move(pager);
+  }
+  db->pool_ =
+      std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
+  db->functions_ = FunctionRegistry::WithBuiltins();
+  return db;
+}
+
+Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
+                                        bool explain_only) {
+  Planner planner(&catalog_, &functions_, options_.planner);
+  XO_ASSIGN_OR_RETURN(OperatorPtr plan, planner.PlanSelect(stmt));
+  QueryResult result;
+  result.plan = plan->Explain();
+  for (const ColumnMeta& c : plan->columns()) result.columns.push_back(c.name);
+  if (explain_only) return result;
+
+  ExecContext ctx;
+  ctx.functions = &functions_;
+  ctx.pool = pool_.get();
+  ctx.catalog = &catalog_;
+  XO_RETURN_NOT_OK(plan->Open(&ctx));
+  Tuple row;
+  while (true) {
+    auto ok = plan->Next(&row);
+    XO_RETURN_NOT_OK(ok.status());
+    if (!*ok) break;
+    result.rows.push_back(row);
+    if (stmt.limit >= 0 &&
+        result.rows.size() >= static_cast<size_t>(stmt.limit)) {
+      break;
+    }
+  }
+  plan->Close();
+  result.udf_stats = ctx.udf_stats;
+  return result;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql_text) {
+  XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      return RunSelect(stmt.select, /*explain_only=*/false);
+    case sql::Statement::Kind::kExplain: {
+      XO_ASSIGN_OR_RETURN(QueryResult r,
+                          RunSelect(stmt.select, /*explain_only=*/true));
+      QueryResult out;
+      out.columns = {"plan"};
+      out.plan = r.plan;
+      out.rows.push_back({Value::Varchar(r.plan)});
+      return out;
+    }
+    case sql::Statement::Kind::kCreateTable: {
+      TableSchema schema;
+      for (const auto& [name, type] : stmt.create_table.columns) {
+        schema.columns.push_back({name, type});
+      }
+      XO_RETURN_NOT_OK(CreateTable(stmt.create_table.name, std::move(schema)));
+      return QueryResult{};
+    }
+    case sql::Statement::Kind::kCreateIndex:
+      XO_RETURN_NOT_OK(
+          CreateIndex(stmt.create_index.table, stmt.create_index.column));
+      return QueryResult{};
+    case sql::Statement::Kind::kInsert: {
+      std::vector<Tuple> rows;
+      const TableInfo* t = catalog_.FindTable(stmt.insert.table);
+      if (t == nullptr) {
+        return Status::NotFound("unknown table '" + stmt.insert.table + "'");
+      }
+      for (const auto& literals : stmt.insert.rows) {
+        if (literals.size() != t->schema.size()) {
+          return Status::InvalidArgument("INSERT arity mismatch");
+        }
+        Tuple row;
+        for (size_t i = 0; i < literals.size(); ++i) {
+          const Value& v = literals[i];
+          TypeId want = t->schema.columns[i].type;
+          if (v.is_null()) {
+            row.push_back(v);
+          } else if (want == TypeId::kVarchar &&
+                     v.type() == TypeId::kVarchar) {
+            row.push_back(v);
+          } else if (want == TypeId::kXadt && v.type() == TypeId::kVarchar) {
+            // Raw XML text literal into an XADT column.
+            row.push_back(Value::Xadt("R" + v.AsString()));
+          } else if (want == TypeId::kInteger &&
+                     v.type() == TypeId::kInteger) {
+            row.push_back(v);
+          } else if (want == TypeId::kDouble) {
+            row.push_back(Value::Double(v.AsDouble()));
+          } else if (want == TypeId::kBoolean &&
+                     v.type() == TypeId::kInteger) {
+            row.push_back(Value::Bool(v.AsInt() != 0));
+          } else {
+            return Status::InvalidArgument(
+                "cannot store a " + std::string(TypeName(v.type())) +
+                " into column '" + t->schema.columns[i].name + "'");
+          }
+        }
+        rows.push_back(std::move(row));
+      }
+      XO_RETURN_NOT_OK(BulkInsert(stmt.insert.table, rows));
+      return QueryResult{};
+    }
+    case sql::Statement::Kind::kDelete:
+      return RunDelete(stmt.del);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::Execute(const std::string& sql_text) {
+  return Query(sql_text).status();
+}
+
+Result<std::string> Database::Explain(const std::string& sql_text) {
+  XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
+  if (stmt.kind != sql::Statement::Kind::kSelect &&
+      stmt.kind != sql::Statement::Kind::kExplain) {
+    return Status::InvalidArgument("EXPLAIN requires a SELECT");
+  }
+  XO_ASSIGN_OR_RETURN(QueryResult r,
+                      RunSelect(stmt.select, /*explain_only=*/true));
+  return r.plan;
+}
+
+Status Database::CreateTable(const std::string& name, TableSchema schema) {
+  return catalog_.CreateTable(name, std::move(schema), pool_.get()).status();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  std::string index_name = "idx_" + table + "_" + column;
+  XO_ASSIGN_OR_RETURN(IndexInfo * index,
+                      catalog_.CreateIndex(index_name, table, column,
+                                           pool_.get()));
+  // Backfill from existing rows.
+  TableInfo* t = catalog_.FindTable(table);
+  HeapFile::Scanner scanner = t->heap->Scan();
+  Rid rid;
+  std::string record;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(bool ok, scanner.Next(&rid, &record));
+    if (!ok) break;
+    XO_ASSIGN_OR_RETURN(Tuple row, DecodeTuple(t->schema, record));
+    const Value& v = row[index->column_index];
+    if (v.is_null()) continue;
+    uint64_t key = index->key_type == TypeId::kInteger
+                       ? IntIndexKey(v.AsInt())
+                       : Hash64(v.AsString());
+    XO_RETURN_NOT_OK(index->tree->Insert(key, rid.Encode()));
+  }
+  return Status::OK();
+}
+
+Status Database::BulkInsert(const std::string& table,
+                            const std::vector<Tuple>& rows) {
+  TableInfo* t = catalog_.FindTable(table);
+  if (t == nullptr) return Status::NotFound("unknown table '" + table + "'");
+  std::string record;
+  for (const Tuple& row : rows) {
+    if (row.size() != t->schema.size()) {
+      return Status::InvalidArgument("row arity mismatch for '" + table + "'");
+    }
+    record.clear();
+    EncodeTuple(t->schema, row, &record);
+    XO_ASSIGN_OR_RETURN(Rid rid, t->heap->Insert(record));
+    for (IndexInfo* index : t->indexes) {
+      const Value& v = row[index->column_index];
+      if (v.is_null()) continue;
+      uint64_t key = index->key_type == TypeId::kInteger
+                         ? IntIndexKey(v.AsInt())
+                         : Hash64(v.AsString());
+      XO_RETURN_NOT_OK(index->tree->Insert(key, rid.Encode()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::RunStats() {
+  for (const auto& t : catalog_.tables()) {
+    std::vector<std::unordered_set<uint64_t>> distinct(t->schema.size());
+    HeapFile::Scanner scanner = t->heap->Scan();
+    Rid rid;
+    std::string record;
+    uint64_t rows = 0;
+    while (true) {
+      XO_ASSIGN_OR_RETURN(bool ok, scanner.Next(&rid, &record));
+      if (!ok) break;
+      ++rows;
+      XO_ASSIGN_OR_RETURN(Tuple row, DecodeTuple(t->schema, record));
+      for (size_t i = 0; i < row.size(); ++i) {
+        // Cap the per-column set so runstats stays cheap on huge tables.
+        if (distinct[i].size() < 1u << 20) distinct[i].insert(row[i].Hash());
+      }
+    }
+    t->stats.row_count = rows;
+    for (size_t i = 0; i < t->schema.size(); ++i) {
+      t->stats.columns[i].ndv = static_cast<double>(distinct[i].size());
+    }
+    t->stats.collected = true;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Direct AST evaluation against a single table's row, used by DELETE
+/// (which needs record ids and therefore bypasses the Volcano planner).
+Result<Value> EvalAst(const sql::AstExpr& e, const TableSchema& schema,
+                      const std::string& table_name, const Tuple& row,
+                      const FunctionRegistry& functions, UdfStats* stats) {
+  using sql::AstExpr;
+  switch (e.kind) {
+    case AstExpr::Kind::kColumn: {
+      std::string name = e.name;
+      size_t dot = name.find('.');
+      if (dot != std::string::npos) {
+        if (!EqualsIgnoreCase(name.substr(0, dot), table_name)) {
+          return Status::NotFound("unknown qualifier in '" + e.name + "'");
+        }
+        name = name.substr(dot + 1);
+      }
+      for (size_t i = 0; i < schema.columns.size(); ++i) {
+        if (EqualsIgnoreCase(schema.columns[i].name, name)) return row[i];
+      }
+      return Status::NotFound("unknown column '" + e.name + "'");
+    }
+    case AstExpr::Kind::kLiteral:
+      return e.literal;
+    case AstExpr::Kind::kCompare: {
+      XO_ASSIGN_OR_RETURN(Value a, EvalAst(*e.children[0], schema, table_name,
+                                           row, functions, stats));
+      XO_ASSIGN_OR_RETURN(Value b, EvalAst(*e.children[1], schema, table_name,
+                                           row, functions, stats));
+      if (a.is_null() || b.is_null()) return Value::Bool(false);
+      int c = a.Compare(b);
+      switch (e.op) {
+        case CompareOp::kEq:
+          return Value::Bool(c == 0);
+        case CompareOp::kNe:
+          return Value::Bool(c != 0);
+        case CompareOp::kLt:
+          return Value::Bool(c < 0);
+        case CompareOp::kLe:
+          return Value::Bool(c <= 0);
+        case CompareOp::kGt:
+          return Value::Bool(c > 0);
+        case CompareOp::kGe:
+          return Value::Bool(c >= 0);
+      }
+      return Status::Internal("bad op");
+    }
+    case AstExpr::Kind::kAnd:
+    case AstExpr::Kind::kOr: {
+      XO_ASSIGN_OR_RETURN(Value a, EvalAst(*e.children[0], schema, table_name,
+                                           row, functions, stats));
+      bool av = !a.is_null() && a.AsBool();
+      if (e.kind == AstExpr::Kind::kAnd && !av) return Value::Bool(false);
+      if (e.kind == AstExpr::Kind::kOr && av) return Value::Bool(true);
+      XO_ASSIGN_OR_RETURN(Value b, EvalAst(*e.children[1], schema, table_name,
+                                           row, functions, stats));
+      return Value::Bool(!b.is_null() && b.AsBool());
+    }
+    case AstExpr::Kind::kNot: {
+      XO_ASSIGN_OR_RETURN(Value a, EvalAst(*e.children[0], schema, table_name,
+                                           row, functions, stats));
+      return Value::Bool(!(!a.is_null() && a.AsBool()));
+    }
+    case AstExpr::Kind::kLike: {
+      XO_ASSIGN_OR_RETURN(Value a, EvalAst(*e.children[0], schema, table_name,
+                                           row, functions, stats));
+      if (a.is_null()) return Value::Bool(false);
+      return Value::Bool(LikeMatch(a.AsString(), e.pattern));
+    }
+    case AstExpr::Kind::kIsNull: {
+      XO_ASSIGN_OR_RETURN(Value a, EvalAst(*e.children[0], schema, table_name,
+                                           row, functions, stats));
+      return Value::Bool(e.negated ? !a.is_null() : a.is_null());
+    }
+    case AstExpr::Kind::kFunc: {
+      const ScalarFunction* fn = functions.FindScalar(e.name);
+      if (fn == nullptr) {
+        return Status::NotFound("unknown function '" + e.name + "'");
+      }
+      std::vector<Value> args;
+      for (const auto& a : e.children) {
+        XO_ASSIGN_OR_RETURN(Value v, EvalAst(*a, schema, table_name, row,
+                                             functions, stats));
+        args.push_back(std::move(v));
+      }
+      return InvokeScalar(*fn, args, stats);
+    }
+    case AstExpr::Kind::kStar:
+      return Status::InvalidArgument("'*' not valid here");
+  }
+  return Status::Internal("unhandled AST node");
+}
+
+void CollectIndexableColumns(const sql::AstExpr& e,
+                             std::vector<std::string>* out) {
+  using sql::AstExpr;
+  if (e.kind == AstExpr::Kind::kCompare && e.op == CompareOp::kEq) {
+    for (const auto& c : e.children) {
+      if (c->kind == AstExpr::Kind::kColumn) out->push_back(c->name);
+    }
+  }
+  for (const auto& c : e.children) CollectIndexableColumns(*c, out);
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
+  TableInfo* t = catalog_.FindTable(stmt.table);
+  if (t == nullptr) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  UdfStats stats;
+  std::vector<std::pair<Rid, Tuple>> doomed;
+  HeapFile::Scanner scanner = t->heap->Scan();
+  Rid rid;
+  std::string record;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(bool ok, scanner.Next(&rid, &record));
+    if (!ok) break;
+    XO_ASSIGN_OR_RETURN(Tuple row, DecodeTuple(t->schema, record));
+    bool match = true;
+    if (stmt.where != nullptr) {
+      XO_ASSIGN_OR_RETURN(Value v, EvalAst(*stmt.where, t->schema, t->name,
+                                           row, functions_, &stats));
+      match = !v.is_null() && v.AsBool();
+    }
+    if (match) doomed.emplace_back(rid, std::move(row));
+  }
+  for (auto& [doomed_rid, row] : doomed) {
+    XO_RETURN_NOT_OK(t->heap->Delete(doomed_rid));
+    for (IndexInfo* index : t->indexes) {
+      const Value& v = row[index->column_index];
+      if (v.is_null()) continue;
+      uint64_t key = index->key_type == TypeId::kInteger
+                         ? IntIndexKey(v.AsInt())
+                         : Hash64(v.AsString());
+      XO_RETURN_NOT_OK(index->tree->Delete(key, doomed_rid.Encode()));
+    }
+  }
+  QueryResult result;
+  result.columns = {"deleted"};
+  result.rows.push_back({Value::Int(static_cast<int64_t>(doomed.size()))});
+  result.udf_stats = stats;
+  return result;
+}
+
+Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
+  std::set<std::pair<std::string, std::string>> wanted;
+  for (const std::string& q : queries) {
+    auto parsed = sql::ParseSql(q);
+    if (!parsed.ok()) continue;
+    if (parsed->kind != sql::Statement::Kind::kSelect) continue;
+    const sql::SelectStmt& stmt = parsed->select;
+    if (stmt.where == nullptr) continue;
+    std::vector<std::string> cols;
+    CollectIndexableColumns(*stmt.where, &cols);
+    // Resolve alias.col / col names against the statement's FROM clause.
+    for (const std::string& name : cols) {
+      std::string alias;
+      std::string col = name;
+      size_t dot = name.find('.');
+      if (dot != std::string::npos) {
+        alias = name.substr(0, dot);
+        col = name.substr(dot + 1);
+      }
+      for (const sql::TableRef& ref : stmt.from) {
+        if (ref.is_function) continue;
+        if (!alias.empty() && !EqualsIgnoreCase(ref.alias, alias)) continue;
+        const TableInfo* t = catalog_.FindTable(ref.table);
+        if (t == nullptr) continue;
+        int idx = t->schema.ColumnIndex(col);
+        if (idx < 0) continue;
+        if (t->schema.columns[idx].type == TypeId::kXadt) continue;
+        // Like DB2's Index Wizard, skip columns where an equality match is
+        // unselective (more than ~50 rows per distinct value).
+        if (t->stats.collected && t->stats.row_count > 100 &&
+            t->stats.columns[idx].ndv <
+                static_cast<double>(t->stats.row_count) * 0.02) {
+          continue;
+        }
+        wanted.emplace(ref.table, col);
+      }
+    }
+  }
+  for (const auto& [table, col] : wanted) {
+    const TableInfo* t = catalog_.FindTable(table);
+    if (t != nullptr && t->FindIndex(col) == nullptr) {
+      XO_RETURN_NOT_OK(CreateIndex(table, col));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xorator::ordb

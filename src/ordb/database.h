@@ -1,0 +1,99 @@
+#ifndef XORATOR_ORDB_DATABASE_H_
+#define XORATOR_ORDB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/buffer_pool.h"
+#include "ordb/catalog.h"
+#include "ordb/functions.h"
+#include "ordb/pager.h"
+#include "ordb/planner.h"
+
+namespace xorator::ordb {
+
+/// Database configuration.
+struct DbOptions {
+  /// Path of the database file; empty means a memory-backed pager.
+  std::string path;
+  /// Buffer pool capacity in pages (default 64 MB of 8 KB pages).
+  size_t buffer_pool_pages = 8192;
+  PlannerOptions planner;
+};
+
+/// Materialized result of a query.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+  /// Snapshot of the UDF accounting for this query.
+  UdfStats udf_stats;
+  /// EXPLAIN text (set for EXPLAIN statements, and always captured).
+  std::string plan;
+
+  /// Plain-text rendering (column header + one line per row).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// The embedded object-relational engine: storage, catalog, SQL, UDFs.
+///
+/// Typical use:
+///   auto db = Database::Open({});
+///   db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)");
+///   db->Execute("INSERT INTO t VALUES (1, 'x')");
+///   auto result = db->Query("SELECT a FROM t WHERE b = 'x'");
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DbOptions& options = {});
+
+  /// Runs any statement; DDL/INSERT return an empty result.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Runs a statement for effect only.
+  Status Execute(const std::string& sql);
+
+  /// Returns the EXPLAIN plan of a SELECT without running it.
+  Result<std::string> Explain(const std::string& sql);
+
+  // -- Direct (non-SQL) data path, used by the bulk loader. -----------------
+
+  Status CreateTable(const std::string& name, TableSchema schema);
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Appends `rows` to `table`, maintaining any existing indexes.
+  Status BulkInsert(const std::string& table, const std::vector<Tuple>& rows);
+
+  /// Recomputes table statistics (the paper's "runstats").
+  Status RunStats();
+
+  /// Creates indexes useful for `queries` (the paper's "DB2 Index Wizard"):
+  /// every column compared for equality against a literal or another column.
+  Status AdviseIndexes(const std::vector<std::string>& queries);
+
+  Catalog* catalog() { return &catalog_; }
+  FunctionRegistry* functions() { return &functions_; }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  const DbOptions& options() const { return options_; }
+  DbOptions* mutable_options() { return &options_; }
+
+  /// Paper metrics.
+  uint64_t DataBytes() const { return catalog_.DataBytes(); }
+  uint64_t IndexBytes() const { return catalog_.IndexBytes(); }
+
+ private:
+  explicit Database(DbOptions options) : options_(std::move(options)) {}
+
+  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt, bool explain_only);
+  Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+
+  DbOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  Catalog catalog_;
+  FunctionRegistry functions_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_DATABASE_H_

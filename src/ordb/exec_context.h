@@ -1,0 +1,26 @@
+#ifndef XORATOR_ORDB_EXEC_CONTEXT_H_
+#define XORATOR_ORDB_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "ordb/functions.h"
+
+namespace xorator::ordb {
+
+class BufferPool;
+class Catalog;
+
+/// Per-query execution context threaded through expressions and operators.
+struct ExecContext {
+  FunctionRegistry* functions = nullptr;
+  BufferPool* pool = nullptr;
+  Catalog* catalog = nullptr;
+  /// UDF dispatch accounting for this query.
+  UdfStats udf_stats;
+  /// Rows produced by the root operator (set by Database::Query).
+  uint64_t rows_out = 0;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_EXEC_CONTEXT_H_

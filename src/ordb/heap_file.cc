@@ -1,0 +1,184 @@
+#include "ordb/heap_file.h"
+
+#include <cstring>
+
+namespace xorator::ordb {
+
+namespace {
+// Overflow page layout: [next:u32][len:u32][bytes...].
+constexpr size_t kOverflowHeader = 8;
+constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
+// Records at most this large are stored inline in a slotted page.
+constexpr size_t kMaxInline = kPageSize - 64;
+}  // namespace
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  XO_ASSIGN_OR_RETURN(auto page, pool->NewPage());
+  SlottedPage(page.second).Init();
+  pool->Unpin(page.first, /*dirty=*/true);
+  return HeapFile(pool, page.first, page.first, 0, 1);
+}
+
+HeapFile::HeapFile(BufferPool* pool, PageId first_page, PageId last_page,
+                   uint64_t record_count, uint64_t page_count)
+    : pool_(pool),
+      first_page_(first_page),
+      last_page_(last_page),
+      record_count_(record_count),
+      page_count_(page_count) {}
+
+Result<Rid> HeapFile::Insert(std::string_view record) {
+  std::string payload;
+  if (record.size() + 1 <= kMaxInline) {
+    payload.reserve(record.size() + 1);
+    payload.push_back(kInlineMarker);
+    payload.append(record);
+    return InsertEncoded(payload);
+  }
+  // Spill to an overflow chain, then store a stub.
+  PageId head = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t pos = 0;
+  while (pos < record.size()) {
+    size_t chunk = std::min(kOverflowCapacity, record.size() - pos);
+    XO_ASSIGN_OR_RETURN(auto page, pool_->NewPage());
+    ++page_count_;
+    uint32_t next = kInvalidPageId;
+    uint32_t len = static_cast<uint32_t>(chunk);
+    std::memcpy(page.second, &next, 4);
+    std::memcpy(page.second + 4, &len, 4);
+    std::memcpy(page.second + kOverflowHeader, record.data() + pos, chunk);
+    pool_->Unpin(page.first, /*dirty=*/true);
+    if (prev != kInvalidPageId) {
+      XO_ASSIGN_OR_RETURN(char* prev_data, pool_->FetchPage(prev));
+      uint32_t link = page.first;
+      std::memcpy(prev_data, &link, 4);
+      pool_->Unpin(prev, /*dirty=*/true);
+    } else {
+      head = page.first;
+    }
+    prev = page.first;
+    pos += chunk;
+  }
+  payload.push_back(kOverflowMarker);
+  uint32_t head32 = head;
+  uint64_t total = record.size();
+  payload.append(reinterpret_cast<const char*>(&head32), 4);
+  payload.append(reinterpret_cast<const char*>(&total), 8);
+  return InsertEncoded(payload);
+}
+
+Result<Rid> HeapFile::InsertEncoded(std::string_view payload) {
+  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(last_page_));
+  SlottedPage page(data);
+  if (page.Fits(payload.size())) {
+    auto slot = page.Insert(payload);
+    pool_->Unpin(last_page_, /*dirty=*/true);
+    XO_RETURN_NOT_OK(slot.status());
+    ++record_count_;
+    return Rid{last_page_, *slot};
+  }
+  // Chain a fresh page.
+  XO_ASSIGN_OR_RETURN(auto fresh, pool_->NewPage());
+  ++page_count_;
+  SlottedPage fresh_page(fresh.second);
+  fresh_page.Init();
+  auto slot = fresh_page.Insert(payload);
+  pool_->Unpin(fresh.first, /*dirty=*/true);
+  page.set_next_page(fresh.first);
+  pool_->Unpin(last_page_, /*dirty=*/true);
+  last_page_ = fresh.first;
+  XO_RETURN_NOT_OK(slot.status());
+  ++record_count_;
+  return Rid{last_page_, *slot};
+}
+
+Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
+  if (stub.size() != 12) return Status::Internal("bad overflow stub");
+  uint32_t page_id;
+  uint64_t total;
+  std::memcpy(&page_id, stub.data(), 4);
+  std::memcpy(&total, stub.data() + 4, 8);
+  std::string out;
+  out.reserve(total);
+  while (page_id != kInvalidPageId && out.size() < total) {
+    XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(page_id));
+    uint32_t next, len;
+    std::memcpy(&next, data, 4);
+    std::memcpy(&len, data + 4, 4);
+    out.append(data + kOverflowHeader, len);
+    pool_->Unpin(page_id, /*dirty=*/false);
+    page_id = next;
+  }
+  if (out.size() != total) return Status::Internal("truncated overflow chain");
+  return out;
+}
+
+Result<std::string> HeapFile::Get(const Rid& rid) const {
+  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(rid.page_id));
+  SlottedPage page(data);
+  auto record = page.Get(rid.slot);
+  if (!record.ok()) {
+    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    return record.status();
+  }
+  std::string_view bytes = *record;
+  if (bytes.empty()) {
+    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    return Status::Internal("empty record payload");
+  }
+  if (bytes[0] == kInlineMarker) {
+    std::string out(bytes.substr(1));
+    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    return out;
+  }
+  std::string stub(bytes.substr(1));
+  pool_->Unpin(rid.page_id, /*dirty=*/false);
+  return ReadOverflow(stub);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(rid.page_id));
+  SlottedPage page(data);
+  Status s = page.Delete(rid.slot);
+  pool_->Unpin(rid.page_id, s.ok());
+  if (s.ok() && record_count_ > 0) --record_count_;
+  return s;
+}
+
+HeapFile::Scanner::Scanner(const HeapFile* file)
+    : file_(file), page_(file->first_page_), slot_(0) {}
+
+Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
+  while (page_ != kInvalidPageId) {
+    XO_ASSIGN_OR_RETURN(char* data, file_->pool_->FetchPage(page_));
+    SlottedPage page(data);
+    uint16_t count = page.slot_count();
+    while (slot_ < count) {
+      uint16_t s = slot_++;
+      auto bytes = page.Get(s);
+      if (!bytes.ok()) continue;  // tombstone
+      std::string_view payload = *bytes;
+      if (payload.empty()) continue;
+      if (payload[0] == kInlineMarker) {
+        record->assign(payload.substr(1));
+      } else {
+        std::string stub(payload.substr(1));
+        file_->pool_->Unpin(page_, /*dirty=*/false);
+        XO_ASSIGN_OR_RETURN(*record, file_->ReadOverflow(stub));
+        *rid = Rid{page_, s};
+        return true;
+      }
+      *rid = Rid{page_, s};
+      file_->pool_->Unpin(page_, /*dirty=*/false);
+      return true;
+    }
+    PageId next = page.next_page();
+    file_->pool_->Unpin(page_, /*dirty=*/false);
+    page_ = next;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace xorator::ordb

@@ -1,0 +1,73 @@
+#ifndef XORATOR_ORDB_HEAP_FILE_H_
+#define XORATOR_ORDB_HEAP_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/buffer_pool.h"
+#include "ordb/page.h"
+
+namespace xorator::ordb {
+
+/// An unordered collection of variable-length records stored in a chain of
+/// slotted pages. Records larger than a page spill to dedicated overflow
+/// pages (an in-page stub points at the overflow chain), which is how large
+/// XADT fragments are stored.
+class HeapFile {
+ public:
+  /// Creates an empty heap file (allocates its first page).
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  /// Re-attaches to an existing heap file rooted at `first_page`.
+  HeapFile(BufferPool* pool, PageId first_page, PageId last_page,
+           uint64_t record_count, uint64_t page_count);
+
+  PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
+  uint64_t record_count() const { return record_count_; }
+  /// Pages owned by this heap file (data + overflow).
+  uint64_t page_count() const { return page_count_; }
+  uint64_t bytes() const { return page_count_ * kPageSize; }
+
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid` (follows overflow stubs).
+  Result<std::string> Get(const Rid& rid) const;
+
+  Status Delete(const Rid& rid);
+
+  /// Sequential scanner over live records.
+  class Scanner {
+   public:
+    Scanner(const HeapFile* file);
+
+    /// Advances to the next record; false at end of file.
+    Result<bool> Next(Rid* rid, std::string* record);
+
+   private:
+    const HeapFile* file_;
+    PageId page_;
+    uint16_t slot_;
+  };
+
+  Scanner Scan() const { return Scanner(this); }
+
+ private:
+  // Record headers distinguishing inline records from overflow stubs.
+  static constexpr char kInlineMarker = 0x00;
+  static constexpr char kOverflowMarker = 0x01;
+
+  Result<Rid> InsertEncoded(std::string_view payload);
+  Result<std::string> ReadOverflow(std::string_view stub) const;
+
+  BufferPool* pool_ = nullptr;
+  PageId first_page_ = kInvalidPageId;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t record_count_ = 0;
+  uint64_t page_count_ = 0;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_HEAP_FILE_H_

@@ -1,0 +1,54 @@
+#include "ordb/page.h"
+
+namespace xorator::ordb {
+
+void SlottedPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  Write16(0, 0);                                  // slot_count
+  Write16(2, static_cast<uint16_t>(kPageSize - 1));  // data_start sentinel
+  Write32(4, kInvalidPageId);                     // next_page
+  // data_start is stored as (kPageSize - 1) because kPageSize itself does
+  // not fit in u16; real offsets are <= kPageSize - 1 and records are
+  // written ending at data_start + 1.
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderBytes + kSlotBytes * slot_count();
+  size_t data_begin = static_cast<size_t>(data_start()) + 1;
+  return data_begin > dir_end ? data_begin - dir_end : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (!Fits(record.size())) {
+    return Status::OutOfRange("page full");
+  }
+  uint16_t count = slot_count();
+  size_t data_begin = static_cast<size_t>(data_start()) + 1;
+  size_t offset = data_begin - record.size();
+  std::memcpy(data_ + offset, record.data(), record.size());
+  size_t slot_off = kHeaderBytes + kSlotBytes * count;
+  Write16(slot_off, static_cast<uint16_t>(offset));
+  Write16(slot_off + 2, static_cast<uint16_t>(record.size()));
+  Write16(0, static_cast<uint16_t>(count + 1));
+  Write16(2, static_cast<uint16_t>(offset - 1));
+  return count;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("bad slot");
+  size_t slot_off = kHeaderBytes + kSlotBytes * slot;
+  uint16_t offset = Read16(slot_off);
+  uint16_t len = Read16(slot_off + 2);
+  if (offset == 0) return Status::NotFound("deleted slot");
+  return std::string_view(data_ + offset, len);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("bad slot");
+  size_t slot_off = kHeaderBytes + kSlotBytes * slot;
+  if (Read16(slot_off) == 0) return Status::NotFound("already deleted");
+  Write16(slot_off, 0);
+  return Status::OK();
+}
+
+}  // namespace xorator::ordb

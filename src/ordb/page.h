@@ -1,0 +1,94 @@
+#ifndef XORATOR_ORDB_PAGE_H_
+#define XORATOR_ORDB_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xorator::ordb {
+
+/// Fixed page size of the storage engine (the paper's DB2 configuration,
+/// reading its "8 MB" as the obvious 8 KB).
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Record id: page + slot.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  uint64_t Encode() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Decode(uint64_t raw) {
+    return Rid{static_cast<PageId>(raw >> 16),
+               static_cast<uint16_t>(raw & 0xFFFF)};
+  }
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+/// View over one 8 KB buffer laid out as a slotted page:
+///
+///   [slot_count:u16][data_start:u16 offset][next_page:u32]
+///   [slot 0: offset:u16 len:u16] ... | free | ... record data ...
+///
+/// Record data grows downward from the end; the slot directory grows upward.
+/// A slot offset of 0 marks a deleted record (offset 0 is inside the
+/// header, so it can never be a real record offset).
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats an empty page.
+  void Init();
+
+  uint16_t slot_count() const { return Read16(0); }
+  PageId next_page() const { return Read32(4); }
+  void set_next_page(PageId id) { Write32(4, id); }
+
+  /// Free bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// True if a record of `len` bytes fits.
+  bool Fits(size_t len) const { return FreeSpace() >= len + kSlotBytes; }
+
+  /// Inserts a record; returns its slot. Fails with OutOfRange if full.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record bytes in `slot`; NotFound for deleted/bad slots.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Tombstones `slot` (space is not compacted).
+  Status Delete(uint16_t slot);
+
+ private:
+  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kSlotBytes = 4;
+
+  uint16_t Read16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, 2);
+    return v;
+  }
+  uint32_t Read32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_ + off, 4);
+    return v;
+  }
+  void Write16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
+  void Write32(size_t off, uint32_t v) { std::memcpy(data_ + off, &v, 4); }
+
+  uint16_t data_start() const { return Read16(2); }
+
+  char* data_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_PAGE_H_

@@ -1,0 +1,70 @@
+#include "ordb/pager.h"
+
+#include <cstring>
+
+namespace xorator::ordb {
+
+Result<PageId> MemoryPager::Allocate() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryPager::Read(PageId id, char* buf) {
+  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  std::memcpy(buf, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryPager::Write(PageId id, const char* buf) {
+  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  std::memcpy(pages_[id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  // Ensure the file exists, then open for read/write.
+  {
+    std::ofstream touch(path, std::ios::binary | std::ios::app);
+    if (!touch) return Status::IOError("cannot create '" + path + "'");
+  }
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  file.seekg(0, std::ios::end);
+  auto size = static_cast<uint64_t>(file.tellg());
+  if (size % kPageSize != 0) {
+    return Status::IOError("'" + path + "' is not page-aligned");
+  }
+  return std::unique_ptr<FilePager>(
+      new FilePager(std::move(file), static_cast<PageId>(size / kPageSize)));
+}
+
+FilePager::~FilePager() { file_.flush(); }
+
+Result<PageId> FilePager::Allocate() {
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  file_.seekp(static_cast<std::streamoff>(page_count_) * kPageSize);
+  file_.write(zeros, kPageSize);
+  if (!file_) return Status::IOError("allocate failed");
+  return page_count_++;
+}
+
+Status FilePager::Read(PageId id, char* buf) {
+  if (id >= page_count_) return Status::OutOfRange("bad page id");
+  file_.seekg(static_cast<std::streamoff>(id) * kPageSize);
+  file_.read(buf, kPageSize);
+  if (!file_) return Status::IOError("read failed");
+  return Status::OK();
+}
+
+Status FilePager::Write(PageId id, const char* buf) {
+  if (id >= page_count_) return Status::OutOfRange("bad page id");
+  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
+  file_.write(buf, kPageSize);
+  if (!file_) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace xorator::ordb

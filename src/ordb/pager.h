@@ -1,0 +1,71 @@
+#ifndef XORATOR_ORDB_PAGER_H_
+#define XORATOR_ORDB_PAGER_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/page.h"
+
+namespace xorator::ordb {
+
+/// Abstract page-addressed storage; pages are allocated sequentially and
+/// never freed (the engine has no vacuum — see DESIGN.md non-goals).
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  /// Allocates a zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  virtual Status Read(PageId id, char* buf) = 0;
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  virtual Status Write(PageId id, const char* buf) = 0;
+
+  /// Number of pages allocated so far.
+  virtual PageId page_count() const = 0;
+};
+
+/// Heap-backed pager; the default for benchmarks (the paper's relative
+/// claims are about bytes touched and operator asymptotics, not disk).
+class MemoryPager : public Pager {
+ public:
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, char* buf) override;
+  Status Write(PageId id, const char* buf) override;
+  PageId page_count() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed pager over a single database file.
+class FilePager : public Pager {
+ public:
+  /// Opens (creating if needed) `path`. The file size must be a multiple of
+  /// kPageSize.
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+  ~FilePager() override;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, char* buf) override;
+  Status Write(PageId id, const char* buf) override;
+  PageId page_count() const override { return page_count_; }
+
+ private:
+  FilePager(std::fstream file, PageId page_count)
+      : file_(std::move(file)), page_count_(page_count) {}
+
+  std::fstream file_;
+  PageId page_count_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_PAGER_H_

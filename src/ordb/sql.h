@@ -1,0 +1,130 @@
+#ifndef XORATOR_ORDB_SQL_H_
+#define XORATOR_ORDB_SQL_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/expr.h"
+#include "ordb/value.h"
+
+namespace xorator::ordb::sql {
+
+/// Unbound expression AST produced by the parser.
+struct AstExpr {
+  enum class Kind {
+    kColumn,   // name = "col" or "alias.col"
+    kLiteral,  // value
+    kStar,     // "*" (only inside COUNT(*))
+    kCompare,  // op, children[0/1]
+    kAnd,
+    kOr,
+    kNot,
+    kLike,    // children[0] LIKE str
+    kFunc,    // name(children...)
+    kIsNull,  // children[0] IS [NOT] NULL (negated -> IS NOT NULL)
+  };
+
+  Kind kind = Kind::kColumn;
+  std::string name;
+  Value literal;
+  std::string pattern;  // LIKE pattern
+  bool negated = false;  // for kIsNull
+  CompareOp op = CompareOp::kEq;
+  std::vector<std::unique_ptr<AstExpr>> children;
+
+  std::string ToString() const;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// One FROM entry: a table (with optional alias) or a table-function call
+/// `table(fn(args)) alias`.
+struct TableRef {
+  std::string table;
+  std::string alias;
+  bool is_function = false;
+  std::string function_name;
+  std::vector<AstExprPtr> function_args;
+};
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // from AS, may be empty
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;  // may be null
+  std::vector<AstExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1: none
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::pair<std::string, TypeId>> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;  // literal rows
+};
+
+struct DeleteStmt {
+  std::string table;
+  AstExprPtr where;  // may be null (delete all rows)
+};
+
+/// A parsed statement. EXPLAIN wraps a SELECT.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kDelete,
+    kExplain,
+  };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;  // kSelect / kExplain
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  InsertStmt insert;
+  DeleteStmt del;
+};
+
+/// Parses one SQL statement (optionally ';'-terminated). Supported grammar:
+///
+///   SELECT [DISTINCT] item {, item}
+///   FROM table [alias] {, table [alias] | , TABLE(fn(args)) alias}
+///   [WHERE conjunctive/disjunctive predicate]
+///   [GROUP BY column {, column}]
+///   [ORDER BY expr [ASC|DESC] {, ...}]
+///   [LIMIT n]
+///
+///   CREATE TABLE t (col TYPE, ...)
+///   CREATE INDEX i ON t (col)
+///   INSERT INTO t VALUES (lit, ...), (...)
+///   DELETE FROM t [WHERE predicate]
+///   EXPLAIN SELECT ...
+Result<Statement> ParseSql(std::string_view input);
+
+}  // namespace xorator::ordb::sql
+
+#endif  // XORATOR_ORDB_SQL_H_

@@ -1,0 +1,43 @@
+#ifndef XORATOR_ORDB_TUPLE_H_
+#define XORATOR_ORDB_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ordb/value.h"
+
+namespace xorator::ordb {
+
+/// A row: one `Value` per column.
+using Tuple = std::vector<Value>;
+
+/// Declared column of a stored table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kVarchar;
+};
+
+/// Declared schema of a stored table.
+struct TableSchema {
+  std::vector<ColumnDef> columns;
+
+  int ColumnIndex(std::string_view name) const;
+  size_t size() const { return columns.size(); }
+};
+
+/// Serializes `tuple` (which must match `schema`) into `*out`: a null
+/// bitmap, then zigzag varints for integers/booleans and length-prefixed
+/// bytes for strings/XADT.
+void EncodeTuple(const TableSchema& schema, const Tuple& tuple,
+                 std::string* out);
+
+/// Decodes a tuple previously produced by EncodeTuple.
+Result<Tuple> DecodeTuple(const TableSchema& schema, std::string_view bytes);
+
+/// Approximate in-memory footprint, used for sort-heap accounting.
+size_t TupleFootprint(const Tuple& tuple);
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_TUPLE_H_

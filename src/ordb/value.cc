@@ -1,0 +1,90 @@
+#include "ordb/value.h"
+
+#include "common/str_util.h"
+
+namespace xorator::ordb {
+
+std::string_view TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBoolean:
+      return "BOOLEAN";
+    case TypeId::kInteger:
+      return "INTEGER";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+    case TypeId::kXadt:
+      return "XADT";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInteger || t == TypeId::kDouble ||
+           t == TypeId::kBoolean;
+  };
+  if (numeric(type_) && numeric(other.type_)) {
+    if (type_ == TypeId::kInteger && other.type_ == TypeId::kInteger) {
+      return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // Strings and XADT payloads compare bytewise.
+  return str_.compare(other.str_) < 0 ? -1 : (str_ == other.str_ ? 0 : 1);
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kBoolean:
+    case TypeId::kInteger:
+      return static_cast<uint64_t>(int_) * 0x9e3779b97f4a7c15ULL;
+    case TypeId::kDouble: {
+      // Hash doubles through their integer value when exact so that
+      // 1 == 1.0 hashes consistently.
+      auto as_int = static_cast<int64_t>(double_);
+      if (static_cast<double>(as_int) == double_) {
+        return static_cast<uint64_t>(as_int) * 0x9e3779b97f4a7c15ULL;
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double_));
+      __builtin_memcpy(&bits, &double_, sizeof(bits));
+      return bits * 0x9e3779b97f4a7c15ULL;
+    }
+    case TypeId::kVarchar:
+    case TypeId::kXadt:
+      return Hash64(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBoolean:
+      return int_ ? "TRUE" : "FALSE";
+    case TypeId::kInteger:
+      return std::to_string(int_);
+    case TypeId::kDouble:
+      return std::to_string(double_);
+    case TypeId::kVarchar:
+      return str_;
+    case TypeId::kXadt:
+      return "[XADT " + std::to_string(str_.size()) + " bytes]";
+  }
+  return "?";
+}
+
+}  // namespace xorator::ordb

@@ -1,0 +1,95 @@
+#ifndef XORATOR_ORDB_VALUE_H_
+#define XORATOR_ORDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xorator::ordb {
+
+/// Runtime type of a `Value`.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBoolean,
+  kInteger,  // 64-bit signed
+  kDouble,
+  kVarchar,
+  kXadt,  // encoded XADT bytes (see xadt/xadt.h)
+};
+
+std::string_view TypeName(TypeId t);
+
+/// A dynamically-typed SQL value. Strings and XADT payloads share the string
+/// storage; nulls are typed `kNull`.
+class Value {
+ public:
+  Value() : type_(TypeId::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = TypeId::kBoolean;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = TypeId::kInteger;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = TypeId::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value Varchar(std::string s) {
+    Value v;
+    v.type_ = TypeId::kVarchar;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Xadt(std::string bytes) {
+    Value v;
+    v.type_ = TypeId::kXadt;
+    v.str_ = std::move(bytes);
+    return v;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  bool AsBool() const { return int_ != 0; }
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return type_ == TypeId::kDouble ? double_ : static_cast<double>(int_);
+  }
+  /// VARCHAR text or raw XADT bytes.
+  const std::string& AsString() const { return str_; }
+  std::string&& TakeString() { return std::move(str_); }
+
+  /// Three-way comparison; requires comparable types (numeric/numeric or
+  /// same type). Nulls compare less than everything (used only for sorting).
+  int Compare(const Value& other) const;
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Hash consistent with Equals for join/group keys.
+  uint64_t Hash() const;
+
+  /// Display rendering ("NULL", integers, text; XADT as a size tag —
+  /// callers that want XML should decode via xadt::ToXmlString).
+  std::string ToString() const;
+
+ private:
+  TypeId type_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_VALUE_H_

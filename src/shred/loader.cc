@@ -1,0 +1,85 @@
+#include "shred/loader.h"
+
+#include "common/timer.h"
+#include "shred/shredder.h"
+
+namespace xorator::shred {
+
+ordb::TypeId EngineType(mapping::ColumnType type) {
+  switch (type) {
+    case mapping::ColumnType::kInteger:
+      return ordb::TypeId::kInteger;
+    case mapping::ColumnType::kVarchar:
+      return ordb::TypeId::kVarchar;
+    case mapping::ColumnType::kXadt:
+      return ordb::TypeId::kXadt;
+  }
+  return ordb::TypeId::kVarchar;
+}
+
+Status Loader::CreateTables() {
+  for (const mapping::TableSpec& table : schema_->tables) {
+    ordb::TableSchema schema;
+    for (const mapping::ColumnSpec& col : table.columns) {
+      schema.columns.push_back({col.name, EngineType(col.type)});
+    }
+    XO_RETURN_NOT_OK(db_->CreateTable(table.name, std::move(schema)));
+  }
+  return Status::OK();
+}
+
+Result<LoadReport> Loader::Load(const std::vector<const xml::Node*>& documents,
+                                const LoadOptions& options) {
+  LoadReport report;
+  // Decide the XADT representation by trial-shredding sample documents both
+  // ways and comparing total XADT bytes (the paper's 20% rule).
+  bool schema_has_xadt = false;
+  for (const mapping::TableSpec& t : schema_->tables) {
+    for (const mapping::ColumnSpec& c : t.columns) {
+      if (c.type == mapping::ColumnType::kXadt) schema_has_xadt = true;
+    }
+  }
+  bool compress = options.force_compression;
+  if (schema_has_xadt && !options.force_compression && !options.force_raw) {
+    size_t samples = std::min(options.sample_docs, documents.size());
+    uint64_t raw_bytes = 0;
+    uint64_t compressed_bytes = 0;
+    for (size_t pass = 0; pass < 2; ++pass) {
+      Shredder shredder(schema_, /*use_compression=*/pass == 1);
+      RowBatch batch;
+      for (size_t d = 0; d < samples; ++d) {
+        XO_RETURN_NOT_OK(shredder.Shred(*documents[d], &batch));
+      }
+      uint64_t bytes = 0;
+      for (const auto& [table, rows] : batch) {
+        for (const ordb::Tuple& row : rows) {
+          for (const ordb::Value& v : row) {
+            if (v.type() == ordb::TypeId::kXadt) bytes += v.AsString().size();
+          }
+        }
+      }
+      (pass == 0 ? raw_bytes : compressed_bytes) = bytes;
+    }
+    compress = raw_bytes > 0 &&
+               static_cast<double>(compressed_bytes) <=
+                   (1.0 - options.compression_threshold) *
+                       static_cast<double>(raw_bytes);
+  }
+  report.used_compression = compress;
+
+  Timer timer;
+  Shredder shredder(schema_, compress, options.use_directory);
+  for (const xml::Node* doc : documents) {
+    RowBatch batch;
+    XO_RETURN_NOT_OK(shredder.Shred(*doc, &batch));
+    for (auto& [table, rows] : batch) {
+      XO_RETURN_NOT_OK(db_->BulkInsert(table, rows));
+      report.tuples += rows.size();
+    }
+    ++report.documents;
+  }
+  report.load_millis = timer.ElapsedMillis();
+  return report;
+}
+
+}  // namespace xorator::shred

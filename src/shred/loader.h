@@ -1,0 +1,61 @@
+#ifndef XORATOR_SHRED_LOADER_H_
+#define XORATOR_SHRED_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mapping/schema.h"
+#include "ordb/database.h"
+#include "xml/dom.h"
+
+namespace xorator::shred {
+
+struct LoadOptions {
+  /// Pick the XADT representation by sampling (Section 4.1): compression is
+  /// used only when it saves at least `compression_threshold` on the first
+  /// `sample_docs` documents. Set `force_compression`/`force_raw` to skip
+  /// the sampling.
+  bool force_compression = false;
+  bool force_raw = false;
+  double compression_threshold = 0.2;
+  size_t sample_docs = 3;
+  /// Store XADT values with the top-level fragment directory (Section 5
+  /// metadata extension); speeds up order access at a few bytes per value.
+  bool use_directory = false;
+};
+
+struct LoadReport {
+  bool used_compression = false;
+  uint64_t documents = 0;
+  uint64_t tuples = 0;
+  /// Wall-clock milliseconds spent shredding + inserting.
+  double load_millis = 0;
+};
+
+/// Creates the tables of `schema` in `db` and loads `documents` through the
+/// Shredder.
+class Loader {
+ public:
+  Loader(ordb::Database* db, const mapping::MappedSchema* schema)
+      : db_(db), schema_(schema) {}
+
+  /// Creates one engine table per mapped table (idempotent failure if any
+  /// already exists).
+  Status CreateTables();
+
+  /// Shreds and bulk-inserts all documents; returns load statistics.
+  Result<LoadReport> Load(const std::vector<const xml::Node*>& documents,
+                          const LoadOptions& options = {});
+
+ private:
+  ordb::Database* db_;
+  const mapping::MappedSchema* schema_;
+};
+
+/// Maps a mapped-schema column type onto an engine type.
+ordb::TypeId EngineType(mapping::ColumnType type);
+
+}  // namespace xorator::shred
+
+#endif  // XORATOR_SHRED_LOADER_H_

@@ -1,0 +1,267 @@
+#include "shred/reconstruct.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "xadt/xadt.h"
+
+namespace xorator::shred {
+
+namespace {
+
+using mapping::ColumnRole;
+using mapping::ColumnSpec;
+using mapping::TableSpec;
+using ordb::Tuple;
+using ordb::Value;
+
+std::string PathKey(const std::vector<std::string>& path) {
+  return Join(path, "/");
+}
+
+/// Index of the column with the given role/path/attr, or -1.
+int FindColumn(const TableSpec& spec, ColumnRole role,
+               const std::string& path_key, const std::string& attr) {
+  for (size_t i = 0; i < spec.columns.size(); ++i) {
+    const ColumnSpec& col = spec.columns[i];
+    if (col.role != role) continue;
+    if (PathKey(col.path) != path_key) continue;
+    if (role == ColumnRole::kInlinedAttr && col.attr != attr) continue;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// True if any populated column sits at or below `path_key`.
+bool AnyColumnPopulated(const TableSpec& spec, const Tuple& row,
+                        const std::string& path_key) {
+  for (size_t i = 0; i < spec.columns.size(); ++i) {
+    const ColumnSpec& col = spec.columns[i];
+    if (col.role != ColumnRole::kInlinedValue &&
+        col.role != ColumnRole::kInlinedAttr &&
+        col.role != ColumnRole::kXadtFragment) {
+      continue;
+    }
+    std::string key = PathKey(col.path);
+    if (key != path_key &&
+        key.compare(0, path_key.size() + 1, path_key + "/") != 0) {
+      continue;
+    }
+    if (!row[i].is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Reconstructor::LoadTables() {
+  tables_.clear();
+  for (const TableSpec& spec : schema_->tables) {
+    LoadedTable table;
+    table.spec = &spec;
+    table.id_col = spec.RoleIndex(ColumnRole::kId);
+    table.parent_col = spec.RoleIndex(ColumnRole::kParentId);
+    table.code_col = spec.RoleIndex(ColumnRole::kParentCode);
+    table.order_col = spec.RoleIndex(ColumnRole::kChildOrder);
+    const ordb::TableInfo* info = db_->catalog()->FindTable(spec.name);
+    if (info == nullptr) {
+      return Status::NotFound("table '" + spec.name + "' is not loaded");
+    }
+    ordb::HeapFile::Scanner scanner = info->heap->Scan();
+    ordb::Rid rid;
+    std::string record;
+    while (true) {
+      XO_ASSIGN_OR_RETURN(bool ok, scanner.Next(&rid, &record));
+      if (!ok) break;
+      XO_ASSIGN_OR_RETURN(Tuple row, ordb::DecodeTuple(info->schema, record));
+      table.rows.push_back(std::move(row));
+    }
+    tables_.emplace(spec.element, std::move(table));
+  }
+  // Group children by parent and sort by childOrder.
+  for (auto& [element, table] : tables_) {
+    if (table.parent_col < 0) continue;
+    for (const Tuple& row : table.rows) {
+      std::string code = table.code_col >= 0 && !row[table.code_col].is_null()
+                             ? row[table.code_col].AsString()
+                             : "";
+      int64_t parent = row[table.parent_col].is_null()
+                           ? -1
+                           : row[table.parent_col].AsInt();
+      table.by_parent[{code, parent}].push_back(&row);
+    }
+    for (auto& [key, rows] : table.by_parent) {
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Tuple* a, const Tuple* b) {
+                         if (table.order_col < 0) return false;
+                         return (*a)[table.order_col].AsInt() <
+                                (*b)[table.order_col].AsInt();
+                       });
+    }
+  }
+  return Status::OK();
+}
+
+Status Reconstructor::BuildInlined(const LoadedTable& table, const Tuple& row,
+                                   const std::string& child_name,
+                                   const std::vector<std::string>& path,
+                                   dtdgraph::Occurrence occurrence,
+                                   xml::Node* parent) {
+  const TableSpec& spec = *table.spec;
+  std::string key = PathKey(path);
+
+  // An XADT column stores the child element(s) verbatim.
+  int xadt_col = FindColumn(spec, ColumnRole::kXadtFragment, key, "");
+  if (xadt_col >= 0) {
+    if (row[xadt_col].is_null()) return Status::OK();
+    XO_ASSIGN_OR_RETURN(auto fragment, xadt::Decode(row[xadt_col].AsString()));
+    for (const auto& child : fragment->children()) {
+      parent->AddChild(child->Clone());
+    }
+    return Status::OK();
+  }
+
+  const dtdgraph::SimplifiedElement* decl = dtd_->Find(child_name);
+  if (decl == nullptr) {
+    return Status::NotFound("element '" + child_name + "' not in DTD");
+  }
+  int value_col = FindColumn(spec, ColumnRole::kInlinedValue, key, "");
+  bool mandatory = occurrence == dtdgraph::Occurrence::kOne;
+  if (!mandatory && !AnyColumnPopulated(spec, row, key)) {
+    return Status::OK();
+  }
+  auto elem = xml::Node::Element(child_name);
+  for (const std::string& attr : decl->attributes) {
+    int attr_col = FindColumn(spec, ColumnRole::kInlinedAttr, key, attr);
+    if (attr_col >= 0 && !row[attr_col].is_null()) {
+      elem->AddAttribute(attr, row[attr_col].AsString());
+    }
+  }
+  if (value_col >= 0 && !row[value_col].is_null() &&
+      !row[value_col].AsString().empty()) {
+    elem->AddChild(xml::Node::Text(row[value_col].AsString()));
+  }
+  xml::Node* raw = parent->AddChild(std::move(elem));
+  // Deeper inlined descendants (Hybrid's path-prefixed columns).
+  for (const dtdgraph::ChildSpec& grand : decl->children) {
+    if (schema_->IsRelationElement(grand.name)) {
+      // A relation child of an inlined element: its tuples point at the
+      // hosting relation's id (rare; recursive DTD shapes).
+      continue;
+    }
+    std::vector<std::string> sub_path = path;
+    sub_path.push_back(grand.name);
+    XO_RETURN_NOT_OK(
+        BuildInlined(table, row, grand.name, sub_path, grand.occurrence, raw));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<xml::Node>> Reconstructor::BuildElement(
+    const LoadedTable& table, const Tuple& row) {
+  const TableSpec& spec = *table.spec;
+  const dtdgraph::SimplifiedElement* decl = dtd_->Find(spec.element);
+  if (decl == nullptr) {
+    return Status::NotFound("element '" + spec.element + "' not in DTD");
+  }
+  auto elem = xml::Node::Element(spec.element);
+  // Attributes of the relation element itself (empty path).
+  for (const std::string& attr : decl->attributes) {
+    int attr_col = FindColumn(spec, ColumnRole::kInlinedAttr, "", attr);
+    if (attr_col >= 0 && !row[attr_col].is_null()) {
+      elem->AddAttribute(attr, row[attr_col].AsString());
+    }
+  }
+  // PCDATA of the element itself.
+  int value_col = spec.RoleIndex(ColumnRole::kValue);
+  if (value_col >= 0 && !row[value_col].is_null() &&
+      !row[value_col].AsString().empty()) {
+    elem->AddChild(xml::Node::Text(row[value_col].AsString()));
+  }
+  int64_t id = row[table.id_col].AsInt();
+  for (const dtdgraph::ChildSpec& child : decl->children) {
+    if (schema_->IsRelationElement(child.name)) {
+      auto child_table = tables_.find(child.name);
+      if (child_table == tables_.end()) continue;
+      const LoadedTable& ct = child_table->second;
+      // Child rows point back via (parentCODE?, parentID).
+      std::string code =
+          ct.code_col >= 0 ? spec.element : "";
+      auto rows = ct.by_parent.find({code, id});
+      if (rows == ct.by_parent.end()) continue;
+      for (const Tuple* child_row : rows->second) {
+        XO_ASSIGN_OR_RETURN(auto child_elem, BuildElement(ct, *child_row));
+        elem->AddChild(std::move(child_elem));
+      }
+      continue;
+    }
+    XO_RETURN_NOT_OK(BuildInlined(table, row, child.name, {child.name},
+                                  child.occurrence, elem.get()));
+  }
+  return elem;
+}
+
+Result<std::vector<std::unique_ptr<xml::Node>>>
+Reconstructor::ReconstructAll() {
+  XO_RETURN_NOT_OK(LoadTables());
+  // Roots: relation elements whose tables have no parentID column.
+  std::vector<std::unique_ptr<xml::Node>> out;
+  for (const TableSpec& spec : schema_->tables) {
+    const LoadedTable& table = tables_.at(spec.element);
+    if (table.parent_col >= 0) continue;
+    std::vector<const Tuple*> roots;
+    for (const Tuple& row : table.rows) roots.push_back(&row);
+    std::stable_sort(roots.begin(), roots.end(),
+                     [&](const Tuple* a, const Tuple* b) {
+                       return (*a)[table.id_col].AsInt() <
+                              (*b)[table.id_col].AsInt();
+                     });
+    for (const Tuple* row : roots) {
+      XO_ASSIGN_OR_RETURN(auto doc, BuildElement(table, *row));
+      out.push_back(std::move(doc));
+    }
+  }
+  return out;
+}
+
+bool EquivalentModuloInterleave(const xml::Node& a, const xml::Node& b) {
+  if (a.name() != b.name()) return false;
+  if (a.attributes().size() != b.attributes().size()) return false;
+  for (const xml::Attribute& attr : a.attributes()) {
+    const std::string* other = b.FindAttribute(attr.name);
+    if (other == nullptr || *other != attr.value) return false;
+  }
+  // Direct text, whitespace-insensitively concatenated.
+  auto direct_text = [](const xml::Node& n) {
+    std::string out;
+    for (const auto& c : n.children()) {
+      if (c->is_text()) out += c->text();
+    }
+    return std::string(StripWhitespace(out));
+  };
+  if (direct_text(a) != direct_text(b)) return false;
+  // Per-tag child sequences.
+  std::map<std::string, std::vector<const xml::Node*>> a_children;
+  std::map<std::string, std::vector<const xml::Node*>> b_children;
+  for (const xml::Node* c : a.ChildElements()) {
+    a_children[c->name()].push_back(c);
+  }
+  for (const xml::Node* c : b.ChildElements()) {
+    b_children[c->name()].push_back(c);
+  }
+  if (a_children.size() != b_children.size()) return false;
+  for (const auto& [tag, seq] : a_children) {
+    auto other = b_children.find(tag);
+    if (other == b_children.end() || other->second.size() != seq.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (!EquivalentModuloInterleave(*seq[i], *other->second[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace xorator::shred

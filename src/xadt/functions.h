@@ -1,0 +1,24 @@
+#ifndef XORATOR_XADT_FUNCTIONS_H_
+#define XORATOR_XADT_FUNCTIONS_H_
+
+#include "common/result.h"
+#include "ordb/functions.h"
+
+namespace xorator::xadt {
+
+/// Registers the paper's XADT methods with an engine function registry:
+///
+///   getElm(xadt, rootElm, searchElm, searchKey [, level]) -> XADT
+///   findKeyInElm(xadt, searchElm, searchKey)              -> INTEGER (0/1)
+///   getElmIndex(xadt, parentElm, childElm, start, end)    -> XADT
+///   xadtToXml(xadt)                                       -> VARCHAR
+///   xadtText(xadt)                                        -> VARCHAR
+///   table function unnest(xadt, tag) -> (out VARCHAR, frag XADT)
+///
+/// All are registered as UDFs (is_udf = true) and therefore pay the UDF
+/// marshaling dispatch, exactly as the paper's DB2 implementation does.
+Status RegisterXadtFunctions(ordb::FunctionRegistry* registry);
+
+}  // namespace xorator::xadt
+
+#endif  // XORATOR_XADT_FUNCTIONS_H_

@@ -1,0 +1,101 @@
+#ifndef XORATOR_XADT_SCANNER_H_
+#define XORATOR_XADT_SCANNER_H_
+
+#include <string>
+#include <vector>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xorator::xadt {
+
+/// A pull-based event scanner over an encoded XADT value (either
+/// representation), used by the XADT methods to evaluate path/keyword/order
+/// predicates without materializing a DOM — the streaming equivalent of the
+/// paper's C-string implementation.
+///
+/// Events carry byte offsets into the encoded value so that matched
+/// fragments can be emitted by copying the original byte range:
+///   * a kStart event's `offset` is the first byte of the element
+///     (the '<' in the raw form, the start opcode in the compressed form);
+///   * a kEnd event's `end_offset` is one past the last byte of the element.
+/// Self-closing raw elements produce a kStart immediately followed by a
+/// kEnd.
+class FragmentScanner {
+ public:
+  enum class EventKind { kStart, kEnd, kText, kEof };
+
+  struct Event {
+    EventKind kind = EventKind::kEof;
+    /// Element name (valid until the next call) for kStart/kEnd.
+    std::string_view name;
+    /// Decoded character data for kText.
+    std::string_view text;
+    /// Byte offset of the event start (kStart) in the encoded value.
+    size_t offset = 0;
+    /// One past the last byte (kEnd).
+    size_t end_offset = 0;
+  };
+
+  /// `bytes` must outlive the scanner. Accepts all three representations
+  /// (raw, compressed, and the directory-prefixed form, whose directory is
+  /// parsed into top_offsets()).
+  static Result<FragmentScanner> Create(std::string_view bytes);
+
+  Result<Event> Next();
+
+  bool compressed() const { return compressed_; }
+
+  /// True when the value carries a top-level fragment directory
+  /// (the 'D' representation, the paper's Section 5 metadata extension).
+  bool has_directory() const { return has_directory_; }
+
+  /// Absolute (start, end) byte ranges of the top-level fragments, from the
+  /// directory; empty unless has_directory().
+  const std::vector<std::pair<size_t, size_t>>& top_ranges() const {
+    return top_ranges_;
+  }
+
+  /// Element name of the start event at `offset` (which must be the first
+  /// byte of an element in this value), without advancing the scanner.
+  Result<std::string_view> NameAt(size_t offset) const;
+
+  /// Offset where the token/markup stream begins (after the marker byte
+  /// and, for the compressed form, the dictionary).
+  size_t content_begin() const { return content_begin_; }
+
+  /// The dictionary prefix of a compressed value ('C' + dictionary), usable
+  /// verbatim as the header of a sliced output value.
+  std::string_view header() const {
+    return bytes_.substr(payload_base_, content_begin_ - payload_base_);
+  }
+
+ private:
+  explicit FragmentScanner(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<Event> NextRaw();
+  Result<Event> NextCompressed();
+  Status ParseDictionary(size_t dict_begin);
+
+  std::string_view bytes_;
+  bool compressed_ = false;
+  bool has_directory_ = false;
+  /// First byte of the embedded payload ('R'/'C' marker) for the directory
+  /// form; 0 otherwise.
+  size_t payload_base_ = 0;
+  std::vector<std::pair<size_t, size_t>> top_ranges_;
+  size_t content_begin_ = 1;
+  size_t pos_ = 0;
+  // Raw form: stack of open element names (string_views into bytes_);
+  // compressed form: stack of dictionary ids.
+  std::vector<std::string_view> open_;
+  std::vector<std::string> dict_;
+  // Scratch for decoded entity text and synthesized end events.
+  std::string text_scratch_;
+  bool pending_self_close_ = false;
+  size_t pending_end_offset_ = 0;
+};
+
+}  // namespace xorator::xadt
+
+#endif  // XORATOR_XADT_SCANNER_H_

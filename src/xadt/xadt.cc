@@ -1,0 +1,522 @@
+#include "xadt/xadt.h"
+
+#include "xadt/scanner.h"
+
+#include <functional>
+#include <map>
+
+#include "common/str_util.h"
+#include "common/varint.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xorator::xadt {
+
+namespace {
+
+constexpr char kRawMarker = 'R';
+constexpr char kCompressedMarker = 'C';
+constexpr char kDirectoryMarker = 'D';
+
+// Token opcodes of the compressed representation.
+constexpr uint8_t kTokStart = 0x01;
+constexpr uint8_t kTokEnd = 0x02;
+constexpr uint8_t kTokText = 0x03;
+
+void CollectNames(const xml::Node& node,
+                  std::map<std::string, uint64_t>* dict,
+                  std::vector<std::string>* names) {
+  auto intern = [&](const std::string& name) {
+    if (dict->emplace(name, names->size()).second) names->push_back(name);
+  };
+  if (node.is_element()) {
+    intern(node.name());
+    for (const xml::Attribute& a : node.attributes()) intern(a.name);
+    for (const auto& c : node.children()) CollectNames(*c, dict, names);
+  }
+}
+
+void EncodeNode(const xml::Node& node,
+                const std::map<std::string, uint64_t>& dict,
+                std::string* out) {
+  if (node.is_text()) {
+    out->push_back(static_cast<char>(kTokText));
+    PutVarint(out, node.text().size());
+    out->append(node.text());
+    return;
+  }
+  out->push_back(static_cast<char>(kTokStart));
+  PutVarint(out, dict.at(node.name()));
+  PutVarint(out, node.attributes().size());
+  for (const xml::Attribute& a : node.attributes()) {
+    PutVarint(out, dict.at(a.name));
+    PutVarint(out, a.value.size());
+    out->append(a.value);
+  }
+  for (const auto& c : node.children()) EncodeNode(*c, dict, out);
+  out->push_back(static_cast<char>(kTokEnd));
+}
+
+Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
+  size_t pos = 1;
+  XO_ASSIGN_OR_RETURN(uint64_t name_count, GetVarint(bytes, &pos));
+  if (name_count > bytes.size() - pos) {
+    return Status::ParseError("XADT dictionary count exceeds value size");
+  }
+  std::vector<std::string> names;
+  names.reserve(name_count);
+  for (uint64_t i = 0; i < name_count; ++i) {
+    XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
+    if (pos + len > bytes.size()) {
+      return Status::ParseError("truncated XADT dictionary");
+    }
+    names.emplace_back(bytes.substr(pos, len));
+    pos += len;
+  }
+  auto root = xml::Node::Element("#fragment");
+  std::vector<xml::Node*> stack = {root.get()};
+  while (pos < bytes.size()) {
+    uint8_t op = static_cast<uint8_t>(bytes[pos++]);
+    switch (op) {
+      case kTokStart: {
+        XO_ASSIGN_OR_RETURN(uint64_t tag, GetVarint(bytes, &pos));
+        if (tag >= names.size()) {
+          return Status::ParseError("XADT tag id out of range");
+        }
+        auto elem = xml::Node::Element(names[tag]);
+        XO_ASSIGN_OR_RETURN(uint64_t nattrs, GetVarint(bytes, &pos));
+        for (uint64_t i = 0; i < nattrs; ++i) {
+          XO_ASSIGN_OR_RETURN(uint64_t name_id, GetVarint(bytes, &pos));
+          XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
+          if (name_id >= names.size() || pos + len > bytes.size()) {
+            return Status::ParseError("bad XADT attribute token");
+          }
+          elem->AddAttribute(names[name_id],
+                             std::string(bytes.substr(pos, len)));
+          pos += len;
+        }
+        xml::Node* raw = stack.back()->AddChild(std::move(elem));
+        stack.push_back(raw);
+        break;
+      }
+      case kTokEnd:
+        if (stack.size() <= 1) {
+          return Status::ParseError("unbalanced XADT end token");
+        }
+        stack.pop_back();
+        break;
+      case kTokText: {
+        XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
+        if (pos + len > bytes.size()) {
+          return Status::ParseError("truncated XADT text token");
+        }
+        stack.back()->AddChild(
+            xml::Node::Text(std::string(bytes.substr(pos, len))));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::ParseError("unknown XADT token opcode");
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::ParseError("unbalanced XADT start token");
+  }
+  return root;
+}
+
+}  // namespace
+
+namespace {
+
+/// Strips a directory prefix, returning the embedded 'R'/'C' payload (the
+/// input itself when no directory is present). Malformed directories yield
+/// an empty view, which downstream decoding rejects.
+std::string_view StripDirectory(std::string_view bytes) {
+  if (bytes.empty() || bytes[0] != kDirectoryMarker) return bytes;
+  size_t pos = 1;
+  auto count = GetVarint(bytes, &pos);
+  if (!count.ok()) return std::string_view();
+  for (uint64_t i = 0; i < *count; ++i) {
+    if (!GetVarint(bytes, &pos).ok() || !GetVarint(bytes, &pos).ok()) {
+      return std::string_view();
+    }
+  }
+  return bytes.substr(pos);
+}
+
+}  // namespace
+
+bool IsCompressed(std::string_view bytes) {
+  std::string_view payload = StripDirectory(bytes);
+  return !payload.empty() && payload[0] == kCompressedMarker;
+}
+
+bool HasDirectory(std::string_view bytes) {
+  return !bytes.empty() && bytes[0] == kDirectoryMarker;
+}
+
+std::string EncodeRaw(const std::vector<const xml::Node*>& fragments) {
+  std::string out(1, kRawMarker);
+  for (const xml::Node* f : fragments) xml::SerializeTo(*f, &out);
+  return out;
+}
+
+std::string EncodeCompressed(const std::vector<const xml::Node*>& fragments) {
+  std::map<std::string, uint64_t> dict;
+  std::vector<std::string> names;
+  for (const xml::Node* f : fragments) CollectNames(*f, &dict, &names);
+  std::string out(1, kCompressedMarker);
+  PutVarint(&out, names.size());
+  for (const std::string& n : names) {
+    PutVarint(&out, n.size());
+    out.append(n);
+  }
+  for (const xml::Node* f : fragments) EncodeNode(*f, dict, &out);
+  return out;
+}
+
+std::string Encode(const std::vector<const xml::Node*>& fragments,
+                   bool compressed) {
+  return compressed ? EncodeCompressed(fragments) : EncodeRaw(fragments);
+}
+
+std::string EncodeWithDirectory(const std::vector<const xml::Node*>& fragments,
+                                bool compressed) {
+  std::string payload = Encode(fragments, compressed);
+  // Locate the (start, length) of every top-level fragment in the payload.
+  std::vector<std::pair<size_t, size_t>> ranges;
+  auto scanner = FragmentScanner::Create(payload);
+  if (scanner.ok()) {
+    size_t depth = 0;
+    size_t open_offset = 0;
+    while (true) {
+      auto event = scanner->Next();
+      if (!event.ok() || event->kind == FragmentScanner::EventKind::kEof) {
+        break;
+      }
+      if (event->kind == FragmentScanner::EventKind::kStart) {
+        if (depth == 0) open_offset = event->offset;
+        ++depth;
+      } else if (event->kind == FragmentScanner::EventKind::kEnd) {
+        --depth;
+        if (depth == 0) {
+          ranges.emplace_back(open_offset, event->end_offset - open_offset);
+        }
+      }
+    }
+  }
+  std::string out(1, kDirectoryMarker);
+  PutVarint(&out, ranges.size());
+  for (const auto& [start, len] : ranges) {
+    PutVarint(&out, start);
+    PutVarint(&out, len);
+  }
+  out += payload;
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> Decode(std::string_view bytes) {
+  bytes = StripDirectory(bytes);
+  if (bytes.empty()) return xml::Node::Element("#fragment");
+  if (bytes[0] == kRawMarker) {
+    return xml::ParseFragment(bytes.substr(1));
+  }
+  if (bytes[0] == kCompressedMarker) {
+    return DecodeCompressed(bytes);
+  }
+  return Status::ParseError("unknown XADT representation marker");
+}
+
+Result<std::string> ToXmlString(std::string_view bytes) {
+  bytes = StripDirectory(bytes);
+  if (bytes.empty()) return std::string();
+  if (bytes[0] == kRawMarker) return std::string(bytes.substr(1));
+  XO_ASSIGN_OR_RETURN(auto root, Decode(bytes));
+  std::string out;
+  xml::SerializeTo(*root, &out);
+  return out;
+}
+
+Result<std::string> TextContent(std::string_view bytes) {
+  XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(bytes));
+  std::string out;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+    if (event.kind == FragmentScanner::EventKind::kEof) return out;
+    if (event.kind == FragmentScanner::EventKind::kText) {
+      out.append(event.text);
+    }
+  }
+}
+
+void CompressionAdvisor::AddSample(
+    const std::vector<const xml::Node*>& fragments) {
+  raw_bytes_ += EncodeRaw(fragments).size();
+  compressed_bytes_ += EncodeCompressed(fragments).size();
+}
+
+bool CompressionAdvisor::UseCompression() const {
+  if (raw_bytes_ == 0) return false;
+  double saving = 1.0 - static_cast<double>(compressed_bytes_) /
+                            static_cast<double>(raw_bytes_);
+  return saving >= min_saving_;
+}
+
+Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
+                           std::string_view search_elm,
+                           std::string_view search_key, int level) {
+  if (root_elm.empty()) {
+    return Status::InvalidArgument("getElm: rootElm must not be empty");
+  }
+  XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  std::string out(scanner.header());
+  if (out.empty()) out.push_back(kRawMarker);
+
+  struct Candidate {
+    size_t start_offset;
+    size_t depth;
+    bool matched;
+  };
+  struct SearchFrame {
+    size_t depth;
+    std::string text;
+  };
+  std::vector<Candidate> candidates;  // open rootElm elements (stack)
+  std::vector<SearchFrame> searches;  // open searchElm elements (stack)
+  size_t depth = 0;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+    switch (event.kind) {
+      case FragmentScanner::EventKind::kEof:
+        if (depth != 0) {
+          return Status::ParseError("unbalanced XADT fragment");
+        }
+        return out;
+      case FragmentScanner::EventKind::kStart:
+        if (event.name == root_elm) {
+          candidates.push_back({event.offset, depth, search_elm.empty()});
+        }
+        if (!search_elm.empty() && event.name == search_elm) {
+          searches.push_back({depth, {}});
+        }
+        ++depth;
+        break;
+      case FragmentScanner::EventKind::kText:
+        for (SearchFrame& f : searches) f.text.append(event.text);
+        break;
+      case FragmentScanner::EventKind::kEnd: {
+        --depth;
+        if (!searches.empty() && searches.back().depth == depth) {
+          // A searchElm subtree closed: on a key match, mark every open
+          // candidate within `level` levels above it.
+          SearchFrame frame = std::move(searches.back());
+          searches.pop_back();
+          if (search_key.empty() || Contains(frame.text, search_key)) {
+            for (Candidate& c : candidates) {
+              if (level <= 0 ||
+                  depth - c.depth <= static_cast<size_t>(level)) {
+                c.matched = true;
+              }
+            }
+          }
+        }
+        if (!candidates.empty() && candidates.back().depth == depth) {
+          Candidate c = candidates.back();
+          candidates.pop_back();
+          if (c.matched) {
+            out.append(in.substr(c.start_offset,
+                                 event.end_offset - c.start_offset));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
+                             std::string_view search_key) {
+  if (search_elm.empty() && search_key.empty()) {
+    return Status::InvalidArgument(
+        "findKeyInElm: searchElm and searchKey cannot both be empty");
+  }
+  XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  if (search_elm.empty()) {
+    // Key against the content of any element: a sliding window over the
+    // concatenated character data.
+    std::string window;
+    while (true) {
+      XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+      if (event.kind == FragmentScanner::EventKind::kEof) return 0;
+      if (event.kind != FragmentScanner::EventKind::kText) continue;
+      window.append(event.text);
+      if (Contains(window, search_key)) return 1;
+      if (window.size() >= search_key.size()) {
+        window.erase(0, window.size() - (search_key.size() - 1));
+      }
+    }
+  }
+  struct SearchFrame {
+    size_t depth;
+    std::string text;
+  };
+  std::vector<SearchFrame> searches;
+  size_t depth = 0;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+    switch (event.kind) {
+      case FragmentScanner::EventKind::kEof:
+        return 0;
+      case FragmentScanner::EventKind::kStart:
+        if (event.name == search_elm) {
+          if (search_key.empty()) return 1;
+          searches.push_back({depth, {}});
+        }
+        ++depth;
+        break;
+      case FragmentScanner::EventKind::kText:
+        for (SearchFrame& f : searches) {
+          f.text.append(event.text);
+          // Early exit as soon as any tracked element matches.
+          if (Contains(f.text, search_key)) return 1;
+        }
+        break;
+      case FragmentScanner::EventKind::kEnd:
+        --depth;
+        if (!searches.empty() && searches.back().depth == depth) {
+          searches.pop_back();
+        }
+        break;
+    }
+  }
+}
+
+Result<std::string> GetElmIndex(std::string_view in,
+                                std::string_view parent_elm,
+                                std::string_view child_elm, int start_pos,
+                                int end_pos) {
+  if (child_elm.empty()) {
+    return Status::InvalidArgument("getElmIndex: childElm must not be empty");
+  }
+  XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  std::string out(scanner.header());
+  if (out.empty()) out.push_back(kRawMarker);
+
+  if (parent_elm.empty() && scanner.has_directory()) {
+    // Directory fast path: the fragment roots are indexed, so the
+    // requested positions are sliced without scanning fragment bodies.
+    int count = 0;
+    for (const auto& [start, end] : scanner.top_ranges()) {
+      XO_ASSIGN_OR_RETURN(std::string_view name, scanner.NameAt(start));
+      if (name != child_elm) continue;
+      ++count;
+      if (count >= start_pos && count <= end_pos) {
+        out.append(in.substr(start, end - start));
+      }
+      if (count >= end_pos) break;
+    }
+    return out;
+  }
+
+  struct Frame {
+    std::string_view name;
+    int child_count = 0;  // direct children named child_elm so far
+  };
+  struct Capture {
+    size_t start_offset;
+    size_t depth;
+  };
+  std::vector<Frame> frames = {{std::string_view("#root"), 0}};
+  std::vector<Capture> captures;
+  size_t depth = 0;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+    switch (event.kind) {
+      case FragmentScanner::EventKind::kEof:
+        return out;
+      case FragmentScanner::EventKind::kStart: {
+        Frame& parent = frames.back();
+        if (event.name == child_elm) {
+          bool parent_ok = parent_elm.empty()
+                               ? frames.size() == 1
+                               : parent.name == parent_elm;
+          if (parent_elm.empty() || parent.name == parent_elm) {
+            ++parent.child_count;
+          }
+          if (parent_ok && parent.child_count >= start_pos &&
+              parent.child_count <= end_pos) {
+            captures.push_back({event.offset, depth});
+          }
+        }
+        frames.push_back({event.name, 0});
+        ++depth;
+        break;
+      }
+      case FragmentScanner::EventKind::kText:
+        break;
+      case FragmentScanner::EventKind::kEnd:
+        --depth;
+        frames.pop_back();
+        if (!captures.empty() && captures.back().depth == depth) {
+          Capture c = captures.back();
+          captures.pop_back();
+          out.append(
+              in.substr(c.start_offset, event.end_offset - c.start_offset));
+        }
+        break;
+    }
+  }
+}
+
+Result<std::vector<std::string>> Unnest(std::string_view in,
+                                        std::string_view tag) {
+  XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  std::string_view header = scanner.header();
+  std::string prefix =
+      header.empty() ? std::string(1, kRawMarker) : std::string(header);
+  std::vector<std::string> out;
+  if (tag.empty() && scanner.has_directory()) {
+    // Directory fast path: slice the indexed fragment roots directly.
+    for (const auto& [start, end] : scanner.top_ranges()) {
+      std::string value = prefix;
+      value.append(in.substr(start, end - start));
+      out.push_back(std::move(value));
+    }
+    return out;
+  }
+  struct Capture {
+    size_t start_offset;
+    size_t depth;
+  };
+  std::vector<Capture> captures;
+  size_t depth = 0;
+  while (true) {
+    XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
+    switch (event.kind) {
+      case FragmentScanner::EventKind::kEof:
+        return out;
+      case FragmentScanner::EventKind::kStart:
+        if (tag.empty() ? depth == 0 : event.name == tag) {
+          captures.push_back({event.offset, depth});
+        }
+        ++depth;
+        break;
+      case FragmentScanner::EventKind::kText:
+        break;
+      case FragmentScanner::EventKind::kEnd:
+        --depth;
+        if (!captures.empty() && captures.back().depth == depth) {
+          Capture c = captures.back();
+          captures.pop_back();
+          std::string value = prefix;
+          value.append(
+              in.substr(c.start_offset, event.end_offset - c.start_offset));
+          out.push_back(std::move(value));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace xorator::xadt

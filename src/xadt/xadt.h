@@ -1,0 +1,124 @@
+#ifndef XORATOR_XADT_XADT_H_
+#define XORATOR_XADT_XADT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xorator::xadt {
+
+/// The XADT value encoding (Section 3.4.1 of the paper).
+///
+/// An XADT value stores a *fragment*: an ordered forest of XML subtrees
+/// (e.g. every LINE child of one SPEECH). Two on-disk representations exist:
+///
+///   * raw ('R'): the tagged XML text of the fragments, concatenated;
+///   * compressed ('C'): an XMill-inspired form in which element/attribute
+///     names are replaced by integer codes, with a per-value dictionary
+///     mapping codes back to names.
+///
+/// The first byte of the encoded value selects the representation. All
+/// methods accept either representation and produce their output in the same
+/// representation as their input.
+
+/// True if `bytes` holds the compressed representation (looking through a
+/// directory prefix when present).
+bool IsCompressed(std::string_view bytes);
+
+/// True if `bytes` carries the directory-prefixed representation.
+bool HasDirectory(std::string_view bytes);
+
+/// Encodes `fragments` (subtree roots; borrowed) in the raw representation.
+std::string EncodeRaw(const std::vector<const xml::Node*>& fragments);
+
+/// Encodes `fragments` in the compressed (tag-dictionary) representation.
+std::string EncodeCompressed(const std::vector<const xml::Node*>& fragments);
+
+/// Encodes with the representation chosen by `compressed`.
+std::string Encode(const std::vector<const xml::Node*>& fragments,
+                   bool compressed);
+
+/// The paper's Section 5 metadata extension: prefixes the encoded value
+/// with a directory of (offset, length) pairs, one per top-level fragment,
+/// so order-access methods (getElmIndex with an empty parentElm, unnest of
+/// the fragment roots) can slice fragments without scanning their bodies.
+/// All XADT methods accept this representation transparently.
+std::string EncodeWithDirectory(const std::vector<const xml::Node*>& fragments,
+                                bool compressed);
+
+/// Decodes an XADT value into a DOM forest under a synthetic `#fragment`
+/// root node.
+Result<std::unique_ptr<xml::Node>> Decode(std::string_view bytes);
+
+/// Renders an XADT value back to XML text (no enclosing root).
+Result<std::string> ToXmlString(std::string_view bytes);
+
+/// Concatenated text content of all fragments.
+Result<std::string> TextContent(std::string_view bytes);
+
+/// Decides between the two representations by trial-encoding sample
+/// fragments: compression is chosen only when it saves at least
+/// `min_saving` (the paper uses 20%) of the raw size (Section 4.1).
+class CompressionAdvisor {
+ public:
+  explicit CompressionAdvisor(double min_saving = 0.2)
+      : min_saving_(min_saving) {}
+
+  /// Accounts one sample fragment forest.
+  void AddSample(const std::vector<const xml::Node*>& fragments);
+
+  size_t raw_bytes() const { return raw_bytes_; }
+  size_t compressed_bytes() const { return compressed_bytes_; }
+
+  /// True if enough saving was observed over the samples so far.
+  bool UseCompression() const;
+
+ private:
+  double min_saving_;
+  size_t raw_bytes_ = 0;
+  size_t compressed_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// XADT methods (Section 3.4.2). These mirror the UDFs the paper registered
+// with DB2 and are registered as UDFs with the ordb engine by
+// RegisterXadtFunctions() in xadt/functions.h.
+// ---------------------------------------------------------------------------
+
+/// Returns all `root_elm` elements (searched descendant-or-self across the
+/// fragments) that contain a `search_elm` descendant within `level` levels
+/// (level <= 0: any depth) whose text content contains `search_key`.
+/// Per the paper: an empty `search_key` only requires `search_elm` to exist;
+/// an empty `search_elm` returns all `root_elm` elements.
+Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
+                           std::string_view search_elm,
+                           std::string_view search_key, int level = 0);
+
+/// Returns 1 if some `search_elm` element's text contains `search_key`
+/// (empty `search_elm`: any element; empty `search_key`: existence test).
+/// Both arguments empty is an error.
+Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
+                             std::string_view search_key);
+
+/// Returns all `child_elm` elements that are direct children of
+/// `parent_elm` elements with 1-based same-tag sibling position in
+/// [start_pos, end_pos]. An empty `parent_elm` treats `child_elm` as the
+/// fragment roots. `child_elm` must not be empty.
+Result<std::string> GetElmIndex(std::string_view in,
+                                std::string_view parent_elm,
+                                std::string_view child_elm, int start_pos,
+                                int end_pos);
+
+/// Splits the value into one single-element XADT per `tag` element
+/// (descendant-or-self; empty `tag`: every top-level fragment). This backs
+/// the table UDF `unnest` of Section 3.5.
+Result<std::vector<std::string>> Unnest(std::string_view in,
+                                        std::string_view tag);
+
+}  // namespace xorator::xadt
+
+#endif  // XORATOR_XADT_XADT_H_

@@ -1,0 +1,70 @@
+#include "xml/dom.h"
+
+namespace xorator::xml {
+
+const std::string* Node::FindAttribute(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddElementWithText(std::string name, std::string text) {
+  auto elem = Node::Element(std::move(name));
+  if (!text.empty()) elem->AddChild(Node::Text(std::move(text)));
+  return AddChild(std::move(elem));
+}
+
+const Node* Node::FirstChildElement(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::ChildElements() const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::ChildElements(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::TextContent() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    out += c->TextContent();
+  }
+  return out;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  std::unique_ptr<Node> copy;
+  if (is_text()) {
+    copy = Node::Text(text_);
+  } else {
+    copy = Node::Element(name_);
+    copy->attributes_ = attributes_;
+    for (const auto& c : children_) {
+      copy->AddChild(c->Clone());
+    }
+  }
+  return copy;
+}
+
+}  // namespace xorator::xml

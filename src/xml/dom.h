@@ -1,0 +1,104 @@
+#ifndef XORATOR_XML_DOM_H_
+#define XORATOR_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xorator::xml {
+
+/// One attribute on an element node.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A node in a parsed XML document tree.
+///
+/// Only element and text nodes are materialized; comments, processing
+/// instructions and the DOCTYPE declaration are consumed by the parser.
+/// Nodes own their children; parent links are non-owning back-pointers.
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  static std::unique_ptr<Node> Element(std::string name) {
+    auto n = std::unique_ptr<Node>(new Node(Kind::kElement));
+    n->name_ = std::move(name);
+    return n;
+  }
+  static std::unique_ptr<Node> Text(std::string text) {
+    auto n = std::unique_ptr<Node>(new Node(Kind::kText));
+    n->text_ = std::move(text);
+    return n;
+  }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Element tag name; empty for text nodes.
+  const std::string& name() const { return name_; }
+  /// Text content; empty for element nodes.
+  const std::string& text() const { return text_; }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  Node* parent() const { return parent_; }
+
+  /// Appends `child` and fixes its parent pointer. Returns the raw pointer
+  /// for chaining.
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Convenience: appends `<name>text</name>`.
+  Node* AddElementWithText(std::string name, std::string text);
+
+  /// First child element with the given tag name, or nullptr.
+  const Node* FirstChildElement(std::string_view name) const;
+
+  /// All child elements (skipping text nodes).
+  std::vector<const Node*> ChildElements() const;
+
+  /// Child elements with the given tag name, in document order.
+  std::vector<const Node*> ChildElements(std::string_view name) const;
+
+  /// Concatenation of all descendant text (the XPath string-value).
+  std::string TextContent() const;
+
+  /// Deep copy of this subtree (parent of the copy is null).
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+  Node* parent_ = nullptr;
+};
+
+/// A parsed document: the root element plus the raw DOCTYPE internal subset
+/// (if any), which the DTD parser can consume.
+struct Document {
+  std::unique_ptr<Node> root;
+  std::string doctype_name;
+  std::string internal_subset;
+};
+
+}  // namespace xorator::xml
+
+#endif  // XORATOR_XML_DOM_H_

@@ -1,0 +1,484 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <set>
+
+namespace xorator::xml {
+
+char OccurrenceSuffix(Occurrence occ) {
+  switch (occ) {
+    case Occurrence::kOne:
+      return '\0';
+    case Occurrence::kOptional:
+      return '?';
+    case Occurrence::kStar:
+      return '*';
+    case Occurrence::kPlus:
+      return '+';
+  }
+  return '\0';
+}
+
+std::unique_ptr<ContentParticle> ContentParticle::ElementRef(std::string name,
+                                                             Occurrence occ) {
+  auto p = std::make_unique<ContentParticle>();
+  p->kind = Kind::kElementRef;
+  p->name = std::move(name);
+  p->occurrence = occ;
+  return p;
+}
+
+std::unique_ptr<ContentParticle> ContentParticle::PCData() {
+  auto p = std::make_unique<ContentParticle>();
+  p->kind = Kind::kPCData;
+  return p;
+}
+
+std::unique_ptr<ContentParticle> ContentParticle::Group(Kind kind,
+                                                        Occurrence occ) {
+  auto p = std::make_unique<ContentParticle>();
+  p->kind = kind;
+  p->occurrence = occ;
+  return p;
+}
+
+std::unique_ptr<ContentParticle> ContentParticle::Clone() const {
+  auto p = std::make_unique<ContentParticle>();
+  p->kind = kind;
+  p->occurrence = occurrence;
+  p->name = name;
+  for (const auto& c : children) p->children.push_back(c->Clone());
+  return p;
+}
+
+std::string ContentParticle::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kElementRef:
+      out = name;
+      break;
+    case Kind::kPCData:
+      out = "#PCDATA";
+      break;
+    case Kind::kSequence:
+    case Kind::kChoice: {
+      out = "(";
+      const char* sep = kind == Kind::kSequence ? "," : "|";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+  }
+  char suffix = OccurrenceSuffix(occurrence);
+  if (suffix != '\0') out.push_back(suffix);
+  return out;
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+ElementDecl* Dtd::FindMutable(std::string_view name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Status Dtd::Add(std::unique_ptr<ElementDecl> decl) {
+  if (by_name_.count(decl->name) != 0) {
+    return Status::AlreadyExists("element '" + decl->name +
+                                 "' declared twice");
+  }
+  by_name_.emplace(decl->name, decl.get());
+  elements_.push_back(std::move(decl));
+  return Status::OK();
+}
+
+namespace {
+
+void CollectRefs(const ContentParticle& p, std::set<std::string>* out) {
+  if (p.kind == ContentParticle::Kind::kElementRef) out->insert(p.name);
+  for (const auto& c : p.children) CollectRefs(*c, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Dtd::UndeclaredReferences() const {
+  std::set<std::string> refs;
+  for (const auto& e : elements_) {
+    if (e->content != nullptr) CollectRefs(*e->content, &refs);
+  }
+  std::vector<std::string> out;
+  for (const std::string& r : refs) {
+    if (by_name_.count(r) == 0) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> Dtd::RootCandidates() const {
+  std::set<std::string> refs;
+  for (const auto& e : elements_) {
+    if (e->content != nullptr) CollectRefs(*e->content, &refs);
+  }
+  std::vector<std::string> out;
+  for (const auto& e : elements_) {
+    if (refs.count(e->name) == 0) out.push_back(e->name);
+  }
+  return out;
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const auto& e : elements_) {
+    out += "<!ELEMENT " + e->name + " ";
+    switch (e->content_kind) {
+      case ContentKind::kEmpty:
+        out += "EMPTY";
+        break;
+      case ContentKind::kAny:
+        out += "ANY";
+        break;
+      case ContentKind::kChildren:
+      case ContentKind::kMixed:
+        out += e->content->ToString();
+        break;
+    }
+    out += ">\n";
+    if (!e->attributes.empty()) {
+      out += "<!ATTLIST " + e->name;
+      for (const AttributeDecl& a : e->attributes) {
+        out += " " + a.name + " " + a.type + " " + a.default_decl;
+      }
+      out += ">\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+/// Cursor-based parser for DTD declarations.
+class DtdParser {
+ public:
+  explicit DtdParser(std::string input) : input_(std::move(input)) {}
+
+  Result<Dtd> Parse() {
+    Dtd dtd;
+    // Attlists may precede their element declaration; buffer them.
+    std::vector<std::pair<std::string, std::vector<AttributeDecl>>> attlists;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= input_.size()) break;
+      if (Consume("<!ELEMENT")) {
+        XO_ASSIGN_OR_RETURN(auto decl, ParseElementDecl());
+        XO_RETURN_NOT_OK(dtd.Add(std::move(decl)));
+      } else if (Consume("<!ATTLIST")) {
+        XO_ASSIGN_OR_RETURN(auto attlist, ParseAttlist());
+        attlists.push_back(std::move(attlist));
+      } else if (Consume("<!ENTITY")) {
+        // Parameter entities were pre-expanded; general entities skipped.
+        XO_RETURN_NOT_OK(SkipUntil('>'));
+      } else if (Consume("<!NOTATION")) {
+        XO_RETURN_NOT_OK(SkipUntil('>'));
+      } else {
+        return Status::ParseError(
+            "unexpected content in DTD near position " + std::to_string(pos_));
+      }
+    }
+    for (auto& [elem, attrs] : attlists) {
+      ElementDecl* decl = dtd.FindMutable(elem);
+      if (decl == nullptr) {
+        return Status::ParseError("<!ATTLIST " + elem +
+                                  "> refers to undeclared element");
+      }
+      for (AttributeDecl& a : attrs) decl->attributes.push_back(std::move(a));
+    }
+    return dtd;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      SkipWhitespace();
+      if (input_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = end == std::string::npos ? input_.size() : end + 3;
+      } else if (pos_ < input_.size() && input_[pos_] == '%') {
+        // An unexpanded parameter-entity reference (undefined entity):
+        // tolerate and skip it, as real-world DTDs reference external
+        // entities we do not fetch.
+        size_t semi = input_.find(';', pos_);
+        pos_ = semi == std::string::npos ? input_.size() : semi + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status SkipUntil(char c) {
+    size_t found = input_.find(c, pos_);
+    if (found == std::string::npos) {
+      return Status::ParseError("unterminated DTD declaration");
+    }
+    pos_ = found + 1;
+    return Status::OK();
+  }
+
+  Result<std::string> ParseName() {
+    SkipWhitespace();
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError("expected name in DTD at position " +
+                                std::to_string(pos_));
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  Occurrence ParseOccurrence() {
+    if (pos_ < input_.size()) {
+      switch (input_[pos_]) {
+        case '?':
+          ++pos_;
+          return Occurrence::kOptional;
+        case '*':
+          ++pos_;
+          return Occurrence::kStar;
+        case '+':
+          ++pos_;
+          return Occurrence::kPlus;
+        default:
+          break;
+      }
+    }
+    return Occurrence::kOne;
+  }
+
+  Result<std::unique_ptr<ElementDecl>> ParseElementDecl() {
+    auto decl = std::make_unique<ElementDecl>();
+    XO_ASSIGN_OR_RETURN(decl->name, ParseName());
+    SkipWhitespace();
+    if (Consume("EMPTY")) {
+      decl->content_kind = ContentKind::kEmpty;
+    } else if (Consume("ANY")) {
+      decl->content_kind = ContentKind::kAny;
+    } else {
+      XO_ASSIGN_OR_RETURN(decl->content, ParseParticle());
+      decl->content_kind =
+          ContainsPCData(*decl->content) ? ContentKind::kMixed
+                                         : ContentKind::kChildren;
+    }
+    SkipWhitespace();
+    if (!Consume(">")) {
+      return Status::ParseError("expected '>' after <!ELEMENT " + decl->name);
+    }
+    return decl;
+  }
+
+  static bool ContainsPCData(const ContentParticle& p) {
+    if (p.kind == ContentParticle::Kind::kPCData) return true;
+    for (const auto& c : p.children) {
+      if (ContainsPCData(*c)) return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<ContentParticle>> ParseParticle() {
+    SkipWhitespace();
+    if (Consume("(")) {
+      std::vector<std::unique_ptr<ContentParticle>> items;
+      char sep = '\0';
+      while (true) {
+        XO_ASSIGN_OR_RETURN(auto item, ParseParticle());
+        items.push_back(std::move(item));
+        SkipWhitespace();
+        if (Consume(")")) break;
+        char c = pos_ < input_.size() ? input_[pos_] : '\0';
+        if (c != ',' && c != '|') {
+          return Status::ParseError("expected ',' or '|' in content model");
+        }
+        if (sep != '\0' && sep != c) {
+          return Status::ParseError(
+              "mixed ',' and '|' at one level of a content model");
+        }
+        sep = c;
+        ++pos_;
+      }
+      auto group = ContentParticle::Group(
+          sep == '|' ? ContentParticle::Kind::kChoice
+                     : ContentParticle::Kind::kSequence,
+          Occurrence::kOne);
+      group->children = std::move(items);
+      group->occurrence = ParseOccurrence();
+      // Unwrap single-child sequences that carry no extra occurrence.
+      if (group->children.size() == 1 &&
+          group->occurrence == Occurrence::kOne) {
+        return std::move(group->children[0]);
+      }
+      return group;
+    }
+    if (Consume("#PCDATA")) {
+      return ContentParticle::PCData();
+    }
+    XO_ASSIGN_OR_RETURN(std::string name, ParseName());
+    Occurrence occ = ParseOccurrence();
+    return ContentParticle::ElementRef(std::move(name), occ);
+  }
+
+  Result<std::pair<std::string, std::vector<AttributeDecl>>> ParseAttlist() {
+    XO_ASSIGN_OR_RETURN(std::string elem, ParseName());
+    std::vector<AttributeDecl> attrs;
+    while (true) {
+      SkipWhitespace();
+      if (Consume(">")) break;
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated <!ATTLIST " + elem);
+      }
+      if (input_[pos_] == '%') {
+        // Undefined parameter-entity reference inside an ATTLIST (e.g. an
+        // external %Xlink; we did not fetch): tolerate and skip it.
+        XO_RETURN_NOT_OK(SkipUntil(';'));
+        continue;
+      }
+      AttributeDecl attr;
+      XO_ASSIGN_OR_RETURN(attr.name, ParseName());
+      SkipWhitespace();
+      // Type: an enumeration "(a|b|c)" or a keyword such as CDATA/ID/NMTOKEN.
+      if (pos_ < input_.size() && input_[pos_] == '(') {
+        size_t close = input_.find(')', pos_);
+        if (close == std::string::npos) {
+          return Status::ParseError("unterminated enumeration in ATTLIST");
+        }
+        attr.type = input_.substr(pos_, close - pos_ + 1);
+        pos_ = close + 1;
+      } else {
+        XO_ASSIGN_OR_RETURN(attr.type, ParseName());
+      }
+      SkipWhitespace();
+      // Default: #REQUIRED | #IMPLIED | [#FIXED] "literal".
+      if (Consume("#REQUIRED")) {
+        attr.default_decl = "#REQUIRED";
+      } else if (Consume("#IMPLIED")) {
+        attr.default_decl = "#IMPLIED";
+      } else {
+        if (Consume("#FIXED")) {
+          attr.default_decl = "#FIXED ";
+          SkipWhitespace();
+        }
+        if (pos_ < input_.size() &&
+            (input_[pos_] == '"' || input_[pos_] == '\'')) {
+          char quote = input_[pos_++];
+          size_t end = input_.find(quote, pos_);
+          if (end == std::string::npos) {
+            return Status::ParseError("unterminated attribute default");
+          }
+          attr.default_decl += input_.substr(pos_, end - pos_);
+          pos_ = end + 1;
+        } else {
+          return Status::ParseError("expected attribute default in ATTLIST " +
+                                    elem);
+        }
+      }
+      attrs.push_back(std::move(attr));
+    }
+    return std::make_pair(std::move(elem), std::move(attrs));
+  }
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+/// Expands `%name;` parameter-entity references given `<!ENTITY % name "...">`
+/// declarations found in the same text. Declarations are kept (the parser
+/// skips them); undefined references are left for the parser to tolerate.
+std::string ExpandParameterEntities(std::string_view input) {
+  std::map<std::string, std::string> entities;
+  // First pass: collect declarations.
+  size_t pos = 0;
+  while (true) {
+    size_t decl = input.find("<!ENTITY", pos);
+    if (decl == std::string_view::npos) break;
+    size_t p = decl + 8;
+    while (p < input.size() && std::isspace(static_cast<unsigned char>(input[p]))) ++p;
+    if (p >= input.size() || input[p] != '%') {
+      pos = decl + 8;
+      continue;
+    }
+    ++p;
+    while (p < input.size() && std::isspace(static_cast<unsigned char>(input[p]))) ++p;
+    size_t name_start = p;
+    while (p < input.size() && IsNameChar(input[p])) ++p;
+    std::string name(input.substr(name_start, p - name_start));
+    while (p < input.size() && std::isspace(static_cast<unsigned char>(input[p]))) ++p;
+    if (p < input.size() && (input[p] == '"' || input[p] == '\'')) {
+      char quote = input[p++];
+      size_t end = input.find(quote, p);
+      if (end != std::string_view::npos) {
+        entities[name] = std::string(input.substr(p, end - p));
+      }
+    }
+    pos = decl + 8;
+  }
+  if (entities.empty()) return std::string(input);
+  // Second pass: expand references repeatedly (entities may nest), with an
+  // iteration cap to break reference cycles.
+  std::string text(input);
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size();) {
+      if (text[i] == '%') {
+        size_t j = i + 1;
+        size_t name_start = j;
+        while (j < text.size() && IsNameChar(text[j])) ++j;
+        if (j < text.size() && text[j] == ';' && j > name_start) {
+          std::string name = text.substr(name_start, j - name_start);
+          auto it = entities.find(name);
+          if (it != entities.end()) {
+            out += it->second;
+            i = j + 1;
+            changed = true;
+            continue;
+          }
+        }
+      }
+      out.push_back(text[i++]);
+    }
+    text = std::move(out);
+    if (!changed) break;
+  }
+  return text;
+}
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view input) {
+  DtdParser parser(ExpandParameterEntities(input));
+  return parser.Parse();
+}
+
+}  // namespace xorator::xml

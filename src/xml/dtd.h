@@ -1,0 +1,120 @@
+#ifndef XORATOR_XML_DTD_H_
+#define XORATOR_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xorator::xml {
+
+/// How often a content particle may occur.
+enum class Occurrence {
+  kOne,       // e
+  kOptional,  // e?
+  kStar,      // e*
+  kPlus,      // e+
+};
+
+char OccurrenceSuffix(Occurrence occ);
+
+/// A node in a DTD content model expression.
+///
+/// `(a, (b | c)*, d?)` parses to a kSequence particle with three children.
+struct ContentParticle {
+  enum class Kind {
+    kElementRef,  // a child element name
+    kPCData,      // #PCDATA
+    kSequence,    // (p1, p2, ...)
+    kChoice,      // (p1 | p2 | ...)
+  };
+
+  Kind kind = Kind::kElementRef;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;  // for kElementRef
+  std::vector<std::unique_ptr<ContentParticle>> children;
+
+  static std::unique_ptr<ContentParticle> ElementRef(std::string name,
+                                                     Occurrence occ);
+  static std::unique_ptr<ContentParticle> PCData();
+  static std::unique_ptr<ContentParticle> Group(Kind kind, Occurrence occ);
+
+  std::unique_ptr<ContentParticle> Clone() const;
+
+  /// Renders the particle back to DTD syntax, e.g. "(TITLE,SUBTITLE*)".
+  std::string ToString() const;
+};
+
+/// Content category of an element declaration.
+enum class ContentKind {
+  kEmpty,     // <!ELEMENT e EMPTY>
+  kAny,       // <!ELEMENT e ANY>
+  kChildren,  // element content: a particle without #PCDATA
+  kMixed,     // (#PCDATA | a | b)* or (#PCDATA)
+};
+
+/// One <!ATTLIST> attribute definition (type/default are informational; the
+/// mapping layer treats all attributes as optional strings).
+struct AttributeDecl {
+  std::string name;
+  std::string type;           // e.g. "CDATA", "ID", enumeration text
+  std::string default_decl;   // e.g. "#IMPLIED", "#REQUIRED", a literal
+};
+
+/// One <!ELEMENT> declaration.
+struct ElementDecl {
+  std::string name;
+  ContentKind content_kind = ContentKind::kChildren;
+  std::unique_ptr<ContentParticle> content;  // null for EMPTY/ANY
+  std::vector<AttributeDecl> attributes;     // merged from <!ATTLIST>
+
+  bool has_pcdata() const { return content_kind == ContentKind::kMixed; }
+};
+
+/// A parsed DTD: element declarations in document order.
+class Dtd {
+ public:
+  Dtd() = default;
+  Dtd(Dtd&&) = default;
+  Dtd& operator=(Dtd&&) = default;
+
+  /// Declaration order as written, which the mapping layer uses for
+  /// deterministic column ordering.
+  const std::vector<std::unique_ptr<ElementDecl>>& elements() const {
+    return elements_;
+  }
+
+  const ElementDecl* Find(std::string_view name) const;
+  ElementDecl* FindMutable(std::string_view name);
+
+  /// Adds a declaration; fails if the element was already declared.
+  Status Add(std::unique_ptr<ElementDecl> decl);
+
+  /// Elements that are referenced by some content model but never declared.
+  std::vector<std::string> UndeclaredReferences() const;
+
+  /// Root candidates: declared elements never referenced by another
+  /// declared element's content model.
+  std::vector<std::string> RootCandidates() const;
+
+  /// Renders all declarations back to DTD syntax.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<ElementDecl>> elements_;
+  std::map<std::string, ElementDecl*, std::less<>> by_name_;
+};
+
+/// Parses the element/attlist/entity declarations of a DTD (an internal
+/// subset or a standalone .dtd file). Parameter entities declared as
+/// `<!ENTITY % name "text">` are textually expanded at `%name;` references
+/// before declaration parsing, which is how real DTDs such as the SIGMOD
+/// Proceedings DTD use them.
+Result<Dtd> ParseDtd(std::string_view input);
+
+}  // namespace xorator::xml
+
+#endif  // XORATOR_XML_DTD_H_

@@ -1,0 +1,41 @@
+#ifndef XORATOR_XML_PARSER_H_
+#define XORATOR_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xorator::xml {
+
+/// Options controlling document parsing.
+struct ParseOptions {
+  /// When true, text nodes consisting solely of whitespace between elements
+  /// are dropped (the usual choice for data-oriented XML).
+  bool strip_whitespace_text = true;
+};
+
+/// Parses an XML 1.0 document (the subset used by data-oriented XML):
+/// elements, attributes, character data, CDATA sections, comments,
+/// processing instructions, the five predefined entities, decimal and hex
+/// character references, and a DOCTYPE declaration whose internal subset is
+/// captured verbatim into `Document::internal_subset`.
+///
+/// Well-formedness violations produce a ParseError with a line/column
+/// position.
+Result<Document> ParseDocument(std::string_view input,
+                               const ParseOptions& options = {});
+
+/// Parses a *fragment*: a sequence of sibling elements/text with no single
+/// root, e.g. "<speaker>s1</speaker><speaker>s2</speaker>". Returned under a
+/// synthetic root element named `#fragment`.
+Result<std::unique_ptr<Node>> ParseFragment(std::string_view input,
+                                            const ParseOptions& options = {});
+
+/// Expands the five predefined entities and character references in
+/// attribute values / character data. Exposed for tests.
+Result<std::string> DecodeEntities(std::string_view raw);
+
+}  // namespace xorator::xml
+
+#endif  // XORATOR_XML_PARSER_H_

@@ -1,0 +1,89 @@
+#ifndef XORATOR_XPATH_XPATH_H_
+#define XORATOR_XPATH_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dtdgraph/simplify.h"
+#include "mapping/schema.h"
+
+namespace xorator::xpath {
+
+/// A predicate inside a path step.
+struct Predicate {
+  enum class Kind {
+    kContainsSelf,   // [contains(., 'key')]
+    kContainsChild,  // [contains(Child, 'key')]
+    kPosition,       // [position() = n]
+  };
+  Kind kind = Kind::kContainsSelf;
+  std::string child;  // for kContainsChild
+  std::string key;    // for the contains forms
+  int position = 0;   // for kPosition
+
+  std::string ToString() const;
+};
+
+/// One step of a path expression.
+struct Step {
+  bool descendant = false;  // '//' instead of '/'
+  std::string name;
+  std::vector<Predicate> predicates;
+};
+
+/// A parsed path expression such as
+///   /PLAY/ACT/SCENE/SPEECH[contains(SPEAKER,'ROMEO')]//LINE[contains(.,'love')]
+struct PathExpr {
+  std::vector<Step> steps;
+
+  std::string ToString() const;
+};
+
+/// Parses the XPath subset used by the translator:
+///   path       := step+
+///   step       := ('/' | '//') Name predicate*
+///   predicate  := '[' 'contains' '(' ('.' | Name) ',' string ')' ']'
+///               | '[' 'position' '(' ')' '=' number ']'
+Result<PathExpr> ParsePath(std::string_view input);
+
+/// What the generated SQL should return.
+enum class OutputMode {
+  kCount,  // SELECT COUNT(*) AS n  — number of selected elements
+  kText,   // one row per selected element with its text content
+};
+
+/// Compiles path expressions to SQL against a mapped schema — the
+/// XML-query-to-SQL rewriting the paper defers to XPERANTO/Shimura et al.
+/// The same path produces join-based SQL on a Hybrid-family schema and
+/// getElm/unnest-based SQL on an XORator-family schema.
+///
+/// Supported subset (anything else returns InvalidArgument):
+///   * the first step names a document root (child) or any relation
+///     element (descendant, '//');
+///   * subsequent child steps follow the DTD one level at a time;
+///   * '//' below the first step is allowed once the path has entered an
+///     XADT fragment (where getElm searches descendants natively);
+///   * predicates as in ParsePath. `position()` uses childOrder on
+///     relations and getElmIndex inside fragments.
+///
+/// Caveat (shared with the paper's hand-written SQL, e.g. QE1): a
+/// contains(Child,...) predicate over a *relation* child is implemented as
+/// a join, so an element with several matching children appears once per
+/// match.
+class Translator {
+ public:
+  Translator(const mapping::MappedSchema* schema,
+             const dtdgraph::SimplifiedDtd* dtd)
+      : schema_(schema), dtd_(dtd) {}
+
+  Result<std::string> ToSql(const PathExpr& path, OutputMode mode) const;
+
+ private:
+  const mapping::MappedSchema* schema_;
+  const dtdgraph::SimplifiedDtd* dtd_;
+};
+
+}  // namespace xorator::xpath
+
+#endif  // XORATOR_XPATH_XPATH_H_

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "benchutil/benchutil.h"
+#include "benchutil/workload.h"
+#include "ordb/sql.h"
+
+namespace xorator::benchutil {
+namespace {
+
+TEST(TimingTest, MedianOfMiddleAverages) {
+  int calls = 0;
+  auto ms = TimeMedianOfMiddle(
+      [&]() {
+        ++calls;
+        return Status::OK();
+      },
+      5);
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(*ms, 0.0);
+}
+
+TEST(TimingTest, PropagatesFailure) {
+  auto ms = TimeMedianOfMiddle([]() { return Status::Internal("boom"); }, 3);
+  EXPECT_FALSE(ms.ok());
+  EXPECT_FALSE(TimeMedianOfMiddle([]() { return Status::OK(); }, 0).ok());
+}
+
+TEST(TimingTest, SingleRunWorks) {
+  auto ms = TimeMedianOfMiddle([]() { return Status::OK(); }, 1);
+  ASSERT_TRUE(ms.ok());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long header"});
+  table.AddRow({"value-one", "x"});
+  table.AddRow({"v", "y"});
+  std::string out = table.ToString();
+  // Header row, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| a         | long header |"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("| value-one | x           |"), std::string::npos)
+      << out;
+}
+
+TEST(FormatTest, Numbers) {
+  EXPECT_EQ(Fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Fmt(10.0, 0), "10");
+  EXPECT_EQ(FmtBytes(512), "0.5 KB");
+  EXPECT_EQ(FmtBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(WorkloadTest, AllPaperQueriesParse) {
+  // Every stored query must at least parse under the SQL front end.
+  auto check = [](const std::vector<PaperQuery>& queries) {
+    for (const PaperQuery& q : queries) {
+      auto hybrid = ordb::sql::ParseSql(q.hybrid_sql);
+      EXPECT_TRUE(hybrid.ok()) << q.id << " hybrid: "
+                               << hybrid.status().ToString();
+      auto xorator = ordb::sql::ParseSql(q.xorator_sql);
+      EXPECT_TRUE(xorator.ok()) << q.id << " xorator: "
+                                << xorator.status().ToString();
+    }
+  };
+  check(ShakespeareQueries());
+  check(SigmodQueries());
+  check(UdfOverheadQueries());
+  EXPECT_EQ(ShakespeareQueries().size(), 6u);
+  EXPECT_EQ(SigmodQueries().size(), 6u);
+  EXPECT_EQ(UdfOverheadQueries().size(), 2u);
+}
+
+TEST(WorkloadTest, QueryIdsMatchPaperNaming) {
+  for (size_t i = 0; i < ShakespeareQueries().size(); ++i) {
+    EXPECT_EQ(ShakespeareQueries()[i].id, "QS" + std::to_string(i + 1));
+  }
+  for (size_t i = 0; i < SigmodQueries().size(); ++i) {
+    EXPECT_EQ(SigmodQueries()[i].id, "QG" + std::to_string(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace xorator::benchutil

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "datagen/dtds.h"
+#include "datagen/generators.h"
+#include "dtdgraph/simplify.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xorator::datagen {
+namespace {
+
+// A light conformance checker: every element in the document must be
+// declared, and its child element names must be allowed by the simplified
+// content model (with One/Optional/Star multiplicity respected).
+void CheckConforms(const xml::Node& elem, const dtdgraph::SimplifiedDtd& dtd,
+                   int* checked) {
+  const dtdgraph::SimplifiedElement* decl = dtd.Find(elem.name());
+  ASSERT_NE(decl, nullptr) << "undeclared element " << elem.name();
+  ++*checked;
+  std::map<std::string, int> counts;
+  for (const xml::Node* child : elem.ChildElements()) {
+    counts[child->name()]++;
+  }
+  std::map<std::string, xml::Occurrence> allowed;
+  for (const auto& spec : decl->children) {
+    allowed[spec.name] = spec.occurrence;
+  }
+  for (const auto& [name, count] : counts) {
+    auto it = allowed.find(name);
+    ASSERT_NE(it, allowed.end())
+        << elem.name() << " has unexpected child " << name;
+    if (it->second != xml::Occurrence::kStar) {
+      EXPECT_LE(count, 1) << elem.name() << "/" << name;
+    }
+  }
+  for (const auto& c : elem.children()) {
+    if (c->is_element()) CheckConforms(*c, dtd, checked);
+  }
+}
+
+void CheckCorpusConforms(const char* dtd_text,
+                         const std::vector<std::unique_ptr<xml::Node>>& docs) {
+  auto dtd = xml::ParseDtd(dtd_text);
+  ASSERT_TRUE(dtd.ok());
+  auto simplified = dtdgraph::Simplify(*dtd);
+  ASSERT_TRUE(simplified.ok());
+  int checked = 0;
+  for (const auto& doc : docs) {
+    CheckConforms(*doc, *simplified, &checked);
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(ShakespeareGeneratorTest, Deterministic) {
+  ShakespeareOptions opts;
+  opts.plays = 2;
+  ShakespeareGenerator gen1(opts);
+  ShakespeareGenerator gen2(opts);
+  EXPECT_EQ(xml::Serialize(*gen1.GeneratePlay(1)),
+            xml::Serialize(*gen2.GeneratePlay(1)));
+  opts.seed = 43;
+  ShakespeareGenerator gen3(opts);
+  EXPECT_NE(xml::Serialize(*gen1.GeneratePlay(1)),
+            xml::Serialize(*gen3.GeneratePlay(1)));
+}
+
+TEST(ShakespeareGeneratorTest, ConformsToDtd) {
+  ShakespeareOptions opts;
+  opts.plays = 3;
+  CheckCorpusConforms(kShakespeareDtd, ShakespeareGenerator(opts).GenerateCorpus());
+}
+
+TEST(ShakespeareGeneratorTest, QueryKeywordsPresent) {
+  ShakespeareOptions opts;
+  opts.plays = 6;
+  auto corpus = ShakespeareGenerator(opts).GenerateCorpus();
+  std::string all;
+  for (const auto& doc : corpus) all += xml::Serialize(*doc);
+  EXPECT_NE(all.find("Romeo and Juliet"), std::string::npos);
+  EXPECT_NE(all.find("<SPEAKER>ROMEO</SPEAKER>"), std::string::npos);
+  EXPECT_NE(all.find("friend"), std::string::npos);
+  EXPECT_NE(all.find("love"), std::string::npos);
+  EXPECT_NE(all.find("Rising"), std::string::npos);
+  EXPECT_NE(all.find("<STAGEDIR>"), std::string::npos);
+  EXPECT_NE(all.find("<PROLOGUE>"), std::string::npos);
+}
+
+TEST(ShakespeareGeneratorTest, ParsesBack) {
+  ShakespeareOptions opts;
+  opts.plays = 1;
+  auto corpus = ShakespeareGenerator(opts).GenerateCorpus();
+  std::string text = xml::Serialize(*corpus[0]);
+  auto doc = xml::ParseDocument(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(xml::Serialize(*doc->root), text);
+}
+
+TEST(SigmodGeneratorTest, ConformsToDtd) {
+  SigmodOptions opts;
+  opts.documents = 20;
+  CheckCorpusConforms(kSigmodDtd, SigmodGenerator(opts).GenerateCorpus());
+}
+
+TEST(SigmodGeneratorTest, KeywordsAndAttributes) {
+  SigmodOptions opts;
+  opts.documents = 300;
+  auto corpus = SigmodGenerator(opts).GenerateCorpus();
+  std::string all;
+  for (const auto& doc : corpus) all += xml::Serialize(*doc);
+  EXPECT_NE(all.find("Join"), std::string::npos);
+  EXPECT_NE(all.find("Worthy"), std::string::npos);
+  EXPECT_NE(all.find("Bird"), std::string::npos);
+  EXPECT_NE(all.find("AuthorPosition=\"2\""), std::string::npos);
+  EXPECT_NE(all.find("SectionPosition"), std::string::npos);
+  EXPECT_NE(all.find("href"), std::string::npos);
+}
+
+TEST(SigmodGeneratorTest, SecondAuthorsExist) {
+  SigmodOptions opts;
+  opts.documents = 50;
+  auto corpus = SigmodGenerator(opts).GenerateCorpus();
+  int multi_author = 0;
+  std::function<void(const xml::Node&)> walk = [&](const xml::Node& n) {
+    if (n.name() == "authors" && n.ChildElements("author").size() >= 2) {
+      ++multi_author;
+    }
+    for (const auto& c : n.children()) {
+      if (c->is_element()) walk(*c);
+    }
+  };
+  for (const auto& doc : corpus) walk(*doc);
+  EXPECT_GT(multi_author, 10);
+}
+
+TEST(CorpusBytesTest, ScalesRoughlyLinearly) {
+  ShakespeareOptions small;
+  small.plays = 2;
+  ShakespeareOptions large;
+  large.plays = 8;
+  uint64_t small_bytes =
+      CorpusBytes(ShakespeareGenerator(small).GenerateCorpus());
+  uint64_t large_bytes =
+      CorpusBytes(ShakespeareGenerator(large).GenerateCorpus());
+  EXPECT_GT(small_bytes, 10000u);
+  EXPECT_GT(large_bytes, small_bytes * 2);
+}
+
+TEST(RandomDocGeneratorTest, ConformsForAllSeeds) {
+  auto dtd = xml::ParseDtd(kSigmodDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto simplified = dtdgraph::Simplify(*dtd);
+  ASSERT_TRUE(simplified.ok());
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    RandomDocOptions opts;
+    opts.seed = seed;
+    RandomDocGenerator gen(&*dtd, opts);
+    auto doc = gen.Generate("PP");
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    int checked = 0;
+    CheckConforms(**doc, *simplified, &checked);
+    EXPECT_GT(checked, 0);
+  }
+}
+
+TEST(RandomDocGeneratorTest, RecursiveDtdTerminates) {
+  auto dtd = xml::ParseDtd(
+      "<!ELEMENT part (name, part*)> <!ELEMENT name (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  RandomDocOptions opts;
+  opts.seed = 3;
+  opts.max_repeat = 2;
+  opts.max_depth = 6;
+  RandomDocGenerator gen(&*dtd, opts);
+  auto doc = gen.Generate("part");
+  ASSERT_TRUE(doc.ok());
+  // Depth is bounded by max_depth.
+  std::function<int(const xml::Node&)> depth = [&](const xml::Node& n) {
+    int best = 0;
+    for (const auto& c : n.children()) {
+      if (c->is_element()) best = std::max(best, 1 + depth(*c));
+    }
+    return best;
+  };
+  EXPECT_LE(depth(**doc), opts.max_depth + 1);
+}
+
+TEST(RandomDocGeneratorTest, UndeclaredRootRejected) {
+  auto dtd = xml::ParseDtd("<!ELEMENT a (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  RandomDocGenerator gen(&*dtd, {});
+  EXPECT_FALSE(gen.Generate("nope").ok());
+}
+
+}  // namespace
+}  // namespace xorator::datagen

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dtds.h"
+#include "dtdgraph/simplify.h"
+#include "xml/dtd.h"
+
+namespace xorator {
+namespace {
+
+using xml::ContentKind;
+using xml::Dtd;
+using xml::ElementDecl;
+using xml::Occurrence;
+using xml::ParseDtd;
+
+TEST(DtdParserTest, SimpleElementDecl) {
+  auto dtd = ParseDtd("<!ELEMENT a (b, c?)> <!ELEMENT b (#PCDATA)> "
+                      "<!ELEMENT c EMPTY>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const ElementDecl* a = dtd->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->content_kind, ContentKind::kChildren);
+  EXPECT_EQ(a->content->ToString(), "(b,c?)");
+  EXPECT_EQ(dtd->Find("b")->content_kind, ContentKind::kMixed);
+  EXPECT_EQ(dtd->Find("c")->content_kind, ContentKind::kEmpty);
+}
+
+TEST(DtdParserTest, OccurrenceOperators) {
+  auto dtd = ParseDtd("<!ELEMENT a (b?, c*, d+, e)> <!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>"
+                      "<!ELEMENT e (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("a")->content->ToString(), "(b?,c*,d+,e)");
+}
+
+TEST(DtdParserTest, ChoiceAndNesting) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT a (b, (c | d)*, (e, f)+)> <!ELEMENT b (#PCDATA)>"
+      "<!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>"
+      "<!ELEMENT e (#PCDATA)> <!ELEMENT f (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("a")->content->ToString(), "(b,(c|d)*,(e,f)+)");
+}
+
+TEST(DtdParserTest, MixedContent) {
+  auto dtd = ParseDtd("<!ELEMENT line (#PCDATA | stagedir)*>"
+                      "<!ELEMENT stagedir (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("line")->content_kind, ContentKind::kMixed);
+}
+
+TEST(DtdParserTest, MixedSeparatorsRejected) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b, c | d)>").ok());
+}
+
+TEST(DtdParserTest, DuplicateDeclRejected) {
+  EXPECT_FALSE(
+      ParseDtd("<!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>").ok());
+}
+
+TEST(DtdParserTest, Attlist) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT author (#PCDATA)>"
+      "<!ATTLIST author AuthorPosition CDATA #IMPLIED id ID #REQUIRED>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const ElementDecl* author = dtd->Find("author");
+  ASSERT_EQ(author->attributes.size(), 2u);
+  EXPECT_EQ(author->attributes[0].name, "AuthorPosition");
+  EXPECT_EQ(author->attributes[0].default_decl, "#IMPLIED");
+  EXPECT_EQ(author->attributes[1].name, "id");
+  EXPECT_EQ(author->attributes[1].default_decl, "#REQUIRED");
+}
+
+TEST(DtdParserTest, AttlistBeforeElement) {
+  auto dtd = ParseDtd(
+      "<!ATTLIST t k CDATA #IMPLIED> <!ELEMENT t (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("t")->attributes.size(), 1u);
+}
+
+TEST(DtdParserTest, ParameterEntityExpansion) {
+  auto dtd = ParseDtd(
+      "<!ENTITY % Xlink \"href CDATA #IMPLIED\">"
+      "<!ELEMENT idx (#PCDATA)>"
+      "<!ATTLIST idx %Xlink;>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  ASSERT_EQ(dtd->Find("idx")->attributes.size(), 1u);
+  EXPECT_EQ(dtd->Find("idx")->attributes[0].name, "href");
+}
+
+TEST(DtdParserTest, PaperDtdsParse) {
+  for (const char* text : {datagen::kPlaysDtd, datagen::kShakespeareDtd,
+                           datagen::kSigmodDtd}) {
+    auto dtd = ParseDtd(text);
+    ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+    EXPECT_TRUE(dtd->UndeclaredReferences().empty());
+    ASSERT_EQ(dtd->RootCandidates().size(), 1u);
+  }
+}
+
+TEST(DtdParserTest, RootCandidates) {
+  auto dtd = ParseDtd(datagen::kSigmodDtd);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->RootCandidates()[0], "PP");
+}
+
+// ---------------------------------------------------------- simplification
+
+using dtdgraph::Simplify;
+
+const dtdgraph::SimplifiedElement& Get(const dtdgraph::SimplifiedDtd& dtd,
+                                       const std::string& name) {
+  const auto* e = dtd.Find(name);
+  EXPECT_NE(e, nullptr) << name;
+  return *e;
+}
+
+TEST(SimplifyTest, PlusBecomesStar) {
+  auto dtd = ParseDtd("<!ELEMENT a (b+)> <!ELEMENT b (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& a = Get(*s, "a");
+  ASSERT_EQ(a.children.size(), 1u);
+  EXPECT_EQ(a.children[0].occurrence, xml::Occurrence::kStar);
+}
+
+TEST(SimplifyTest, GroupingMergesRepeats) {
+  // e0, e1, e1, e2 -> e0, e1*, e2 (the paper's grouping rule).
+  auto dtd = ParseDtd(
+      "<!ELEMENT a (e0, e1, e1, e2)> <!ELEMENT e0 (#PCDATA)>"
+      "<!ELEMENT e1 (#PCDATA)> <!ELEMENT e2 (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& a = Get(*s, "a");
+  ASSERT_EQ(a.children.size(), 3u);
+  EXPECT_EQ(a.children[0].name, "e0");
+  EXPECT_EQ(a.children[0].occurrence, Occurrence::kOne);
+  EXPECT_EQ(a.children[1].name, "e1");
+  EXPECT_EQ(a.children[1].occurrence, Occurrence::kStar);
+  EXPECT_EQ(a.children[2].occurrence, Occurrence::kOne);
+}
+
+TEST(SimplifyTest, FlatteningDistributesStar) {
+  // (b, c)* -> b*, c*.
+  auto dtd = ParseDtd("<!ELEMENT a ((b, c)*)> <!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& a = Get(*s, "a");
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(a.children[0].occurrence, Occurrence::kStar);
+  EXPECT_EQ(a.children[1].occurrence, Occurrence::kStar);
+}
+
+TEST(SimplifyTest, ChoiceMakesAlternativesOptional) {
+  auto dtd = ParseDtd("<!ELEMENT a (b | c)> <!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& a = Get(*s, "a");
+  EXPECT_EQ(a.children[0].occurrence, Occurrence::kOptional);
+  EXPECT_EQ(a.children[1].occurrence, Occurrence::kOptional);
+}
+
+TEST(SimplifyTest, StarredChoiceMakesAlternativesStarred) {
+  auto dtd = ParseDtd("<!ELEMENT a ((b | c)+)> <!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& a = Get(*s, "a");
+  EXPECT_EQ(a.children[0].occurrence, Occurrence::kStar);
+  EXPECT_EQ(a.children[1].occurrence, Occurrence::kStar);
+}
+
+TEST(SimplifyTest, PaperPlaysExample) {
+  // Figure 1 -> Figure 2 of the paper.
+  auto dtd = ParseDtd(datagen::kPlaysDtd);
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const auto& play = Get(*s, "PLAY");
+  ASSERT_EQ(play.children.size(), 2u);
+  EXPECT_EQ(play.children[0].name, "INDUCT");
+  EXPECT_EQ(play.children[0].occurrence, Occurrence::kOptional);
+  EXPECT_EQ(play.children[1].name, "ACT");
+  EXPECT_EQ(play.children[1].occurrence, Occurrence::kStar);
+
+  // SPEECH: (SPEAKER, LINE)+ -> SPEAKER*, LINE*.
+  const auto& speech = Get(*s, "SPEECH");
+  ASSERT_EQ(speech.children.size(), 2u);
+  EXPECT_EQ(speech.children[0].occurrence, Occurrence::kStar);
+  EXPECT_EQ(speech.children[1].occurrence, Occurrence::kStar);
+
+  // SCENE: (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+) ->
+  //        TITLE, SUBTITLE*, SPEECH*, SUBHEAD*.
+  const auto& scene = Get(*s, "SCENE");
+  ASSERT_EQ(scene.children.size(), 4u);
+  EXPECT_EQ(scene.children[0].name, "TITLE");
+  EXPECT_EQ(scene.children[0].occurrence, Occurrence::kOne);
+  EXPECT_EQ(scene.children[2].name, "SPEECH");
+  EXPECT_EQ(scene.children[2].occurrence, Occurrence::kStar);
+  EXPECT_EQ(scene.children[3].name, "SUBHEAD");
+  EXPECT_EQ(scene.children[3].occurrence, Occurrence::kStar);
+}
+
+TEST(SimplifyTest, MixedContentFlag) {
+  auto dtd = ParseDtd("<!ELEMENT line (#PCDATA | stagedir)*>"
+                      "<!ELEMENT stagedir (#PCDATA)>");
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  const auto& line = Get(*s, "line");
+  EXPECT_TRUE(line.has_pcdata);
+  ASSERT_EQ(line.children.size(), 1u);
+  EXPECT_EQ(line.children[0].occurrence, Occurrence::kStar);
+}
+
+TEST(SimplifyTest, UndeclaredReferenceFails) {
+  auto dtd = ParseDtd("<!ELEMENT a (ghost)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(Simplify(*dtd).ok());
+}
+
+TEST(SimplifyTest, RootsDetected) {
+  auto dtd = ParseDtd(datagen::kShakespeareDtd);
+  auto s = Simplify(*dtd);
+  ASSERT_TRUE(s.ok());
+  auto roots = s->Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], "PLAY");
+}
+
+}  // namespace
+}  // namespace xorator

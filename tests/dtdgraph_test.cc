@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dtds.h"
+#include "dtdgraph/dtd_graph.h"
+#include "xml/dtd.h"
+
+namespace xorator::dtdgraph {
+namespace {
+
+Result<DtdGraph> BuildGraph(const char* dtd_text, bool duplicate) {
+  XO_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text));
+  XO_ASSIGN_OR_RETURN(SimplifiedDtd s, Simplify(dtd));
+  return DtdGraph::Build(s, {.duplicate_shared_leaves = duplicate});
+}
+
+TEST(DtdGraphTest, BasicStructure) {
+  auto g = BuildGraph("<!ELEMENT a (b*, c?)> <!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)>",
+                      false);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->roots().size(), 1u);
+  const GraphNode& a = g->node(g->roots()[0]);
+  EXPECT_EQ(a.element, "a");
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(a.children[0].occurrence, Occurrence::kStar);
+  EXPECT_EQ(a.children[1].occurrence, Occurrence::kOptional);
+  int b = g->FindId("b");
+  EXPECT_TRUE(g->BelowStar(b));
+  EXPECT_TRUE(g->HasStarredChild(g->roots()[0]));
+  EXPECT_FALSE(g->BelowStar(g->FindId("c")));
+}
+
+TEST(DtdGraphTest, InDegreeCountsDistinctParents) {
+  auto g = BuildGraph(
+      "<!ELEMENT a (t, b*)> <!ELEMENT b (t)> <!ELEMENT t (#PCDATA)>", false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->InDegree(g->FindId("t")), 2);
+  EXPECT_EQ(g->InDegree(g->FindId("b")), 1);
+}
+
+TEST(DtdGraphTest, SharedLeafDuplication) {
+  // The paper's Figure 3 vs Figure 4: shared PCDATA leaves are duplicated
+  // per parent in the revised graph.
+  auto shared = BuildGraph(
+      "<!ELEMENT a (t, b*)> <!ELEMENT b (t)> <!ELEMENT t (#PCDATA)>", false);
+  auto dup = BuildGraph(
+      "<!ELEMENT a (t, b*)> <!ELEMENT b (t)> <!ELEMENT t (#PCDATA)>", true);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(shared->nodes().size(), 3u);
+  // Duplicated graph: a, b, t (orphan source), t#1, t#2.
+  EXPECT_EQ(dup->nodes().size(), 5u);
+  EXPECT_NE(dup->FindId("t#1"), -1);
+  EXPECT_NE(dup->FindId("t#2"), -1);
+  // Each copy has exactly one parent.
+  EXPECT_EQ(dup->InDegree(dup->FindId("t#1")), 1);
+  // The orphan source is not a root.
+  ASSERT_EQ(dup->roots().size(), 1u);
+  EXPECT_EQ(dup->node(dup->roots()[0]).element, "a");
+}
+
+TEST(DtdGraphTest, NonSharedLeafNotDuplicated) {
+  auto dup = BuildGraph("<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>", true);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->nodes().size(), 2u);
+}
+
+TEST(DtdGraphTest, SharedNonLeafNotDuplicated) {
+  auto dup = BuildGraph(
+      "<!ELEMENT a (m, b*)> <!ELEMENT b (m)> <!ELEMENT m (x)>"
+      "<!ELEMENT x (#PCDATA)>",
+      true);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->InDegree(dup->FindId("m")), 2);
+}
+
+TEST(DtdGraphTest, DescendantsAndRecursion) {
+  auto g = BuildGraph(
+      "<!ELEMENT a (b)> <!ELEMENT b (c?, a?)> <!ELEMENT c (#PCDATA)>", false);
+  ASSERT_TRUE(g.ok());
+  bool recursive = false;
+  auto desc = g->Descendants(g->FindId("a"), &recursive);
+  EXPECT_TRUE(recursive);
+  EXPECT_TRUE(desc.count(g->FindId("b")));
+  EXPECT_TRUE(desc.count(g->FindId("c")));
+
+  recursive = false;
+  auto c_desc = g->Descendants(g->FindId("c"), &recursive);
+  EXPECT_FALSE(recursive);
+  EXPECT_TRUE(c_desc.empty());
+}
+
+TEST(DtdGraphTest, ShakespeareGraphShape) {
+  auto g = BuildGraph(datagen::kShakespeareDtd, false);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->roots().size(), 1u);
+  EXPECT_EQ(g->node(g->roots()[0]).element, "PLAY");
+  // TITLE is shared by 7 parents in the unduplicated graph.
+  EXPECT_EQ(g->InDegree(g->FindId("TITLE")), 7);
+  // SPEECH is shared by INDUCT, SCENE, PROLOGUE, EPILOGUE.
+  EXPECT_EQ(g->InDegree(g->FindId("SPEECH")), 4);
+  // LINE is a non-leaf (it contains STAGEDIR).
+  EXPECT_FALSE(g->node(g->FindId("LINE")).is_leaf());
+  EXPECT_TRUE(g->node(g->FindId("LINE")).has_pcdata);
+}
+
+TEST(DtdGraphTest, ShakespeareDuplicatedLeafCopies) {
+  auto g = BuildGraph(datagen::kShakespeareDtd, true);
+  ASSERT_TRUE(g.ok());
+  // TITLE has 7 copies; the original is an orphan source.
+  int copies = 0;
+  for (const GraphNode& n : g->nodes()) {
+    if (n.element == "TITLE" && n.id != "TITLE") ++copies;
+  }
+  EXPECT_EQ(copies, 7);
+  // PERSONA (leaf, 2 parents) is duplicated too.
+  EXPECT_NE(g->FindId("PERSONA#1"), -1);
+  EXPECT_NE(g->FindId("PERSONA#2"), -1);
+  // LINE is a non-leaf and keeps one node.
+  int line_nodes = 0;
+  for (const GraphNode& n : g->nodes()) {
+    if (n.element == "LINE") ++line_nodes;
+  }
+  EXPECT_EQ(line_nodes, 1);
+}
+
+TEST(DtdGraphTest, ToStringMentionsEdges) {
+  auto g = BuildGraph("<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>", false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->ToString().find("a -> b*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xorator::dtdgraph

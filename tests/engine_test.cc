@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ordb/database.h"
+#include "xadt/functions.h"
+
+namespace xorator::ordb {
+namespace {
+
+std::unique_ptr<Database> OpenDb(DbOptions options = {}) {
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(xadt::RegisterXadtFunctions(db.value()->functions()).ok());
+  return std::move(*db);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb();
+    ASSERT_TRUE(db_->Execute("CREATE TABLE emp (id INTEGER, name VARCHAR, "
+                             "dept INTEGER, salary INTEGER)")
+                    .ok());
+    ASSERT_TRUE(db_->Execute("CREATE TABLE dept (id INTEGER, dname VARCHAR)")
+                    .ok());
+    ASSERT_TRUE(db_->Execute("INSERT INTO emp VALUES "
+                             "(1, 'ann', 10, 100), (2, 'bob', 10, 200), "
+                             "(3, 'cat', 20, 300), (4, 'dan', 20, 150), "
+                             "(5, 'eve', 30, 50)")
+                    .ok());
+    ASSERT_TRUE(db_->Execute("INSERT INTO dept VALUES "
+                             "(10, 'eng'), (20, 'ops'), (30, 'hr')")
+                    .ok());
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = db_->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EngineTest, SelectWithFilter) {
+  QueryResult r = Q("SELECT name FROM emp WHERE salary > 150");
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::set<std::string> names;
+  for (const Tuple& row : r.rows) names.insert(row[0].AsString());
+  EXPECT_EQ(names, (std::set<std::string>{"bob", "cat"}));
+}
+
+TEST_F(EngineTest, SelectStar) {
+  QueryResult r = Q("SELECT * FROM dept");
+  EXPECT_EQ(r.columns.size(), 2u);
+  EXPECT_EQ(r.columns[0], "dept.id");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(EngineTest, LikePredicate) {
+  QueryResult r = Q("SELECT name FROM emp WHERE name LIKE '%a%'");
+  EXPECT_EQ(r.rows.size(), 3u);  // ann, cat, dan
+}
+
+TEST_F(EngineTest, JoinWithoutIndex) {
+  QueryResult r = Q(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept.id "
+      "AND dname = 'ops'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  for (const Tuple& row : r.rows) EXPECT_EQ(row[1].AsString(), "ops");
+}
+
+TEST_F(EngineTest, JoinWithIndexUsesIndexScanPath) {
+  ASSERT_TRUE(db_->Execute("CREATE INDEX i ON emp (dept)").ok());
+  ASSERT_TRUE(db_->RunStats().ok());
+  auto plan = db_->Explain(
+      "SELECT name FROM dept, emp WHERE dept.id = emp.dept "
+      "AND dname = 'eng'");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexNLJoin"), std::string::npos) << *plan;
+  QueryResult r = Q(
+      "SELECT name FROM dept, emp WHERE dept.id = emp.dept "
+      "AND dname = 'eng'");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, EqualityUsesIndexScan) {
+  ASSERT_TRUE(db_->Execute("CREATE INDEX i2 ON emp (name)").ok());
+  auto plan = db_->Explain("SELECT salary FROM emp WHERE name = 'cat'");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  QueryResult r = Q("SELECT salary FROM emp WHERE name = 'cat'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 300);
+}
+
+TEST_F(EngineTest, SortMergeJoinWhenHashDisabled) {
+  db_->mutable_options()->planner.enable_hash_join = false;
+  db_->mutable_options()->planner.enable_index_join = false;
+  auto plan = db_->Explain(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("SortMergeJoin"), std::string::npos) << *plan;
+  QueryResult r = Q("SELECT name, dname FROM emp, dept WHERE dept = dept.id");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(EngineTest, HashJoinWhenEnabled) {
+  db_->mutable_options()->planner.enable_index_join = false;
+  auto plan = db_->Explain(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos) << *plan;
+}
+
+TEST_F(EngineTest, TinySortHeapForcesSortMerge) {
+  db_->mutable_options()->planner.enable_index_join = false;
+  db_->mutable_options()->planner.sort_heap_bytes = 1;
+  ASSERT_TRUE(db_->RunStats().ok());
+  auto plan = db_->Explain(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("SortMergeJoin"), std::string::npos) << *plan;
+}
+
+TEST_F(EngineTest, CrossProductNestedLoop) {
+  QueryResult r = Q("SELECT name, dname FROM emp, dept");
+  EXPECT_EQ(r.rows.size(), 15u);
+}
+
+TEST_F(EngineTest, ThreeWayJoin) {
+  ASSERT_TRUE(
+      db_->Execute("CREATE TABLE loc (dept_id INTEGER, city VARCHAR)").ok());
+  ASSERT_TRUE(db_->Execute("INSERT INTO loc VALUES (10, 'nyc'), (20, 'sfo'), "
+                           "(30, 'chi')")
+                  .ok());
+  QueryResult r = Q(
+      "SELECT name, dname, city FROM emp, dept, loc "
+      "WHERE emp.dept = dept.id AND dept.id = loc.dept_id "
+      "AND city = 'sfo'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  for (const Tuple& row : r.rows) EXPECT_EQ(row[2].AsString(), "sfo");
+}
+
+TEST_F(EngineTest, Distinct) {
+  QueryResult r = Q("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(EngineTest, OrderBy) {
+  QueryResult r = Q("SELECT name, salary FROM emp ORDER BY salary DESC");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "cat");
+  EXPECT_EQ(r.rows[4][0].AsString(), "eve");
+}
+
+TEST_F(EngineTest, OrderByAlias) {
+  QueryResult r = Q("SELECT name AS n FROM emp ORDER BY n");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ann");
+}
+
+TEST_F(EngineTest, Limit) {
+  QueryResult r = Q("SELECT name FROM emp ORDER BY name LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, GroupByCount) {
+  QueryResult r =
+      Q("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[2][1].AsInt(), 1);
+}
+
+TEST_F(EngineTest, GlobalAggregates) {
+  QueryResult r = Q(
+      "SELECT COUNT(*) AS n, SUM(salary) AS s, MIN(salary) AS lo, "
+      "MAX(salary) AS hi FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 800);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 50);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 300);
+}
+
+TEST_F(EngineTest, AggregateOverEmptyInput) {
+  QueryResult r = Q("SELECT COUNT(*) AS n FROM emp WHERE salary > 10000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(EngineTest, NonGroupedColumnRejected) {
+  auto r = db_->Query("SELECT name, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineTest, BuiltinFunctions) {
+  QueryResult r = Q("SELECT length(name), substr(name, 1, 2), upper(name) "
+                    "FROM emp WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsString(), "an");
+  EXPECT_EQ(r.rows[0][2].AsString(), "ANN");
+}
+
+TEST_F(EngineTest, UdfTwinsMatchBuiltinsButCountCalls) {
+  QueryResult builtin = Q("SELECT length(name) FROM emp");
+  EXPECT_EQ(builtin.udf_stats.scalar_calls, 0u);
+  QueryResult udf = Q("SELECT udf_length(name) FROM emp");
+  EXPECT_EQ(udf.udf_stats.scalar_calls, 5u);
+  EXPECT_GT(udf.udf_stats.marshaled_bytes, 0u);
+  ASSERT_EQ(builtin.rows.size(), udf.rows.size());
+  for (size_t i = 0; i < builtin.rows.size(); ++i) {
+    EXPECT_EQ(builtin.rows[i][0].AsInt(), udf.rows[i][0].AsInt());
+  }
+}
+
+TEST_F(EngineTest, XadtColumnsAndMethods) {
+  ASSERT_TRUE(db_->Execute("CREATE TABLE speakers (id INTEGER, speaker XADT)")
+                  .ok());
+  // Figure 9 of the paper: two tuples, one holding two speaker fragments.
+  ASSERT_TRUE(db_->Execute("INSERT INTO speakers VALUES "
+                           "(1, '<speaker>s1</speaker><speaker>s2</speaker>'),"
+                           "(2, '<speaker>s1</speaker>')")
+                  .ok());
+  QueryResult before = Q("SELECT speaker FROM speakers");
+  EXPECT_EQ(before.rows.size(), 2u);
+  QueryResult after = Q(
+      "SELECT DISTINCT unnestedS.out AS SPEAKER FROM speakers, "
+      "table(unnest(speaker, 'speaker')) unnestedS");
+  ASSERT_EQ(after.rows.size(), 2u);
+  std::set<std::string> values;
+  for (const Tuple& row : after.rows) values.insert(row[0].AsString());
+  EXPECT_EQ(values, (std::set<std::string>{"s1", "s2"}));
+  // findKeyInElm filters tuples.
+  QueryResult found = Q(
+      "SELECT id FROM speakers WHERE "
+      "findKeyInElm(speaker, 'speaker', 's2') = 1");
+  ASSERT_EQ(found.rows.size(), 1u);
+  EXPECT_EQ(found.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(EngineTest, LateralTableFunctionFirstInFrom) {
+  ASSERT_TRUE(db_->Execute("CREATE TABLE frag (x XADT)").ok());
+  ASSERT_TRUE(
+      db_->Execute("INSERT INTO frag VALUES ('<a>1</a><a>2</a>')").ok());
+  QueryResult r = Q("SELECT u.out FROM frag, table(unnest(x, 'a')) u");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, ExplainShowsPlan) {
+  QueryResult r = Q("EXPLAIN SELECT name FROM emp WHERE salary > 150");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(r.rows[0][0].AsString().find("SeqScan"), std::string::npos);
+  EXPECT_NE(r.rows[0][0].AsString().find("Filter"), std::string::npos);
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_->Query("SELECT nosuch FROM emp").ok());
+  EXPECT_FALSE(db_->Query("SELECT name FROM nosuch").ok());
+  EXPECT_FALSE(db_->Query("SELECT nosuchfn(name) FROM emp").ok());
+  EXPECT_FALSE(db_->Query("INSERT INTO emp VALUES (1)").ok());
+  EXPECT_FALSE(db_->Execute("CREATE TABLE emp (id INTEGER)").ok());
+  EXPECT_FALSE(db_->Query("SELECT id FROM emp, dept WHERE id = 1").ok())
+      << "ambiguous column";
+}
+
+TEST_F(EngineTest, AdviseIndexesCreatesJoinIndexes) {
+  ASSERT_TRUE(db_
+                  ->AdviseIndexes({"SELECT name FROM emp, dept "
+                                   "WHERE emp.dept = dept.id "
+                                   "AND dname = 'eng'"})
+                  .ok());
+  const TableInfo* emp = db_->catalog()->FindTable("emp");
+  const TableInfo* dept = db_->catalog()->FindTable("dept");
+  EXPECT_NE(emp->FindIndex("dept"), nullptr);
+  EXPECT_NE(dept->FindIndex("id"), nullptr);
+  EXPECT_NE(dept->FindIndex("dname"), nullptr);
+  EXPECT_GT(db_->IndexBytes(), 0u);
+}
+
+TEST_F(EngineTest, RunStatsCollectsNdv) {
+  ASSERT_TRUE(db_->RunStats().ok());
+  const TableInfo* emp = db_->catalog()->FindTable("emp");
+  EXPECT_TRUE(emp->stats.collected);
+  EXPECT_EQ(emp->stats.row_count, 5u);
+  int dept_col = emp->schema.ColumnIndex("dept");
+  EXPECT_DOUBLE_EQ(emp->stats.columns[dept_col].ndv, 3.0);
+}
+
+TEST_F(EngineTest, DataBytesGrowWithInserts) {
+  uint64_t before = db_->DataBytes();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db_->Execute("INSERT INTO emp VALUES (9, 'pad pad pad pad "
+                             "pad pad pad pad pad pad', 1, 1)")
+                    .ok());
+  }
+  EXPECT_GE(db_->DataBytes(), before);
+  EXPECT_GT(db_->DataBytes(), 0u);
+}
+
+TEST(DatabaseFileTest, FileBackedDatabaseWorks) {
+  std::string path = ::testing::TempDir() + "/xorator_engine.db";
+  std::remove(path.c_str());
+  DbOptions options;
+  options.path = path;
+  options.buffer_pool_pages = 16;
+  auto db = OpenDb(options);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                            ", 'value-" + std::to_string(i) + "')")
+                    .ok());
+  }
+  auto r = db->Query("SELECT COUNT(*) AS n FROM t WHERE a >= 250");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 250);
+  std::remove(path.c_str());
+}
+
+TEST(ValueTest, CompareAndHash) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Int(3)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Int(3)), 0);
+  EXPECT_GT(Value::Varchar("b").Compare(Value::Varchar("a")), 0);
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::Varchar("x").Hash(), Value::Varchar("x").Hash());
+}
+
+TEST(TupleCodecTest, RoundTripAllTypes) {
+  TableSchema schema;
+  schema.columns = {{"i", TypeId::kInteger},
+                    {"s", TypeId::kVarchar},
+                    {"x", TypeId::kXadt},
+                    {"d", TypeId::kDouble},
+                    {"b", TypeId::kBoolean},
+                    {"n", TypeId::kVarchar}};
+  Tuple tuple = {Value::Int(-42),          Value::Varchar("hello"),
+                 Value::Xadt("R<a/>"),     Value::Double(2.5),
+                 Value::Bool(true),        Value::Null()};
+  std::string bytes;
+  EncodeTuple(schema, tuple, &bytes);
+  auto decoded = DecodeTuple(schema, bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 6u);
+  EXPECT_EQ((*decoded)[0].AsInt(), -42);
+  EXPECT_EQ((*decoded)[1].AsString(), "hello");
+  EXPECT_EQ((*decoded)[2].type(), TypeId::kXadt);
+  EXPECT_EQ((*decoded)[2].AsString(), "R<a/>");
+  EXPECT_DOUBLE_EQ((*decoded)[3].AsDouble(), 2.5);
+  EXPECT_TRUE((*decoded)[4].AsBool());
+  EXPECT_TRUE((*decoded)[5].is_null());
+}
+
+TEST(TupleCodecTest, TruncatedBytesFail) {
+  TableSchema schema;
+  schema.columns = {{"s", TypeId::kVarchar}};
+  Tuple tuple = {Value::Varchar("long enough string")};
+  std::string bytes;
+  EncodeTuple(schema, tuple, &bytes);
+  EXPECT_FALSE(DecodeTuple(schema, bytes.substr(0, 4)).ok());
+}
+
+}  // namespace
+}  // namespace xorator::ordb

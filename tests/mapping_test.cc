@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "benchutil/fixture.h"
+#include "datagen/dtds.h"
+#include "dtdgraph/simplify.h"
+#include "mapping/mapper.h"
+#include "xml/dtd.h"
+
+namespace xorator::mapping {
+namespace {
+
+using benchutil::MapDtd;
+using benchutil::Mapping;
+
+std::vector<std::string> ColumnNames(const TableSpec& t) {
+  std::vector<std::string> out;
+  for (const ColumnSpec& c : t.columns) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> TableNames(const MappedSchema& s) {
+  std::vector<std::string> out;
+  for (const TableSpec& t : s.tables) out.push_back(t.name);
+  return out;
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+TEST(HybridMappingTest, PlaysDtdMatchesFigure5) {
+  auto schema = MapDtd(datagen::kPlaysDtd, Mapping::kHybrid);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->algorithm, "hybrid");
+  // The 9 relations of Figure 5.
+  std::vector<std::string> names = TableNames(*schema);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"act", "induct", "line", "play",
+                                             "scene", "speaker", "speech",
+                                             "subhead", "subtitle"}));
+
+  const TableSpec* play = schema->FindTable("play");
+  ASSERT_NE(play, nullptr);
+  EXPECT_EQ(ColumnNames(*play), (std::vector<std::string>{"playID"}));
+
+  const TableSpec* act = schema->FindTable("act");
+  ASSERT_NE(act, nullptr);
+  EXPECT_EQ(ColumnNames(*act),
+            (std::vector<std::string>{"actID", "act_parentID",
+                                      "act_childOrder", "act_title",
+                                      "act_prologue"}));
+  EXPECT_EQ(act->columns[0].type, ColumnType::kInteger);
+  EXPECT_EQ(act->columns[3].type, ColumnType::kVarchar);
+
+  const TableSpec* scene = schema->FindTable("scene");
+  EXPECT_EQ(ColumnNames(*scene),
+            (std::vector<std::string>{"sceneID", "scene_parentID",
+                                      "scene_parentCODE", "scene_childOrder",
+                                      "scene_title"}));
+
+  const TableSpec* induct = schema->FindTable("induct");
+  EXPECT_EQ(ColumnNames(*induct),
+            (std::vector<std::string>{"inductID", "induct_parentID",
+                                      "induct_childOrder", "induct_title"}));
+
+  const TableSpec* speech = schema->FindTable("speech");
+  EXPECT_EQ(ColumnNames(*speech),
+            (std::vector<std::string>{"speechID", "speech_parentID",
+                                      "speech_parentCODE",
+                                      "speech_childOrder"}));
+
+  const TableSpec* subtitle = schema->FindTable("subtitle");
+  EXPECT_EQ(ColumnNames(*subtitle),
+            (std::vector<std::string>{"subtitleID", "subtitle_parentID",
+                                      "subtitle_parentCODE",
+                                      "subtitle_childOrder",
+                                      "subtitle_value"}));
+
+  const TableSpec* subhead = schema->FindTable("subhead");
+  EXPECT_EQ(ColumnNames(*subhead),
+            (std::vector<std::string>{"subheadID", "subhead_parentID",
+                                      "subhead_childOrder", "subhead_value"}));
+
+  const TableSpec* speaker = schema->FindTable("speaker");
+  EXPECT_EQ(ColumnNames(*speaker),
+            (std::vector<std::string>{"speakerID", "speaker_parentID",
+                                      "speaker_childOrder", "speaker_value"}));
+
+  const TableSpec* line = schema->FindTable("line");
+  EXPECT_EQ(ColumnNames(*line),
+            (std::vector<std::string>{"lineID", "line_parentID",
+                                      "line_childOrder", "line_value"}));
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+TEST(XoratorMappingTest, PlaysDtdMatchesFigure6) {
+  auto schema = MapDtd(datagen::kPlaysDtd, Mapping::kXorator);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->algorithm, "xorator");
+  std::vector<std::string> names = TableNames(*schema);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"act", "induct", "play", "scene",
+                                             "speech"}));
+
+  const TableSpec* act = schema->FindTable("act");
+  ASSERT_NE(act, nullptr);
+  EXPECT_EQ(ColumnNames(*act),
+            (std::vector<std::string>{"actID", "act_parentID",
+                                      "act_childOrder", "act_title",
+                                      "act_subtitle", "act_prologue"}));
+  EXPECT_EQ(act->columns[4].type, ColumnType::kXadt);
+  EXPECT_EQ(act->columns[5].type, ColumnType::kVarchar);
+
+  const TableSpec* scene = schema->FindTable("scene");
+  EXPECT_EQ(ColumnNames(*scene),
+            (std::vector<std::string>{"sceneID", "scene_parentID",
+                                      "scene_parentCODE", "scene_childOrder",
+                                      "scene_title", "scene_subtitle",
+                                      "scene_subhead"}));
+  EXPECT_EQ(scene->columns[5].type, ColumnType::kXadt);
+  EXPECT_EQ(scene->columns[6].type, ColumnType::kXadt);
+
+  const TableSpec* induct = schema->FindTable("induct");
+  EXPECT_EQ(ColumnNames(*induct),
+            (std::vector<std::string>{"inductID", "induct_parentID",
+                                      "induct_childOrder", "induct_title",
+                                      "induct_subtitle"}));
+
+  const TableSpec* speech = schema->FindTable("speech");
+  EXPECT_EQ(ColumnNames(*speech),
+            (std::vector<std::string>{"speechID", "speech_parentID",
+                                      "speech_parentCODE",
+                                      "speech_childOrder", "speech_speaker",
+                                      "speech_line"}));
+  EXPECT_EQ(speech->columns[4].type, ColumnType::kXadt);
+  EXPECT_EQ(speech->columns[5].type, ColumnType::kXadt);
+}
+
+// ----------------------------------------------------- Table 1 and Table 2
+
+TEST(MappingCountsTest, ShakespeareTableCountsMatchTable1) {
+  auto hybrid = MapDtd(datagen::kShakespeareDtd, Mapping::kHybrid);
+  auto xorator = MapDtd(datagen::kShakespeareDtd, Mapping::kXorator);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  ASSERT_TRUE(xorator.ok()) << xorator.status().ToString();
+  EXPECT_EQ(hybrid->tables.size(), 17u);  // paper Table 1
+  EXPECT_EQ(xorator->tables.size(), 7u);  // paper Table 1
+}
+
+TEST(MappingCountsTest, SigmodTableCountsMatchTable2) {
+  auto hybrid = MapDtd(datagen::kSigmodDtd, Mapping::kHybrid);
+  auto xorator = MapDtd(datagen::kSigmodDtd, Mapping::kXorator);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  ASSERT_TRUE(xorator.ok()) << xorator.status().ToString();
+  EXPECT_EQ(hybrid->tables.size(), 7u);   // paper Table 2
+  EXPECT_EQ(xorator->tables.size(), 1u);  // paper Table 2
+}
+
+TEST(MappingCountsTest, ShakespeareXoratorRelations) {
+  auto schema = MapDtd(datagen::kShakespeareDtd, Mapping::kXorator);
+  ASSERT_TRUE(schema.ok());
+  std::vector<std::string> names = TableNames(*schema);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"act", "epilogue", "induct",
+                                             "play", "prologue", "scene",
+                                             "speech"}));
+  // FM and PERSONAE collapse into XADT attributes of play (rule 1).
+  const TableSpec* play = schema->FindTable("play");
+  int fm = play->ColumnIndex("play_fm");
+  int personae = play->ColumnIndex("play_personae");
+  ASSERT_GE(fm, 0);
+  ASSERT_GE(personae, 0);
+  EXPECT_EQ(play->columns[fm].type, ColumnType::kXadt);
+  EXPECT_EQ(play->columns[personae].type, ColumnType::kXadt);
+  // LINE (mixed content with STAGEDIR inside) becomes speech_line XADT.
+  const TableSpec* speech = schema->FindTable("speech");
+  int line = speech->ColumnIndex("speech_line");
+  ASSERT_GE(line, 0);
+  EXPECT_EQ(speech->columns[line].type, ColumnType::kXadt);
+}
+
+TEST(MappingCountsTest, SigmodXoratorSingleTable) {
+  auto schema = MapDtd(datagen::kSigmodDtd, Mapping::kXorator);
+  ASSERT_TRUE(schema.ok());
+  const TableSpec& pp = schema->tables[0];
+  EXPECT_EQ(pp.name, "pp");
+  int slist = pp.ColumnIndex("pp_slist");
+  ASSERT_GE(slist, 0);
+  EXPECT_EQ(pp.columns[slist].type, ColumnType::kXadt);
+  // Leaf children of PP are plain strings.
+  int volume = pp.ColumnIndex("pp_volume");
+  ASSERT_GE(volume, 0);
+  EXPECT_EQ(pp.columns[volume].type, ColumnType::kVarchar);
+}
+
+TEST(MappingCountsTest, SigmodHybridDeepInlining) {
+  auto schema = MapDtd(datagen::kSigmodDtd, Mapping::kHybrid);
+  ASSERT_TRUE(schema.ok());
+  const TableSpec* atuple = schema->FindTable("atuple");
+  ASSERT_NE(atuple, nullptr);
+  // Toindex/index is inlined two levels deep with a path-prefixed name,
+  // including its Xlink attribute.
+  EXPECT_GE(atuple->ColumnIndex("atuple_toindex_index"), 0);
+  EXPECT_GE(atuple->ColumnIndex("atuple_toindex_index_href"), 0);
+  EXPECT_GE(atuple->ColumnIndex("atuple_title_articlecode"), 0);
+  const TableSpec* author = schema->FindTable("author");
+  ASSERT_NE(author, nullptr);
+  EXPECT_GE(author->ColumnIndex("author_authorposition"), 0);
+  EXPECT_GE(author->ColumnIndex("author_value"), 0);
+}
+
+// ----------------------------------------------------------- other mappers
+
+TEST(SharedMappingTest, SharedCreatesRelationsForSharedElements) {
+  auto shared = MapDtd(datagen::kPlaysDtd, Mapping::kShared);
+  ASSERT_TRUE(shared.ok());
+  // TITLE (in-degree > 1) becomes a relation under Shared but not Hybrid.
+  EXPECT_NE(shared->FindTable("title"), nullptr);
+  auto hybrid = MapDtd(datagen::kPlaysDtd, Mapping::kHybrid);
+  EXPECT_EQ(hybrid->FindTable("title"), nullptr);
+  EXPECT_GT(shared->tables.size(), hybrid->tables.size());
+}
+
+TEST(PerElementMappingTest, OneTablePerElement) {
+  auto schema = MapDtd(datagen::kPlaysDtd, Mapping::kPerElement);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->tables.size(), 11u);  // 11 declared elements
+}
+
+TEST(RecursiveDtdTest, RecursionBrokenByRelation) {
+  const char* kRecursive =
+      "<!ELEMENT part (name, part*)> <!ELEMENT name (#PCDATA)>";
+  auto hybrid = MapDtd(kRecursive, Mapping::kHybrid);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  EXPECT_NE(hybrid->FindTable("part"), nullptr);
+  auto xorator = MapDtd(kRecursive, Mapping::kXorator);
+  ASSERT_TRUE(xorator.ok()) << xorator.status().ToString();
+  // A recursive element cannot be an XADT attribute.
+  EXPECT_NE(xorator->FindTable("part"), nullptr);
+}
+
+TEST(MutualRecursionTest, OneRelationPerCycle) {
+  const char* kMutual =
+      "<!ELEMENT root (a)> <!ELEMENT a (b?) > <!ELEMENT b (a?)>";
+  auto hybrid = MapDtd(kMutual, Mapping::kHybrid);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  // root plus at least one relation inside the {a, b} cycle.
+  EXPECT_GE(hybrid->tables.size(), 2u);
+  bool a_or_b = hybrid->FindTable("a") != nullptr ||
+                hybrid->FindTable("b") != nullptr;
+  EXPECT_TRUE(a_or_b);
+}
+
+TEST(DdlTest, GeneratesCreateTables) {
+  auto schema = MapDtd(datagen::kPlaysDtd, Mapping::kXorator);
+  ASSERT_TRUE(schema.ok());
+  std::string ddl = schema->ToDdl();
+  EXPECT_NE(ddl.find("CREATE TABLE speech ("), std::string::npos);
+  EXPECT_NE(ddl.find("speech_speaker XADT"), std::string::npos);
+  EXPECT_NE(ddl.find("speechID INTEGER PRIMARY KEY"), std::string::npos);
+}
+
+TEST(ParentTablesTest, ParentCodeOnlyWithMultipleParents) {
+  auto schema = MapDtd(datagen::kPlaysDtd, Mapping::kHybrid);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->FindTable("speech")->has_parent_code());
+  EXPECT_FALSE(schema->FindTable("act")->has_parent_code());
+  auto parents = schema->parent_tables_of_element.at("SPEECH");
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<std::string>{"ACT", "SCENE"}));
+}
+
+}  // namespace
+}  // namespace xorator::mapping

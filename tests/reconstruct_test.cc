@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "benchutil/fixture.h"
+#include "datagen/dtds.h"
+#include "datagen/generators.h"
+#include "dtdgraph/simplify.h"
+#include "shred/reconstruct.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xorator::shred {
+namespace {
+
+using benchutil::BuildExperimentDb;
+using benchutil::ExperimentOptions;
+using benchutil::Mapping;
+
+Result<std::vector<std::unique_ptr<xml::Node>>> RoundTrip(
+    const char* dtd_text, const std::vector<const xml::Node*>& docs,
+    Mapping mapping) {
+  ExperimentOptions opts;
+  opts.mapping = mapping;
+  XO_ASSIGN_OR_RETURN(auto db, BuildExperimentDb(dtd_text, docs, opts));
+  XO_ASSIGN_OR_RETURN(auto dtd, xml::ParseDtd(dtd_text));
+  XO_ASSIGN_OR_RETURN(auto simplified, dtdgraph::Simplify(dtd));
+  Reconstructor reconstructor(db.db.get(), &db.schema, &simplified);
+  return reconstructor.ReconstructAll();
+}
+
+TEST(EquivalentModuloInterleaveTest, Basics) {
+  auto a = xml::ParseDocument("<s><a>1</a><b>2</b><a>3</a></s>");
+  auto b = xml::ParseDocument("<s><a>1</a><a>3</a><b>2</b></s>");
+  auto c = xml::ParseDocument("<s><a>3</a><a>1</a><b>2</b></s>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  // Interleaving across tags is ignored; same-tag order is not.
+  EXPECT_TRUE(EquivalentModuloInterleave(*a->root, *b->root));
+  EXPECT_FALSE(EquivalentModuloInterleave(*a->root, *c->root));
+  auto d = xml::ParseDocument("<s x=\"1\"><a>1</a></s>");
+  auto e = xml::ParseDocument("<s x=\"2\"><a>1</a></s>");
+  EXPECT_FALSE(EquivalentModuloInterleave(*d->root, *e->root));
+}
+
+TEST(ReconstructTest, SigmodRoundTripsExactlyUnderBothMappings) {
+  // The SIGMOD DTD uses only sequence content models, so reconstruction
+  // restores the exact document.
+  datagen::SigmodOptions opts;
+  opts.documents = 25;
+  auto corpus = datagen::SigmodGenerator(opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+  for (Mapping mapping : {Mapping::kHybrid, Mapping::kXorator,
+                          Mapping::kShared, Mapping::kPerElement}) {
+    auto rebuilt = RoundTrip(datagen::kSigmodDtd, docs, mapping);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_EQ(rebuilt->size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(xml::Serialize(*(*rebuilt)[i]), xml::Serialize(*corpus[i]))
+          << "mapping " << static_cast<int>(mapping) << " doc " << i;
+    }
+  }
+}
+
+TEST(ReconstructTest, ShakespeareRoundTripsModuloInterleave) {
+  datagen::ShakespeareOptions opts;
+  opts.plays = 3;
+  auto corpus = datagen::ShakespeareGenerator(opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+  for (Mapping mapping : {Mapping::kHybrid, Mapping::kXorator}) {
+    auto rebuilt = RoundTrip(datagen::kShakespeareDtd, docs, mapping);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_EQ(rebuilt->size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_TRUE(EquivalentModuloInterleave(*(*rebuilt)[i], *corpus[i]))
+          << "mapping " << static_cast<int>(mapping) << " play " << i;
+    }
+  }
+}
+
+TEST(ReconstructTest, XoratorFragmentsRoundTripInterleaveExactly) {
+  // Fragments stored in XADT columns keep full interleaving: a speech's
+  // LINE children, including embedded STAGEDIRs, come back verbatim.
+  datagen::ShakespeareOptions opts;
+  opts.plays = 2;
+  auto corpus = datagen::ShakespeareGenerator(opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+  auto rebuilt = RoundTrip(datagen::kShakespeareDtd, docs, Mapping::kXorator);
+  ASSERT_TRUE(rebuilt.ok());
+  // Compare the serialized LINE subtrees of every speech, in order.
+  auto collect_lines = [](const xml::Node& root) {
+    std::vector<std::string> out;
+    std::function<void(const xml::Node&)> walk = [&](const xml::Node& n) {
+      if (n.name() == "LINE") out.push_back(xml::Serialize(n));
+      for (const auto& c : n.children()) {
+        if (c->is_element()) walk(*c);
+      }
+    };
+    walk(root);
+    return out;
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(collect_lines(*(*rebuilt)[i]), collect_lines(*corpus[i]))
+        << "play " << i;
+  }
+}
+
+TEST(ReconstructTest, RandomizedDocsRoundTrip) {
+  auto dtd = xml::ParseDtd(datagen::kPlaysDtd);
+  ASSERT_TRUE(dtd.ok());
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    datagen::RandomDocOptions opts;
+    opts.seed = seed;
+    opts.max_repeat = 3;
+    datagen::RandomDocGenerator gen(&*dtd, opts);
+    std::vector<std::unique_ptr<xml::Node>> docs;
+    for (int d = 0; d < 4; ++d) {
+      auto doc = gen.Generate("PLAY");
+      ASSERT_TRUE(doc.ok());
+      docs.push_back(std::move(*doc));
+    }
+    std::vector<const xml::Node*> raw;
+    for (const auto& d : docs) raw.push_back(d.get());
+    for (Mapping mapping : {Mapping::kHybrid, Mapping::kXorator}) {
+      auto rebuilt = RoundTrip(datagen::kPlaysDtd, raw, mapping);
+      ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+      ASSERT_EQ(rebuilt->size(), docs.size()) << "seed " << seed;
+      for (size_t i = 0; i < docs.size(); ++i) {
+        EXPECT_TRUE(EquivalentModuloInterleave(*(*rebuilt)[i], *docs[i]))
+            << "seed " << seed << " mapping " << static_cast<int>(mapping)
+            << " doc " << i;
+      }
+    }
+  }
+}
+
+TEST(ReconstructTest, EmptyDatabaseYieldsNoDocuments) {
+  ExperimentOptions opts;
+  opts.mapping = Mapping::kXorator;
+  auto db = BuildExperimentDb(datagen::kPlaysDtd, {}, opts);
+  ASSERT_TRUE(db.ok());
+  auto dtd = xml::ParseDtd(datagen::kPlaysDtd);
+  auto simplified = dtdgraph::Simplify(*dtd);
+  Reconstructor reconstructor(db->db.get(), &db->schema, &*simplified);
+  auto rebuilt = reconstructor.ReconstructAll();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->empty());
+}
+
+}  // namespace
+}  // namespace xorator::shred

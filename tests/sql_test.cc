@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "ordb/sql.h"
+
+namespace xorator::ordb::sql {
+namespace {
+
+Result<SelectStmt> ParseSelect(const std::string& text) {
+  XO_ASSIGN_OR_RETURN(Statement stmt, ParseSql(text));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("not a select");
+  }
+  return std::move(stmt.select);
+}
+
+TEST(SqlParserTest, BasicSelect) {
+  auto stmt = ParseSelect("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(stmt->distinct);
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "a");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "t");
+  EXPECT_EQ(stmt->from[0].alias, "t");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->ToString(), "a = 1");
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  auto stmt = ParseSelect("select X from T where X like '%y%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind, AstExpr::Kind::kLike);
+}
+
+TEST(SqlParserTest, AliasesAndQualifiedColumns) {
+  auto stmt = ParseSelect(
+      "SELECT s.a AS x, t.b y FROM tbl s, tbl2 AS t WHERE s.id = t.id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_EQ(stmt->from[0].alias, "s");
+  EXPECT_EQ(stmt->from[1].alias, "t");
+  EXPECT_EQ(stmt->where->children[0]->name, "s.id");
+}
+
+TEST(SqlParserTest, StringLiteralsWithEscapes) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE b = 'it''s'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->children[1]->literal.AsString(), "it's");
+}
+
+TEST(SqlParserTest, AndOrPrecedence) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+  ASSERT_TRUE(stmt.ok());
+  // AND binds tighter: x=1 OR (y=2 AND z=3).
+  EXPECT_EQ(stmt->where->kind, AstExpr::Kind::kOr);
+  EXPECT_EQ(stmt->where->children[1]->kind, AstExpr::Kind::kAnd);
+}
+
+TEST(SqlParserTest, NotAndParens) {
+  auto stmt =
+      ParseSelect("SELECT a FROM t WHERE NOT (x = 1 OR y = 2) AND z = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind, AstExpr::Kind::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExpr::Kind::kNot);
+}
+
+TEST(SqlParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "<>", "!=", "<", "<=", ">", ">="}) {
+    auto stmt = ParseSelect(std::string("SELECT a FROM t WHERE a ") + op +
+                            " 5");
+    ASSERT_TRUE(stmt.ok()) << op;
+    EXPECT_EQ(stmt->where->kind, AstExpr::Kind::kCompare) << op;
+  }
+}
+
+TEST(SqlParserTest, NegativeNumbers) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a = -5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->children[1]->literal.AsInt(), -5);
+}
+
+TEST(SqlParserTest, FunctionCalls) {
+  auto stmt = ParseSelect(
+      "SELECT getElm(speech_line, 'LINE', 'LINE', 'friend') FROM speech "
+      "WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->items[0].expr->kind, AstExpr::Kind::kFunc);
+  EXPECT_EQ(stmt->items[0].expr->name, "getElm");
+  EXPECT_EQ(stmt->items[0].expr->children.size(), 4u);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExpr::Kind::kFunc);
+}
+
+TEST(SqlParserTest, TableFunctionInFrom) {
+  auto stmt = ParseSelect(
+      "SELECT DISTINCT unnestedS.out FROM speakers, "
+      "table(unnest(speaker, 'speaker')) unnestedS");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->distinct);
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_TRUE(stmt->from[1].is_function);
+  EXPECT_EQ(stmt->from[1].function_name, "unnest");
+  EXPECT_EQ(stmt->from[1].alias, "unnestedS");
+  ASSERT_EQ(stmt->from[1].function_args.size(), 2u);
+}
+
+TEST(SqlParserTest, TableFunctionRequiresAlias) {
+  EXPECT_FALSE(
+      ParseSelect("SELECT x FROM table(unnest(a, 'b'))").ok());
+}
+
+TEST(SqlParserTest, GroupByOrderByLimit) {
+  auto stmt = ParseSelect(
+      "SELECT author, COUNT(*) AS n FROM t GROUP BY author "
+      "ORDER BY n DESC, author LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(SqlParserTest, CountStar) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->kind, AstExpr::Kind::kFunc);
+  EXPECT_EQ(stmt->items[0].expr->children[0]->kind, AstExpr::Kind::kStar);
+}
+
+TEST(SqlParserTest, SelectStar) {
+  auto stmt = ParseSelect("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->kind, AstExpr::Kind::kStar);
+}
+
+TEST(SqlParserTest, Comments) {
+  auto stmt = ParseSelect("SELECT a -- trailing comment\nFROM t");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(SqlParserTest, CreateTable) {
+  auto stmt = ParseSql(
+      "CREATE TABLE speech (speechID INTEGER PRIMARY KEY, "
+      "speech_line XADT, note VARCHAR(80))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt->create_table.columns.size(), 3u);
+  EXPECT_EQ(stmt->create_table.columns[0].second, TypeId::kInteger);
+  EXPECT_EQ(stmt->create_table.columns[1].second, TypeId::kXadt);
+  EXPECT_EQ(stmt->create_table.columns[2].second, TypeId::kVarchar);
+}
+
+TEST(SqlParserTest, CreateIndex) {
+  auto stmt = ParseSql("CREATE INDEX idx ON speech (speech_parentID)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ(stmt->create_index.table, "speech");
+  EXPECT_EQ(stmt->create_index.column, "speech_parentID");
+}
+
+TEST(SqlParserTest, InsertValues) {
+  auto stmt = ParseSql("INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', 'z')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt->insert.rows.size(), 2u);
+  EXPECT_TRUE(stmt->insert.rows[0][2].is_null());
+  EXPECT_EQ(stmt->insert.rows[1][1].AsString(), "y");
+}
+
+TEST(SqlParserTest, Explain) {
+  auto stmt = ParseSql("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kExplain);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT a").ok());               // missing FROM
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());          // missing table
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());  // missing predicate
+  EXPECT_FALSE(ParseSql("SELECT a FROM t x y").ok());    // trailing tokens
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE b = 'unclosed").ok());
+  EXPECT_FALSE(ParseSql("DROP TABLE t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE b LIKE c").ok());
+}
+
+TEST(SqlParserTest, StatementTerminator) {
+  EXPECT_TRUE(ParseSql("SELECT a FROM t;").ok());
+}
+
+}  // namespace
+}  // namespace xorator::ordb::sql

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "benchutil/fixture.h"
+#include "datagen/dtds.h"
+#include "datagen/generators.h"
+#include "dtdgraph/simplify.h"
+#include "mapping/mapper.h"
+#include "mapping/xml_stats.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+
+namespace xorator::mapping {
+namespace {
+
+using benchutil::BuildExperimentDb;
+using benchutil::ExperimentOptions;
+using benchutil::Mapping;
+
+TEST(XmlStatsTest, CountsInstancesBytesDepth) {
+  auto doc = xml::ParseDocument(
+      "<a><b><c>text</c></b><b><c>t</c><c>u</c></b></a>");
+  ASSERT_TRUE(doc.ok());
+  XmlStats stats;
+  stats.AddDocument(*doc->root);
+  EXPECT_EQ(stats.documents(), 1u);
+  const ElementStats* a = stats.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->instances, 1u);
+  EXPECT_EQ(a->max_subtree_depth, 2);
+  const ElementStats* b = stats.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->instances, 2u);
+  EXPECT_EQ(b->max_subtree_depth, 1);
+  const ElementStats* c = stats.Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->instances, 3u);
+  EXPECT_EQ(c->max_subtree_depth, 0);
+  // <c>text</c> = 11 bytes; <c>t</c> = 8; <c>u</c> = 8 -> avg = 9.
+  EXPECT_NEAR(c->avg_subtree_bytes, 9.0, 0.01);
+  EXPECT_EQ(stats.Find("nothere"), nullptr);
+}
+
+TEST(XmlStatsTest, AccumulatesAcrossDocuments) {
+  auto d1 = xml::ParseDocument("<a><b>x</b></a>");
+  auto d2 = xml::ParseDocument("<a><b>y</b><b>z</b></a>");
+  XmlStats stats;
+  stats.AddDocument(*d1->root);
+  stats.AddDocument(*d2->root);
+  EXPECT_EQ(stats.documents(), 2u);
+  EXPECT_EQ(stats.Find("b")->instances, 3u);
+  EXPECT_EQ(stats.Find("a")->instances, 2u);
+}
+
+Result<MappedSchema> TunedSigmod(int docs, const TunedOptions& options) {
+  datagen::SigmodOptions gen_opts;
+  gen_opts.documents = docs;
+  auto corpus = datagen::SigmodGenerator(gen_opts).GenerateCorpus();
+  std::vector<const xml::Node*> raw;
+  for (const auto& d : corpus) raw.push_back(d.get());
+  XO_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(datagen::kSigmodDtd));
+  XO_ASSIGN_OR_RETURN(auto simplified, dtdgraph::Simplify(dtd));
+  XmlStats stats = CollectXmlStats(raw);
+  return MapXoratorTuned(simplified, stats, options);
+}
+
+TEST(TunedMappingTest, HugeThresholdsMatchClassicXorator) {
+  TunedOptions options;
+  options.max_fragment_bytes = 0;  // disabled
+  options.max_fragment_depth = 0;  // disabled
+  auto tuned = TunedSigmod(10, options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_EQ(tuned->tables.size(), 1u);
+  EXPECT_EQ(tuned->algorithm, "xorator_tuned");
+}
+
+TEST(TunedMappingTest, SmallByteThresholdKeepsBigSubtreesRelational) {
+  TunedOptions options;
+  options.max_fragment_bytes = 256;  // sList fragments are kilobytes
+  options.max_fragment_depth = 0;
+  auto tuned = TunedSigmod(10, options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  // sList (and the chain under it that still exceeds the threshold) become
+  // relations; small subtrees like Toindex stay XADT/inlined.
+  EXPECT_GT(tuned->tables.size(), 1u);
+  EXPECT_TRUE(tuned->IsRelationElement("sList"));
+  EXPECT_TRUE(tuned->IsRelationElement("sListTuple"));
+  // An aTuple averages a few hundred bytes: with a 256-byte cap it is
+  // relational too, but its small children collapse into XADT attributes.
+  const TableSpec* atuple = tuned->FindTable("atuple");
+  ASSERT_NE(atuple, nullptr);
+  EXPECT_GE(atuple->ColumnIndex("atuple_authors"), 0);
+}
+
+TEST(TunedMappingTest, DepthThreshold) {
+  TunedOptions options;
+  options.max_fragment_bytes = 0;
+  options.max_fragment_depth = 2;  // sList nests 4 levels
+  auto tuned = TunedSigmod(10, options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_TRUE(tuned->IsRelationElement("sList"));
+  EXPECT_FALSE(tuned->IsRelationElement("authors"));
+}
+
+TEST(TunedMappingTest, EndToEndLoadAndQuery) {
+  datagen::SigmodOptions gen_opts;
+  gen_opts.documents = 30;
+  auto corpus = datagen::SigmodGenerator(gen_opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+
+  ExperimentOptions opts;
+  opts.mapping = Mapping::kXoratorTuned;
+  opts.tuned.max_fragment_bytes = 256;
+  opts.tuned.max_fragment_depth = 0;
+  auto tuned = BuildExperimentDb(datagen::kSigmodDtd, docs, opts);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_GT(tuned->schema.tables.size(), 1u);
+
+  ExperimentOptions hybrid_opts;
+  hybrid_opts.mapping = Mapping::kHybrid;
+  auto hybrid = BuildExperimentDb(datagen::kSigmodDtd, docs, hybrid_opts);
+  ASSERT_TRUE(hybrid.ok());
+
+  // The tuned database agrees with Hybrid on document and author counts.
+  auto count = [](benchutil::ExperimentDb* db, const std::string& sql) {
+    auto r = db->db->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  };
+  EXPECT_EQ(count(&*tuned, "SELECT COUNT(*) AS n FROM pp"),
+            count(&*hybrid, "SELECT COUNT(*) AS n FROM pp"));
+  // Author keyword search through whatever XADT columns the tuned mapping
+  // kept (authors fragments live under atuple).
+  const TableSpec* atuple = tuned->schema.FindTable("atuple");
+  ASSERT_NE(atuple, nullptr);
+  int authors_col = atuple->ColumnIndex("atuple_authors");
+  ASSERT_GE(authors_col, 0);
+  auto tuned_match = tuned->db->Query(
+      "SELECT COUNT(*) AS n FROM atuple "
+      "WHERE findKeyInElm(atuple_authors, 'author', 'Worthy') = 1");
+  ASSERT_TRUE(tuned_match.ok()) << tuned_match.status().ToString();
+  auto hybrid_match = hybrid->db->Query(
+      "SELECT COUNT(*) AS n FROM atuple, authors, author "
+      "WHERE authors_parentID = atupleID AND author_parentID = authorsID "
+      "AND author_value LIKE '%Worthy%'");
+  ASSERT_TRUE(hybrid_match.ok());
+  EXPECT_EQ(tuned_match->rows[0][0].AsInt(),
+            hybrid_match->rows[0][0].AsInt());
+}
+
+TEST(TunedMappingTest, ShakespeareTunedKeepsSmallFragments) {
+  datagen::ShakespeareOptions gen_opts;
+  gen_opts.plays = 2;
+  auto corpus = datagen::ShakespeareGenerator(gen_opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+  auto dtd = xml::ParseDtd(datagen::kShakespeareDtd);
+  auto simplified = dtdgraph::Simplify(*dtd);
+  XmlStats stats = CollectXmlStats(docs);
+  // Speech lines are small; FM front matter can exceed a small threshold.
+  TunedOptions options;
+  options.max_fragment_bytes = 200;
+  options.max_fragment_depth = 0;
+  auto tuned = MapXoratorTuned(*simplified, stats, options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_TRUE(tuned->IsRelationElement("FM"));
+  EXPECT_GE(tuned->tables.size(), 8u);  // classic XORator has 7
+}
+
+}  // namespace
+}  // namespace xorator::mapping

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_crossover.dir/bench_join_crossover.cc.o"
+  "CMakeFiles/bench_join_crossover.dir/bench_join_crossover.cc.o.d"
+  "bench_join_crossover"
+  "bench_join_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_shakespeare.dir/bench_table1_shakespeare.cc.o"
+  "CMakeFiles/bench_table1_shakespeare.dir/bench_table1_shakespeare.cc.o.d"
+  "bench_table1_shakespeare"
+  "bench_table1_shakespeare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_shakespeare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sigmod.dir/bench_table2_sigmod.cc.o"
+  "CMakeFiles/bench_table2_sigmod.dir/bench_table2_sigmod.cc.o.d"
+  "bench_table2_sigmod"
+  "bench_table2_sigmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sigmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

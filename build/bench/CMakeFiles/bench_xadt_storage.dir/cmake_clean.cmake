@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xadt_storage.dir/bench_xadt_storage.cc.o"
+  "CMakeFiles/bench_xadt_storage.dir/bench_xadt_storage.cc.o.d"
+  "bench_xadt_storage"
+  "bench_xadt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xadt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

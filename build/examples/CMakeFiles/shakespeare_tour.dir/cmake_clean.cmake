@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shakespeare_tour.dir/shakespeare_tour.cpp.o"
+  "CMakeFiles/shakespeare_tour.dir/shakespeare_tour.cpp.o.d"
+  "shakespeare_tour"
+  "shakespeare_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shakespeare_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmod_proceedings.dir/sigmod_proceedings.cpp.o"
+  "CMakeFiles/sigmod_proceedings.dir/sigmod_proceedings.cpp.o.d"
+  "sigmod_proceedings"
+  "sigmod_proceedings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmod_proceedings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sigmod_proceedings.
+# This may be replaced when dependencies are built.

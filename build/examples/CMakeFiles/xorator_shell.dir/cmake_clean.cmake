@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorator_shell.dir/xorator_shell.cpp.o"
+  "CMakeFiles/xorator_shell.dir/xorator_shell.cpp.o.d"
+  "xorator_shell"
+  "xorator_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorator_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/benchutil.cc" "src/CMakeFiles/xorator.dir/benchutil/benchutil.cc.o" "gcc" "src/CMakeFiles/xorator.dir/benchutil/benchutil.cc.o.d"
+  "/root/repo/src/benchutil/fixture.cc" "src/CMakeFiles/xorator.dir/benchutil/fixture.cc.o" "gcc" "src/CMakeFiles/xorator.dir/benchutil/fixture.cc.o.d"
+  "/root/repo/src/benchutil/workload.cc" "src/CMakeFiles/xorator.dir/benchutil/workload.cc.o" "gcc" "src/CMakeFiles/xorator.dir/benchutil/workload.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xorator.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xorator.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/xorator.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/xorator.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/varint.cc" "src/CMakeFiles/xorator.dir/common/varint.cc.o" "gcc" "src/CMakeFiles/xorator.dir/common/varint.cc.o.d"
+  "/root/repo/src/datagen/dtds.cc" "src/CMakeFiles/xorator.dir/datagen/dtds.cc.o" "gcc" "src/CMakeFiles/xorator.dir/datagen/dtds.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/xorator.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/xorator.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/dtdgraph/dtd_graph.cc" "src/CMakeFiles/xorator.dir/dtdgraph/dtd_graph.cc.o" "gcc" "src/CMakeFiles/xorator.dir/dtdgraph/dtd_graph.cc.o.d"
+  "/root/repo/src/dtdgraph/simplify.cc" "src/CMakeFiles/xorator.dir/dtdgraph/simplify.cc.o" "gcc" "src/CMakeFiles/xorator.dir/dtdgraph/simplify.cc.o.d"
+  "/root/repo/src/mapping/mapper.cc" "src/CMakeFiles/xorator.dir/mapping/mapper.cc.o" "gcc" "src/CMakeFiles/xorator.dir/mapping/mapper.cc.o.d"
+  "/root/repo/src/mapping/schema.cc" "src/CMakeFiles/xorator.dir/mapping/schema.cc.o" "gcc" "src/CMakeFiles/xorator.dir/mapping/schema.cc.o.d"
+  "/root/repo/src/mapping/xml_stats.cc" "src/CMakeFiles/xorator.dir/mapping/xml_stats.cc.o" "gcc" "src/CMakeFiles/xorator.dir/mapping/xml_stats.cc.o.d"
+  "/root/repo/src/ordb/bptree.cc" "src/CMakeFiles/xorator.dir/ordb/bptree.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/bptree.cc.o.d"
+  "/root/repo/src/ordb/buffer_pool.cc" "src/CMakeFiles/xorator.dir/ordb/buffer_pool.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/buffer_pool.cc.o.d"
+  "/root/repo/src/ordb/catalog.cc" "src/CMakeFiles/xorator.dir/ordb/catalog.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/catalog.cc.o.d"
+  "/root/repo/src/ordb/database.cc" "src/CMakeFiles/xorator.dir/ordb/database.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/database.cc.o.d"
+  "/root/repo/src/ordb/executor.cc" "src/CMakeFiles/xorator.dir/ordb/executor.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/executor.cc.o.d"
+  "/root/repo/src/ordb/expr.cc" "src/CMakeFiles/xorator.dir/ordb/expr.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/expr.cc.o.d"
+  "/root/repo/src/ordb/functions.cc" "src/CMakeFiles/xorator.dir/ordb/functions.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/functions.cc.o.d"
+  "/root/repo/src/ordb/heap_file.cc" "src/CMakeFiles/xorator.dir/ordb/heap_file.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/heap_file.cc.o.d"
+  "/root/repo/src/ordb/page.cc" "src/CMakeFiles/xorator.dir/ordb/page.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/page.cc.o.d"
+  "/root/repo/src/ordb/pager.cc" "src/CMakeFiles/xorator.dir/ordb/pager.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/pager.cc.o.d"
+  "/root/repo/src/ordb/planner.cc" "src/CMakeFiles/xorator.dir/ordb/planner.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/planner.cc.o.d"
+  "/root/repo/src/ordb/sql.cc" "src/CMakeFiles/xorator.dir/ordb/sql.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/sql.cc.o.d"
+  "/root/repo/src/ordb/tuple.cc" "src/CMakeFiles/xorator.dir/ordb/tuple.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/tuple.cc.o.d"
+  "/root/repo/src/ordb/value.cc" "src/CMakeFiles/xorator.dir/ordb/value.cc.o" "gcc" "src/CMakeFiles/xorator.dir/ordb/value.cc.o.d"
+  "/root/repo/src/shred/loader.cc" "src/CMakeFiles/xorator.dir/shred/loader.cc.o" "gcc" "src/CMakeFiles/xorator.dir/shred/loader.cc.o.d"
+  "/root/repo/src/shred/reconstruct.cc" "src/CMakeFiles/xorator.dir/shred/reconstruct.cc.o" "gcc" "src/CMakeFiles/xorator.dir/shred/reconstruct.cc.o.d"
+  "/root/repo/src/shred/shredder.cc" "src/CMakeFiles/xorator.dir/shred/shredder.cc.o" "gcc" "src/CMakeFiles/xorator.dir/shred/shredder.cc.o.d"
+  "/root/repo/src/xadt/functions.cc" "src/CMakeFiles/xorator.dir/xadt/functions.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xadt/functions.cc.o.d"
+  "/root/repo/src/xadt/scanner.cc" "src/CMakeFiles/xorator.dir/xadt/scanner.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xadt/scanner.cc.o.d"
+  "/root/repo/src/xadt/xadt.cc" "src/CMakeFiles/xorator.dir/xadt/xadt.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xadt/xadt.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/CMakeFiles/xorator.dir/xml/dom.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xml/dom.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/xorator.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xorator.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xorator.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/xpath.cc" "src/CMakeFiles/xorator.dir/xpath/xpath.cc.o" "gcc" "src/CMakeFiles/xorator.dir/xpath/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

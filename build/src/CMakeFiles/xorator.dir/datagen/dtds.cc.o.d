@@ -1,0 +1,3 @@
+src/CMakeFiles/xorator.dir/datagen/dtds.cc.o: \
+ /root/repo/src/datagen/dtds.cc /usr/include/stdc-predef.h \
+ /root/repo/src/datagen/dtds.h

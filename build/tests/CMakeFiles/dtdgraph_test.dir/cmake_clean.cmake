@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdgraph_test.dir/dtdgraph_test.cc.o"
+  "CMakeFiles/dtdgraph_test.dir/dtdgraph_test.cc.o.d"
+  "dtdgraph_test"
+  "dtdgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shred_test.dir/shred_test.cc.o"
+  "CMakeFiles/shred_test.dir/shred_test.cc.o.d"
+  "shred_test"
+  "shred_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuned_mapping_test.dir/tuned_mapping_test.cc.o"
+  "CMakeFiles/tuned_mapping_test.dir/tuned_mapping_test.cc.o.d"
+  "tuned_mapping_test"
+  "tuned_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuned_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

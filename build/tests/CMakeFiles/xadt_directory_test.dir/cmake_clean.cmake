@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xadt_directory_test.dir/xadt_directory_test.cc.o"
+  "CMakeFiles/xadt_directory_test.dir/xadt_directory_test.cc.o.d"
+  "xadt_directory_test"
+  "xadt_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xadt_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

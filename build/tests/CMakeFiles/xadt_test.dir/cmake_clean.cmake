@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xadt_test.dir/xadt_test.cc.o"
+  "CMakeFiles/xadt_test.dir/xadt_test.cc.o.d"
+  "xadt_test"
+  "xadt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xadt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

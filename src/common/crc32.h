@@ -1,0 +1,17 @@
+#ifndef XORATOR_COMMON_CRC32_H_
+#define XORATOR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xorator {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+///
+/// Used to checksum storage pages and WAL records. `seed` allows chaining:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace xorator
+
+#endif  // XORATOR_COMMON_CRC32_H_

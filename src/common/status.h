@@ -18,6 +18,12 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  /// Stored data failed an integrity check (checksum mismatch, torn page,
+  /// malformed on-disk structure). Never retryable.
+  kCorruption,
+  /// A transient I/O failure; the operation may succeed if retried (the
+  /// buffer pool retries these with bounded backoff).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -64,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,7 +6,7 @@ namespace xorator::ordb {
 
 namespace {
 
-// Node layout.
+// Node layout, after the common checksummed page header (kPageHeaderBytes).
 //   byte 0:      type (0 = leaf, 1 = internal)
 //   bytes 2..3:  entry count (u16)
 //   bytes 4..7:  leaf: next-leaf page id; internal: first child page id
@@ -15,7 +15,8 @@ namespace {
 // Internal separators are (key, rid) pairs so duplicate keys route
 // deterministically; child[i] holds entries < separator[i], the extra
 // child in the header holds the leftmost subtree.
-constexpr size_t kEntryOffset = 8;
+constexpr size_t kNodeBase = kPageHeaderBytes;
+constexpr size_t kEntryOffset = kNodeBase + 8;
 constexpr size_t kLeafEntryBytes = 16;
 constexpr size_t kInternalEntryBytes = 20;
 constexpr size_t kLeafCapacity = (kPageSize - kEntryOffset) / kLeafEntryBytes;
@@ -30,20 +31,24 @@ struct EntryKey {
   }
 };
 
-bool IsLeaf(const char* node) { return node[0] == 0; }
-void SetLeaf(char* node, bool leaf) { node[0] = leaf ? 0 : 1; }
+bool IsLeaf(const char* node) { return node[kNodeBase] == 0; }
+void SetLeaf(char* node, bool leaf) { node[kNodeBase] = leaf ? 0 : 1; }
 uint16_t Count(const char* node) {
   uint16_t c;
-  std::memcpy(&c, node + 2, 2);
+  std::memcpy(&c, node + kNodeBase + 2, 2);
   return c;
 }
-void SetCount(char* node, uint16_t c) { std::memcpy(node + 2, &c, 2); }
+void SetCount(char* node, uint16_t c) {
+  std::memcpy(node + kNodeBase + 2, &c, 2);
+}
 PageId Link(const char* node) {
   PageId p;
-  std::memcpy(&p, node + 4, 4);
+  std::memcpy(&p, node + kNodeBase + 4, 4);
   return p;
 }
-void SetLink(char* node, PageId p) { std::memcpy(node + 4, &p, 4); }
+void SetLink(char* node, PageId p) {
+  std::memcpy(node + kNodeBase + 4, &p, 4);
+}
 
 EntryKey LeafEntry(const char* node, size_t i) {
   EntryKey e;

@@ -1,11 +1,57 @@
 #include "ordb/buffer_pool.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace xorator::ordb {
 
 BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   frames_.resize(capacity == 0 ? 1 : capacity);
+}
+
+namespace {
+
+/// Runs `op`, retrying transient (kUnavailable) failures with exponential
+/// backoff. Any other status — including kUnavailable once the attempts
+/// are exhausted — is returned as-is.
+template <typename Op>
+Status WithRetry(Op&& op, uint64_t* retries) {
+  Status s;
+  for (int attempt = 0; attempt <= BufferPool::kMaxIoRetries; ++attempt) {
+    if (attempt > 0) {
+      ++*retries;
+      std::this_thread::sleep_for(std::chrono::microseconds(1u << attempt));
+    }
+    s = op();
+    if (s.code() != StatusCode::kUnavailable) return s;
+  }
+  return s;
+}
+
+}  // namespace
+
+Status BufferPool::ReadRetry(PageId id, char* buf) {
+  return WithRetry([&] { return pager_->Read(id, buf); }, &stats_.retries);
+}
+
+Status BufferPool::WriteRetry(PageId id, const char* buf) {
+  return WithRetry([&] { return pager_->Write(id, buf); }, &stats_.retries);
+}
+
+Status BufferPool::WriteBack(Frame& f) {
+  SetPageChecksum(f.data.get());
+  if (wal_ != nullptr && f.page_id < wal_->checkpoint_page_count() &&
+      !wal_->Logged(f.page_id)) {
+    // Write-ahead rule: the page's current on-disk image must be durable
+    // in the log before this epoch's first overwrite of it.
+    if (scratch_ == nullptr) scratch_ = std::make_unique<char[]>(kPageSize);
+    XO_RETURN_NOT_OK(ReadRetry(f.page_id, scratch_.get()));
+    XO_RETURN_NOT_OK(wal_->LogPageImage(f.page_id, scratch_.get()));
+  }
+  XO_RETURN_NOT_OK(WriteRetry(f.page_id, f.data.get()));
+  ++stats_.writebacks;
+  return Status::OK();
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
@@ -24,8 +70,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   }
   Frame& f = frames_[victim];
   if (f.dirty) {
-    XO_RETURN_NOT_OK(pager_->Write(f.page_id, f.data.get()));
-    ++stats_.writebacks;
+    XO_RETURN_NOT_OK(WriteBack(f));
   }
   frame_of_page_.erase(f.page_id);
   f.page_id = kInvalidPageId;
@@ -47,7 +92,12 @@ Result<char*> BufferPool::FetchPage(PageId id) {
   XO_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
   if (f.data == nullptr) f.data = std::make_unique<char[]>(kPageSize);
-  XO_RETURN_NOT_OK(pager_->Read(id, f.data.get()));
+  XO_RETURN_NOT_OK(ReadRetry(id, f.data.get()));
+  if (!VerifyPageChecksum(f.data.get())) {
+    ++stats_.checksum_failures;
+    return Status::Corruption("page " + std::to_string(id) +
+                              " failed its checksum (torn write or bit rot)");
+  }
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
@@ -57,7 +107,15 @@ Result<char*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<std::pair<PageId, char*>> BufferPool::NewPage() {
-  XO_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+  Result<PageId> alloc = pager_->Allocate();
+  for (int attempt = 1; attempt <= kMaxIoRetries &&
+                        alloc.status().code() == StatusCode::kUnavailable;
+       ++attempt) {
+    ++stats_.retries;
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << attempt));
+    alloc = pager_->Allocate();
+  }
+  XO_ASSIGN_OR_RETURN(PageId id, std::move(alloc));
   XO_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
   if (f.data == nullptr) f.data = std::make_unique<char[]>(kPageSize);
@@ -81,9 +139,8 @@ void BufferPool::Unpin(PageId id, bool dirty) {
 Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
-      XO_RETURN_NOT_OK(pager_->Write(f.page_id, f.data.get()));
+      XO_RETURN_NOT_OK(WriteBack(f));
       f.dirty = false;
-      ++stats_.writebacks;
     }
   }
   return Status::OK();

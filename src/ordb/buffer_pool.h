@@ -9,15 +9,21 @@
 #include "common/result.h"
 #include "ordb/page.h"
 #include "ordb/pager.h"
+#include "ordb/wal.h"
 
 namespace xorator::ordb {
 
-/// Counters for buffer-pool behaviour, surfaced by benchmarks.
+/// Counters for buffer-pool behaviour, surfaced by benchmarks and the
+/// fault-injection tests.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  /// Transient pager faults absorbed by the retry policy.
+  uint64_t retries = 0;
+  /// Pages rejected on fetch because their checksum did not verify.
+  uint64_t checksum_failures = 0;
 };
 
 /// A fixed-capacity LRU buffer pool over a Pager.
@@ -25,10 +31,22 @@ struct BufferPoolStats {
 /// Usage: FetchPage/NewPage pin a frame; callers must Unpin with the dirty
 /// flag once done. Not thread-safe (the engine is single-threaded by
 /// design; see DESIGN.md).
+///
+/// Durability duties (see DESIGN.md "Durability & fault tolerance"):
+/// - every fetched page is checksum-verified (kCorruption on mismatch);
+/// - every written-back page is checksum-stamped first;
+/// - when a Wal is attached, a page's on-disk pre-image is logged before
+///   its first write-back of the checkpoint epoch (write-ahead rule);
+/// - pager operations failing with kUnavailable (transient faults) are
+///   retried up to kMaxIoRetries times with exponential backoff.
 class BufferPool {
  public:
   /// `capacity` is in pages.
   BufferPool(Pager* pager, size_t capacity);
+
+  /// Attaches the write-ahead log consulted before write-backs. Pass
+  /// nullptr to detach (memory-backed databases run without one).
+  void set_wal(Wal* wal) { wal_ = wal; }
 
   /// Returns a pinned pointer to the page contents.
   Result<char*> FetchPage(PageId id);
@@ -44,6 +62,9 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   size_t capacity() const { return frames_.size(); }
 
+  /// Attempts a pager op, absorbing up to this many transient faults.
+  static constexpr int kMaxIoRetries = 4;
+
  private:
   struct Frame {
     PageId page_id = kInvalidPageId;
@@ -54,10 +75,16 @@ class BufferPool {
   };
 
   Result<size_t> GetVictimFrame();
+  /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
+  Status WriteBack(Frame& frame);
+  Status ReadRetry(PageId id, char* buf);
+  Status WriteRetry(PageId id, const char* buf);
 
   Pager* pager_;
+  Wal* wal_ = nullptr;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> frame_of_page_;
+  std::unique_ptr<char[]> scratch_;  // pre-image staging buffer
   uint64_t clock_ = 0;
   BufferPoolStats stats_;
 };

@@ -58,6 +58,30 @@ Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
   return raw;
 }
 
+Result<TableInfo*> Catalog::RestoreTable(std::unique_ptr<TableInfo> info) {
+  if (table_by_name_.count(info->name)) {
+    return Status::AlreadyExists("table '" + info->name + "' exists");
+  }
+  info->stats.columns.resize(info->schema.size());
+  TableInfo* raw = info.get();
+  tables_.push_back(std::move(info));
+  table_by_name_[raw->name] = raw;
+  return raw;
+}
+
+Result<IndexInfo*> Catalog::RestoreIndex(std::unique_ptr<IndexInfo> info) {
+  TableInfo* t = FindTable(info->table);
+  if (t == nullptr) {
+    return Status::Corruption("index '" + info->name +
+                              "' references missing table '" + info->table +
+                              "'");
+  }
+  IndexInfo* raw = info.get();
+  indexes_.push_back(std::move(info));
+  t->indexes.push_back(raw);
+  return raw;
+}
+
 TableInfo* Catalog::FindTable(std::string_view name) {
   auto it = table_by_name_.find(name);
   return it == table_by_name_.end() ? nullptr : it->second;

@@ -58,6 +58,12 @@ class Catalog {
                                  const std::string& table,
                                  const std::string& column, BufferPool* pool);
 
+  /// Re-registers a table deserialized from the catalog page (its heap
+  /// already exists in the file). Fails if the name is taken.
+  Result<TableInfo*> RestoreTable(std::unique_ptr<TableInfo> info);
+  /// Re-registers a deserialized index and links it to its table.
+  Result<IndexInfo*> RestoreIndex(std::unique_ptr<IndexInfo> info);
+
   TableInfo* FindTable(std::string_view name);
   const TableInfo* FindTable(std::string_view name) const;
 

@@ -1,11 +1,38 @@
 #include "ordb/database.h"
 
+#include <cstring>
 #include <set>
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "common/varint.h"
 
 namespace xorator::ordb {
+
+namespace {
+
+/// Meta-page catalog serialization (see DESIGN.md "Durability & fault
+/// tolerance"). Everything is varints after the magic; strings are
+/// length-prefixed.
+constexpr uint64_t kCatalogMagic = 0x47544358;  // "XCTG"
+constexpr uint64_t kCatalogVersion = 1;
+
+void PutString(std::string* dst, std::string_view s) {
+  PutVarint(dst, s.size());
+  dst->append(s);
+}
+
+Result<std::string> GetString(std::string_view src, size_t* pos) {
+  XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(src, pos));
+  if (len > src.size() - *pos) {
+    return Status::Corruption("meta page: string runs past the page");
+  }
+  std::string out(src.substr(*pos, len));
+  *pos += len;
+  return out;
+}
+
+}  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out;
@@ -34,16 +61,186 @@ std::string QueryResult::ToString(size_t max_rows) const {
 
 Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
   auto db = std::unique_ptr<Database>(new Database(options));
+  std::unique_ptr<Pager> pager;
   if (options.path.empty()) {
-    db->pager_ = std::make_unique<MemoryPager>();
+    pager = std::make_unique<MemoryPager>();
   } else {
-    XO_ASSIGN_OR_RETURN(auto pager, FilePager::Open(options.path));
-    db->pager_ = std::move(pager);
+    // Roll back any interrupted epoch before the pager sees the file, so
+    // torn final pages are healed before the size/alignment check.
+    const std::string wal_path = options.path + ".wal";
+    XO_RETURN_NOT_OK(RecoverFromWal(options.path, wal_path).status());
+    XO_ASSIGN_OR_RETURN(auto file_pager, FilePager::Open(options.path));
+    pager = std::move(file_pager);
+    XO_ASSIGN_OR_RETURN(db->wal_,
+                        Wal::Open(wal_path, pager->page_count()));
   }
+  if (options.fault.has_value()) {
+    auto faulty =
+        std::make_unique<FaultInjectingPager>(std::move(pager), *options.fault);
+    db->fault_pager_ = faulty.get();
+    pager = std::move(faulty);
+  }
+  db->pager_ = std::move(pager);
   db->pool_ =
       std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
+  db->pool_->set_wal(db->wal_.get());
   db->functions_ = FunctionRegistry::WithBuiltins();
+  if (db->wal_ != nullptr) {
+    if (db->pager_->page_count() == 0) {
+      // Fresh database: claim page 0 as the meta page and commit the
+      // empty catalog so even a never-used file reopens cleanly.
+      XO_ASSIGN_OR_RETURN(auto meta, db->pool_->NewPage());
+      if (meta.first != 0) {
+        return Status::Internal("meta page allocated as page " +
+                                std::to_string(meta.first) + ", not 0");
+      }
+      db->pool_->Unpin(meta.first, /*dirty=*/true);
+      XO_RETURN_NOT_OK(db->Checkpoint());
+    } else {
+      XO_RETURN_NOT_OK(db->LoadCatalog());
+    }
+  }
+  db->opened_ = true;
   return db;
+}
+
+Database::~Database() {
+  if (opened_ && !closed_ && !killed_ && pool_ != nullptr) (void)Checkpoint();
+}
+
+Status Database::Checkpoint() {
+  if (pool_ == nullptr) return Status::OK();
+  if (wal_ == nullptr) return pool_->FlushAll();  // memory-backed
+  XO_RETURN_NOT_OK(SaveCatalog());
+  XO_RETURN_NOT_OK(pool_->FlushAll());
+  XO_RETURN_NOT_OK(pager_->Flush());
+  // Truncating the journal is the atomic commit: everything flushed above
+  // is now the state the next Open() lands on.
+  return wal_->Reset(pager_->page_count());
+}
+
+Status Database::Close() {
+  if (closed_ || killed_) return Status::OK();
+  Status s = Checkpoint();
+  closed_ = true;
+  return s;
+}
+
+Status Database::SaveCatalog() {
+  std::string blob;
+  PutVarint(&blob, kCatalogMagic);
+  PutVarint(&blob, kCatalogVersion);
+  PutVarint(&blob, catalog_.tables().size());
+  for (const auto& t : catalog_.tables()) {
+    PutString(&blob, t->name);
+    PutVarint(&blob, t->schema.size());
+    for (const ColumnDef& c : t->schema.columns) {
+      PutString(&blob, c.name);
+      PutVarint(&blob, static_cast<uint64_t>(c.type));
+    }
+    PutVarint(&blob, t->heap->first_page());
+    PutVarint(&blob, t->heap->last_page());
+    PutVarint(&blob, t->heap->record_count());
+    PutVarint(&blob, t->heap->page_count());
+  }
+  PutVarint(&blob, catalog_.indexes().size());
+  for (const auto& i : catalog_.indexes()) {
+    PutString(&blob, i->name);
+    PutString(&blob, i->table);
+    PutString(&blob, i->column);
+    PutVarint(&blob, static_cast<uint64_t>(i->column_index));
+    PutVarint(&blob, static_cast<uint64_t>(i->key_type));
+    PutVarint(&blob, i->tree->root());
+    PutVarint(&blob, i->tree->page_count());
+    PutVarint(&blob, i->tree->entry_count());
+  }
+  if (blob.size() > kPageSize - kPageHeaderBytes) {
+    return Status::Internal("catalog (" + std::to_string(blob.size()) +
+                            " bytes) overflows the 8 KB meta page");
+  }
+  XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
+  std::memset(page + kPageHeaderBytes, 0, kPageSize - kPageHeaderBytes);
+  std::memcpy(page + kPageHeaderBytes, blob.data(), blob.size());
+  pool_->Unpin(0, /*dirty=*/true);
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  std::string payload;
+  {
+    XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
+    payload.assign(page + kPageHeaderBytes, kPageSize - kPageHeaderBytes);
+    pool_->Unpin(0, /*dirty=*/false);
+  }
+  const std::string_view view(payload);
+  const PageId pages = pager_->page_count();
+  size_t pos = 0;
+  XO_ASSIGN_OR_RETURN(uint64_t magic, GetVarint(view, &pos));
+  if (magic != kCatalogMagic) {
+    return Status::Corruption("meta page has no catalog (bad magic)");
+  }
+  XO_ASSIGN_OR_RETURN(uint64_t version, GetVarint(view, &pos));
+  if (version != kCatalogVersion) {
+    return Status::Corruption("catalog version " + std::to_string(version) +
+                              " is not supported");
+  }
+  XO_ASSIGN_OR_RETURN(uint64_t table_count, GetVarint(view, &pos));
+  for (uint64_t ti = 0; ti < table_count; ++ti) {
+    auto info = std::make_unique<TableInfo>();
+    XO_ASSIGN_OR_RETURN(info->name, GetString(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t col_count, GetVarint(view, &pos));
+    for (uint64_t ci = 0; ci < col_count; ++ci) {
+      ColumnDef col;
+      XO_ASSIGN_OR_RETURN(col.name, GetString(view, &pos));
+      XO_ASSIGN_OR_RETURN(uint64_t type, GetVarint(view, &pos));
+      if (type > static_cast<uint64_t>(TypeId::kXadt)) {
+        return Status::Corruption("catalog: column '" + col.name +
+                                  "' has unknown type " +
+                                  std::to_string(type));
+      }
+      col.type = static_cast<TypeId>(type);
+      info->schema.columns.push_back(std::move(col));
+    }
+    XO_ASSIGN_OR_RETURN(uint64_t first, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t last, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t records, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t heap_pages, GetVarint(view, &pos));
+    if (first >= pages || last >= pages) {
+      return Status::Corruption("catalog: heap of '" + info->name +
+                                "' points past the end of the file");
+    }
+    info->heap = std::make_unique<HeapFile>(
+        pool_.get(), static_cast<PageId>(first), static_cast<PageId>(last),
+        records, heap_pages);
+    XO_RETURN_NOT_OK(catalog_.RestoreTable(std::move(info)).status());
+  }
+  XO_ASSIGN_OR_RETURN(uint64_t index_count, GetVarint(view, &pos));
+  for (uint64_t ii = 0; ii < index_count; ++ii) {
+    auto info = std::make_unique<IndexInfo>();
+    XO_ASSIGN_OR_RETURN(info->name, GetString(view, &pos));
+    XO_ASSIGN_OR_RETURN(info->table, GetString(view, &pos));
+    XO_ASSIGN_OR_RETURN(info->column, GetString(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t col, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t type, GetVarint(view, &pos));
+    if (type > static_cast<uint64_t>(TypeId::kXadt)) {
+      return Status::Corruption("catalog: index '" + info->name +
+                                "' has unknown key type " +
+                                std::to_string(type));
+    }
+    info->column_index = static_cast<int>(col);
+    info->key_type = static_cast<TypeId>(type);
+    XO_ASSIGN_OR_RETURN(uint64_t root, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t tree_pages, GetVarint(view, &pos));
+    XO_ASSIGN_OR_RETURN(uint64_t entries, GetVarint(view, &pos));
+    if (root >= pages) {
+      return Status::Corruption("catalog: index '" + info->name +
+                                "' roots past the end of the file");
+    }
+    info->tree = std::make_unique<BPlusTree>(
+        pool_.get(), static_cast<PageId>(root), tree_pages, entries);
+    XO_RETURN_NOT_OK(catalog_.RestoreIndex(std::move(info)).status());
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,

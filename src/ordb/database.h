@@ -5,12 +5,16 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "common/result.h"
 #include "ordb/buffer_pool.h"
 #include "ordb/catalog.h"
+#include "ordb/fault_pager.h"
 #include "ordb/functions.h"
 #include "ordb/pager.h"
 #include "ordb/planner.h"
+#include "ordb/wal.h"
 
 namespace xorator::ordb {
 
@@ -21,6 +25,9 @@ struct DbOptions {
   /// Buffer pool capacity in pages (default 64 MB of 8 KB pages).
   size_t buffer_pool_pages = 8192;
   PlannerOptions planner;
+  /// When set, the pager is wrapped in a FaultInjectingPager driving the
+  /// given deterministic fault schedule (testing only).
+  std::optional<FaultOptions> fault;
 };
 
 /// Materialized result of a query.
@@ -45,7 +52,28 @@ struct QueryResult {
 ///   auto result = db->Query("SELECT a FROM t WHERE b = 'x'");
 class Database {
  public:
+  /// Opens (creating or recovering) a database. For file-backed databases
+  /// this first rolls back any interrupted epoch via the write-ahead log
+  /// (see wal.h), then reloads the catalog from the meta page; the last
+  /// Checkpoint() is the state that survives a crash.
   static Result<std::unique_ptr<Database>> Open(const DbOptions& options = {});
+
+  /// Checkpoints (best effort) unless Close() or Kill() was called.
+  ~Database();
+
+  /// Makes the current state durable: persists the catalog to the meta
+  /// page, flushes every dirty buffer, and truncates the WAL (the atomic
+  /// commit point). No-op persistence-wise for memory-backed databases.
+  Status Checkpoint();
+
+  /// Checkpoints and marks the database closed.
+  Status Close();
+
+  /// Testing hook: simulate a crash. The destructor will NOT checkpoint;
+  /// dirty frames are dropped and the WAL keeps its current epoch, so the
+  /// next Open() rolls back to the last checkpoint — exactly as if the
+  /// process had died here.
+  void Kill() { killed_ = true; }
 
   /// Runs any statement; DDL/INSERT return an empty result.
   Result<QueryResult> Query(const std::string& sql);
@@ -74,6 +102,11 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   FunctionRegistry* functions() { return &functions_; }
   BufferPool* buffer_pool() { return pool_.get(); }
+  /// The fault-injection decorator, or nullptr when DbOptions::fault is
+  /// unset.
+  FaultInjectingPager* fault_pager() { return fault_pager_; }
+  /// The write-ahead log (nullptr for memory-backed databases).
+  Wal* wal() { return wal_.get(); }
   const DbOptions& options() const { return options_; }
   DbOptions* mutable_options() { return &options_; }
 
@@ -87,11 +120,26 @@ class Database {
   Result<QueryResult> RunSelect(const sql::SelectStmt& stmt, bool explain_only);
   Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
 
+  /// Serializes the catalog into the meta page (page 0 of file-backed
+  /// databases).
+  Status SaveCatalog();
+  /// Rebuilds the catalog from the meta page of an existing database.
+  Status LoadCatalog();
+
   DbOptions options_;
-  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Pager> pager_;  // declared before pool_/wal_: destroyed last
+  std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
   Catalog catalog_;
   FunctionRegistry functions_;
+  FaultInjectingPager* fault_pager_ = nullptr;  // owned via pager_
+  /// Set once Open() fully succeeds. A database that failed to open (e.g.
+  /// its catalog is corrupt) must stay read-only: checkpointing it would
+  /// overwrite the meta page with a partial catalog and truncate the WAL,
+  /// destroying exactly the evidence a later repair needs.
+  bool opened_ = false;
+  bool closed_ = false;
+  bool killed_ = false;
 };
 
 }  // namespace xorator::ordb

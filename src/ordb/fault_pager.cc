@@ -1,0 +1,85 @@
+#include "ordb/fault_pager.h"
+
+#include <cstring>
+
+namespace xorator::ordb {
+
+bool FaultInjectingPager::Chance(double rate) {
+  if (rate <= 0) return false;
+  return std::uniform_real_distribution<double>(0, 1)(rng_) < rate;
+}
+
+Status FaultInjectingPager::Draw(bool is_write) {
+  if (is_write && options_.fail_after_writes >= 0 &&
+      static_cast<int64_t>(stats_.writes) >= options_.fail_after_writes) {
+    ++stats_.crash_failures;
+    return Status::IOError("injected crash: disk gone after " +
+                           std::to_string(options_.fail_after_writes) +
+                           " writes");
+  }
+  if (Chance(options_.permanent_rate)) {
+    ++stats_.permanents;
+    consecutive_transients_ = 0;
+    return Status::IOError("injected permanent fault");
+  }
+  if (consecutive_transients_ < options_.max_consecutive_transients &&
+      Chance(options_.transient_rate)) {
+    ++stats_.transients;
+    ++consecutive_transients_;
+    return Status::Unavailable("injected transient fault");
+  }
+  consecutive_transients_ = 0;
+  return Status::OK();
+}
+
+Result<PageId> FaultInjectingPager::Allocate() {
+  XO_RETURN_NOT_OK(Draw(/*is_write=*/true));
+  auto id = base_->Allocate();
+  if (id.ok()) ++stats_.writes;
+  return id;
+}
+
+Status FaultInjectingPager::Read(PageId id, char* buf) {
+  XO_RETURN_NOT_OK(Draw(/*is_write=*/false));
+  Status s = base_->Read(id, buf);
+  if (s.ok()) ++stats_.reads;
+  return s;
+}
+
+Status FaultInjectingPager::Write(PageId id, const char* buf) {
+  XO_RETURN_NOT_OK(Draw(/*is_write=*/true));
+  if (Chance(options_.torn_write_rate)) {
+    // Persist only a prefix: read-modify-write so the page tail keeps its
+    // previous content, exactly like a write cut short by power loss.
+    ++stats_.torn_writes;
+    size_t cut = 1 + static_cast<size_t>(
+                         std::uniform_int_distribution<uint64_t>(
+                             0, kPageSize - 2)(rng_));
+    char torn[kPageSize];
+    Status read = base_->Read(id, torn);
+    if (!read.ok()) std::memset(torn, 0, kPageSize);
+    std::memcpy(torn, buf, cut);
+    (void)base_->Write(id, torn);
+    return Status::IOError("injected torn write of page " +
+                           std::to_string(id) + " (" + std::to_string(cut) +
+                           " bytes reached disk)");
+  }
+  if (Chance(options_.bit_flip_rate)) {
+    ++stats_.bit_flips;
+    size_t bit = static_cast<size_t>(std::uniform_int_distribution<uint64_t>(
+        0, kPageSize * 8 - 1)(rng_));
+    char flipped[kPageSize];
+    std::memcpy(flipped, buf, kPageSize);
+    flipped[bit / 8] = static_cast<char>(flipped[bit / 8] ^ (1u << (bit % 8)));
+    Status s = base_->Write(id, flipped);
+    if (s.ok()) ++stats_.writes;  // the caller believes it succeeded
+    return s;
+  }
+  Status s = base_->Write(id, buf);
+  if (s.ok()) ++stats_.writes;
+  return s;
+}
+
+Status FaultInjectingPager::Flush() { return base_->Flush(); }
+
+}  // namespace xorator::ordb

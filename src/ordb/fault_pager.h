@@ -1,0 +1,89 @@
+#ifndef XORATOR_ORDB_FAULT_PAGER_H_
+#define XORATOR_ORDB_FAULT_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+
+#include "common/result.h"
+#include "ordb/page.h"
+#include "ordb/pager.h"
+
+namespace xorator::ordb {
+
+/// Deterministic fault schedule for FaultInjectingPager. All rates are
+/// probabilities in [0, 1] drawn from a PRNG seeded with `seed`, so a
+/// given (schedule, operation sequence) always injects the same faults.
+struct FaultOptions {
+  uint64_t seed = 42;
+
+  /// Rate of transient failures (StatusCode::kUnavailable) on reads and
+  /// writes. The same operation never fails more than
+  /// `max_consecutive_transients` times in a row, so the buffer pool's
+  /// bounded retry always eventually succeeds on a purely transient
+  /// schedule.
+  double transient_rate = 0;
+  int max_consecutive_transients = 2;
+
+  /// Rate of permanent failures (StatusCode::kIOError) on reads and
+  /// writes. Not retryable.
+  double permanent_rate = 0;
+
+  /// Rate of torn writes: only a random prefix of the page reaches the
+  /// underlying pager and the write reports kIOError.
+  double torn_write_rate = 0;
+
+  /// Rate of silent single-bit flips on writes: the write "succeeds" but
+  /// the stored page differs by one bit (caught later by the page
+  /// checksum as kCorruption).
+  double bit_flip_rate = 0;
+
+  /// Crash mode: after this many successful writes/allocations, every
+  /// subsequent write and allocation fails with kIOError (simulating the
+  /// process losing its disk mid-run). Negative disables.
+  int64_t fail_after_writes = -1;
+};
+
+/// Counters of what was actually injected.
+struct FaultStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t transients = 0;
+  uint64_t permanents = 0;
+  uint64_t torn_writes = 0;
+  uint64_t bit_flips = 0;
+  uint64_t crash_failures = 0;
+};
+
+/// A Pager decorator that injects faults according to a seeded,
+/// deterministic schedule — the harness behind tests/recovery_test.cc and
+/// the fault scenarios in tests/robustness_test.cc.
+class FaultInjectingPager : public Pager {
+ public:
+  FaultInjectingPager(std::unique_ptr<Pager> base, const FaultOptions& options)
+      : base_(std::move(base)), options_(options), rng_(options.seed) {}
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, char* buf) override;
+  Status Write(PageId id, const char* buf) override;
+  Status Flush() override;
+  PageId page_count() const override { return base_->page_count(); }
+
+  const FaultStats& stats() const { return stats_; }
+  Pager* base() { return base_.get(); }
+
+ private:
+  /// Draws the fault decision for one operation; OK means "pass through".
+  Status Draw(bool is_write);
+  bool Chance(double rate);
+
+  std::unique_ptr<Pager> base_;
+  FaultOptions options_;
+  std::mt19937_64 rng_;
+  FaultStats stats_;
+  int consecutive_transients_ = 0;
+};
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_FAULT_PAGER_H_

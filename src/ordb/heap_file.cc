@@ -5,8 +5,10 @@
 namespace xorator::ordb {
 
 namespace {
-// Overflow page layout: [next:u32][len:u32][bytes...].
-constexpr size_t kOverflowHeader = 8;
+// Overflow page layout, after the common checksummed page header:
+// [next:u32][len:u32][bytes...].
+constexpr size_t kOverflowBase = kPageHeaderBytes;
+constexpr size_t kOverflowHeader = kOverflowBase + 8;
 constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
 // Records at most this large are stored inline in a slotted page.
 constexpr size_t kMaxInline = kPageSize - 64;
@@ -45,14 +47,14 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
     ++page_count_;
     uint32_t next = kInvalidPageId;
     uint32_t len = static_cast<uint32_t>(chunk);
-    std::memcpy(page.second, &next, 4);
-    std::memcpy(page.second + 4, &len, 4);
+    std::memcpy(page.second + kOverflowBase, &next, 4);
+    std::memcpy(page.second + kOverflowBase + 4, &len, 4);
     std::memcpy(page.second + kOverflowHeader, record.data() + pos, chunk);
     pool_->Unpin(page.first, /*dirty=*/true);
     if (prev != kInvalidPageId) {
       XO_ASSIGN_OR_RETURN(char* prev_data, pool_->FetchPage(prev));
       uint32_t link = page.first;
-      std::memcpy(prev_data, &link, 4);
+      std::memcpy(prev_data + kOverflowBase, &link, 4);
       pool_->Unpin(prev, /*dirty=*/true);
     } else {
       head = page.first;
@@ -104,13 +106,20 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
   while (page_id != kInvalidPageId && out.size() < total) {
     XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(page_id));
     uint32_t next, len;
-    std::memcpy(&next, data, 4);
-    std::memcpy(&len, data + 4, 4);
+    std::memcpy(&next, data + kOverflowBase, 4);
+    std::memcpy(&len, data + kOverflowBase + 4, 4);
+    if (len > kPageSize - kOverflowHeader) {
+      pool_->Unpin(page_id, /*dirty=*/false);
+      return Status::Corruption("overflow page " + std::to_string(page_id) +
+                                " has a bad chunk length");
+    }
     out.append(data + kOverflowHeader, len);
     pool_->Unpin(page_id, /*dirty=*/false);
     page_id = next;
   }
-  if (out.size() != total) return Status::Internal("truncated overflow chain");
+  if (out.size() != total) {
+    return Status::Corruption("truncated overflow chain");
+  }
   return out;
 }
 
@@ -153,6 +162,13 @@ Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
   while (page_ != kInvalidPageId) {
     XO_ASSIGN_OR_RETURN(char* data, file_->pool_->FetchPage(page_));
     SlottedPage page(data);
+    if (!page.initialized()) {
+      // A chained page whose initialization never reached disk (crash
+      // without recovery): surface it rather than scanning garbage.
+      file_->pool_->Unpin(page_, /*dirty=*/false);
+      return Status::Corruption("heap chain reaches uninitialized page " +
+                                std::to_string(page_));
+    }
     uint16_t count = page.slot_count();
     while (slot_ < count) {
       uint16_t s = slot_++;
@@ -175,6 +191,10 @@ Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
     }
     PageId next = page.next_page();
     file_->pool_->Unpin(page_, /*dirty=*/false);
+    if (next == page_) {
+      return Status::Corruption("heap chain cycle at page " +
+                                std::to_string(page_));
+    }
     page_ = next;
     slot_ = 0;
   }

@@ -1,12 +1,33 @@
 #include "ordb/page.h"
 
+#include "common/crc32.h"
+
 namespace xorator::ordb {
+
+uint32_t ComputePageChecksum(const char* page) {
+  return Crc32(page + 4, kPageSize - 4);
+}
+
+void SetPageChecksum(char* page) {
+  uint32_t crc = ComputePageChecksum(page);
+  std::memcpy(page, &crc, 4);
+}
+
+bool VerifyPageChecksum(const char* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page, 4);
+  if (stored == ComputePageChecksum(page)) return true;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;  // freshly allocated page, never written back
+}
 
 void SlottedPage::Init() {
   std::memset(data_, 0, kPageSize);
-  Write16(0, 0);                                  // slot_count
-  Write16(2, static_cast<uint16_t>(kPageSize - 1));  // data_start sentinel
-  Write32(4, kInvalidPageId);                     // next_page
+  Write16(kPageHeaderBytes, 0);  // slot_count
+  Write16(kPageHeaderBytes + 2, static_cast<uint16_t>(kPageSize - 1));
+  Write32(kPageHeaderBytes + 4, kInvalidPageId);  // next_page
   // data_start is stored as (kPageSize - 1) because kPageSize itself does
   // not fit in u16; real offsets are <= kPageSize - 1 and records are
   // written ending at data_start + 1.
@@ -19,6 +40,9 @@ size_t SlottedPage::FreeSpace() const {
 }
 
 Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (!initialized()) {
+    return Status::Corruption("insert into uninitialized page");
+  }
   if (!Fits(record.size())) {
     return Status::OutOfRange("page full");
   }
@@ -29,8 +53,8 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
   size_t slot_off = kHeaderBytes + kSlotBytes * count;
   Write16(slot_off, static_cast<uint16_t>(offset));
   Write16(slot_off + 2, static_cast<uint16_t>(record.size()));
-  Write16(0, static_cast<uint16_t>(count + 1));
-  Write16(2, static_cast<uint16_t>(offset - 1));
+  Write16(kPageHeaderBytes, static_cast<uint16_t>(count + 1));
+  Write16(kPageHeaderBytes + 2, static_cast<uint16_t>(offset - 1));
   return count;
 }
 
@@ -40,6 +64,10 @@ Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
   uint16_t offset = Read16(slot_off);
   uint16_t len = Read16(slot_off + 2);
   if (offset == 0) return Status::NotFound("deleted slot");
+  if (offset < kHeaderBytes || static_cast<size_t>(offset) + len > kPageSize) {
+    return Status::Corruption("slot " + std::to_string(slot) +
+                              " points outside the page");
+  }
   return std::string_view(data_ + offset, len);
 }
 

@@ -13,8 +13,30 @@ namespace xorator::ordb {
 /// reading its "8 MB" as the obvious 8 KB).
 inline constexpr size_t kPageSize = 8192;
 
+/// Every page — slotted, B+-tree node, overflow, catalog — reserves its
+/// first 8 bytes for a common page header:
+///
+///   [crc32:u32][reserved:u32]
+///
+/// The CRC covers bytes [4, kPageSize). It is stamped by the buffer pool
+/// when a frame is written back and verified on every fetch; a mismatch
+/// surfaces as StatusCode::kCorruption. An all-zero page (allocated but
+/// never written back) is considered valid.
+inline constexpr size_t kPageHeaderBytes = 8;
+
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Computes the checksum of a page's payload (everything after the CRC
+/// field itself).
+uint32_t ComputePageChecksum(const char* page);
+
+/// Stamps the page's CRC field from its current payload.
+void SetPageChecksum(char* page);
+
+/// True if the stored CRC matches the payload, or the page is entirely
+/// zero (a freshly allocated page that was never written back).
+bool VerifyPageChecksum(const char* page);
 
 /// Record id: page + slot.
 struct Rid {
@@ -33,8 +55,10 @@ struct Rid {
   }
 };
 
-/// View over one 8 KB buffer laid out as a slotted page:
+/// View over one 8 KB buffer laid out as a slotted page (offsets are
+/// relative to the end of the common page header):
 ///
+///   [crc32:u32][reserved:u32]
 ///   [slot_count:u16][data_start:u16 offset][next_page:u32]
 ///   [slot 0: offset:u16 len:u16] ... | free | ... record data ...
 ///
@@ -48,9 +72,13 @@ class SlottedPage {
   /// Formats an empty page.
   void Init();
 
-  uint16_t slot_count() const { return Read16(0); }
-  PageId next_page() const { return Read32(4); }
-  void set_next_page(PageId id) { Write32(4, id); }
+  /// True if the page has been formatted by Init (an all-zero page — e.g.
+  /// one whose initialization never reached disk before a crash — is not).
+  bool initialized() const { return data_start() != 0; }
+
+  uint16_t slot_count() const { return Read16(kPageHeaderBytes); }
+  PageId next_page() const { return Read32(kPageHeaderBytes + 4); }
+  void set_next_page(PageId id) { Write32(kPageHeaderBytes + 4, id); }
 
   /// Free bytes available for one more record (including its slot entry).
   size_t FreeSpace() const;
@@ -61,14 +89,15 @@ class SlottedPage {
   /// Inserts a record; returns its slot. Fails with OutOfRange if full.
   Result<uint16_t> Insert(std::string_view record);
 
-  /// Returns the record bytes in `slot`; NotFound for deleted/bad slots.
+  /// Returns the record bytes in `slot`; NotFound for deleted/bad slots,
+  /// Corruption for slots whose offset/length escape the page.
   Result<std::string_view> Get(uint16_t slot) const;
 
   /// Tombstones `slot` (space is not compacted).
   Status Delete(uint16_t slot);
 
  private:
-  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kHeaderBytes = kPageHeaderBytes + 8;
   static constexpr size_t kSlotBytes = 4;
 
   uint16_t Read16(size_t off) const {
@@ -84,7 +113,7 @@ class SlottedPage {
   void Write16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
   void Write32(size_t off, uint32_t v) { std::memcpy(data_ + off, &v, 4); }
 
-  uint16_t data_start() const { return Read16(2); }
+  uint16_t data_start() const { return Read16(kPageHeaderBytes + 2); }
 
   char* data_;
 };

@@ -12,13 +12,17 @@ Result<PageId> MemoryPager::Allocate() {
 }
 
 Status MemoryPager::Read(PageId id, char* buf) {
-  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("bad page id " + std::to_string(id));
+  }
   std::memcpy(buf, pages_[id].get(), kPageSize);
   return Status::OK();
 }
 
 Status MemoryPager::Write(PageId id, const char* buf) {
-  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("bad page id " + std::to_string(id));
+  }
   std::memcpy(pages_[id].get(), buf, kPageSize);
   return Status::OK();
 }
@@ -34,7 +38,10 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
   file.seekg(0, std::ios::end);
   auto size = static_cast<uint64_t>(file.tellg());
   if (size % kPageSize != 0) {
-    return Status::IOError("'" + path + "' is not page-aligned");
+    return Status::IOError(
+        "'" + path + "' is " + std::to_string(size) +
+        " bytes, not a multiple of the " + std::to_string(kPageSize) +
+        "-byte page size (torn final write? recover from the WAL)");
   }
   return std::unique_ptr<FilePager>(
       new FilePager(std::move(file), static_cast<PageId>(size / kPageSize)));
@@ -45,25 +52,52 @@ FilePager::~FilePager() { file_.flush(); }
 Result<PageId> FilePager::Allocate() {
   char zeros[kPageSize];
   std::memset(zeros, 0, kPageSize);
+  file_.clear();
   file_.seekp(static_cast<std::streamoff>(page_count_) * kPageSize);
   file_.write(zeros, kPageSize);
-  if (!file_) return Status::IOError("allocate failed");
+  if (file_.fail()) {
+    file_.clear();
+    return Status::IOError("failed to extend file for page " +
+                           std::to_string(page_count_));
+  }
   return page_count_++;
 }
 
 Status FilePager::Read(PageId id, char* buf) {
-  if (id >= page_count_) return Status::OutOfRange("bad page id");
+  if (id >= page_count_) {
+    return Status::OutOfRange("bad page id " + std::to_string(id));
+  }
+  file_.clear();
   file_.seekg(static_cast<std::streamoff>(id) * kPageSize);
   file_.read(buf, kPageSize);
-  if (!file_) return Status::IOError("read failed");
+  if (file_.fail() || file_.gcount() != static_cast<std::streamsize>(kPageSize)) {
+    file_.clear();
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
   return Status::OK();
 }
 
 Status FilePager::Write(PageId id, const char* buf) {
-  if (id >= page_count_) return Status::OutOfRange("bad page id");
+  if (id >= page_count_) {
+    return Status::OutOfRange("bad page id " + std::to_string(id));
+  }
+  file_.clear();
   file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
   file_.write(buf, kPageSize);
-  if (!file_) return Status::IOError("write failed");
+  if (file_.fail()) {
+    file_.clear();
+    return Status::IOError("failed write of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Flush() {
+  file_.clear();
+  file_.flush();
+  if (file_.fail()) {
+    file_.clear();
+    return Status::IOError("flush failed");
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,9 @@ class Pager {
   /// Writes `buf` (kPageSize bytes) to page `id`.
   virtual Status Write(PageId id, const char* buf) = 0;
 
+  /// Pushes buffered writes toward durable storage (no-op by default).
+  virtual Status Flush() { return Status::OK(); }
+
   /// Number of pages allocated so far.
   virtual PageId page_count() const = 0;
 };
@@ -46,16 +49,23 @@ class MemoryPager : public Pager {
 };
 
 /// File-backed pager over a single database file.
+///
+/// Every operation checks the stream's failbits and reports the offending
+/// page id; a failed operation clears the sticky error state so later
+/// operations are not poisoned by it.
 class FilePager : public Pager {
  public:
-  /// Opens (creating if needed) `path`. The file size must be a multiple of
-  /// kPageSize.
+  /// Opens (creating if needed) `path`. A file whose size is not a
+  /// multiple of kPageSize is rejected (a torn final page from a crash;
+  /// Database::Open runs WAL recovery, which repairs the size, before
+  /// opening the pager).
   static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
   ~FilePager() override;
 
   Result<PageId> Allocate() override;
   Status Read(PageId id, char* buf) override;
   Status Write(PageId id, const char* buf) override;
+  Status Flush() override;
   PageId page_count() const override { return page_count_; }
 
  private:

@@ -1,0 +1,165 @@
+#include "ordb/wal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include "common/crc32.h"
+
+namespace xorator::ordb {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415758u;    // "XWAL"
+constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kRecordMarker = 0x47504D49u;  // "IMPG"
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kRecordHeaderBytes = 12;
+
+uint32_t RecordCrc(PageId page_id, const char* payload) {
+  uint32_t crc = Crc32(&page_id, sizeof(page_id));
+  return Crc32(payload, kPageSize, crc);
+}
+
+Status WriteHeader(std::ofstream& file, PageId checkpoint_page_count) {
+  char header[kHeaderBytes];
+  uint64_t pages = checkpoint_page_count;
+  std::memcpy(header, &kWalMagic, 4);
+  std::memcpy(header + 4, &kWalVersion, 4);
+  std::memcpy(header + 8, &pages, 8);
+  file.write(header, kHeaderBytes);
+  file.flush();
+  if (file.fail()) return Status::IOError("cannot write WAL header");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       PageId checkpoint_page_count) {
+  auto wal = std::unique_ptr<Wal>(new Wal(path, checkpoint_page_count));
+  wal->file_.open(path, std::ios::binary | std::ios::trunc);
+  if (!wal->file_) return Status::IOError("cannot open WAL '" + path + "'");
+  XO_RETURN_NOT_OK(WriteHeader(wal->file_, checkpoint_page_count));
+  return wal;
+}
+
+Status Wal::LogPageImage(PageId page_id, const char* page) {
+  if (page_id >= checkpoint_page_count_ || Logged(page_id)) {
+    return Status::OK();  // truncation covers it / pre-image already logged
+  }
+  char header[kRecordHeaderBytes];
+  uint32_t crc = RecordCrc(page_id, page);
+  std::memcpy(header, &kRecordMarker, 4);
+  std::memcpy(header + 4, &page_id, 4);
+  std::memcpy(header + 8, &crc, 4);
+  file_.write(header, kRecordHeaderBytes);
+  file_.write(page, kPageSize);
+  file_.flush();
+  if (file_.fail()) {
+    file_.clear();
+    return Status::IOError("cannot log pre-image of page " +
+                           std::to_string(page_id));
+  }
+  logged_.insert(page_id);
+  ++records_logged_;
+  return Status::OK();
+}
+
+Status Wal::Reset(PageId checkpoint_page_count) {
+  file_.close();
+  file_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!file_) return Status::IOError("cannot reset WAL '" + path_ + "'");
+  XO_RETURN_NOT_OK(WriteHeader(file_, checkpoint_page_count));
+  checkpoint_page_count_ = checkpoint_page_count;
+  logged_.clear();
+  records_logged_ = 0;
+  return Status::OK();
+}
+
+Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
+                                     const std::string& wal_path) {
+  RecoveryStats stats;
+  std::ifstream wal(wal_path, std::ios::binary);
+  if (!wal) return stats;  // no journal — nothing to recover
+
+  char header[kHeaderBytes];
+  wal.read(header, kHeaderBytes);
+  if (wal.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return stats;  // header never made it to disk — no epoch ever started
+  }
+  uint32_t magic, version;
+  uint64_t pages;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 4);
+  std::memcpy(&pages, header + 8, 8);
+  if (magic != kWalMagic || version != kWalVersion) {
+    return Status::Corruption("'" + wal_path + "' is not a v" +
+                              std::to_string(kWalVersion) + " WAL");
+  }
+
+  // Collect intact pre-images; stop at the first torn record (crash tail).
+  // The first record per page wins: it is the page's checkpoint-time image.
+  std::map<PageId, std::string> images;
+  while (true) {
+    char rec_header[kRecordHeaderBytes];
+    wal.read(rec_header, kRecordHeaderBytes);
+    if (wal.gcount() != static_cast<std::streamsize>(kRecordHeaderBytes)) {
+      stats.torn_tail_bytes += static_cast<uint64_t>(wal.gcount());
+      break;
+    }
+    uint32_t marker, crc;
+    PageId page_id;
+    std::memcpy(&marker, rec_header, 4);
+    std::memcpy(&page_id, rec_header + 4, 4);
+    std::memcpy(&crc, rec_header + 8, 4);
+    std::string payload(kPageSize, '\0');
+    wal.read(payload.data(), kPageSize);
+    if (marker != kRecordMarker ||
+        wal.gcount() != static_cast<std::streamsize>(kPageSize) ||
+        crc != RecordCrc(page_id, payload.data())) {
+      stats.torn_tail_bytes +=
+          kRecordHeaderBytes + static_cast<uint64_t>(wal.gcount());
+      break;
+    }
+    images.emplace(page_id, std::move(payload));
+  }
+  wal.close();
+
+  if (!std::filesystem::exists(db_path)) {
+    // A crash cannot delete the data file, so a journal without one is
+    // stale (the database was removed); Wal::Open will truncate it.
+    stats.recovered = pages == 0 && images.empty();
+    return stats;
+  }
+
+  {
+    std::fstream db(db_path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    if (!db) return Status::IOError("cannot open '" + db_path + "'");
+    for (const auto& [page_id, image] : images) {
+      if (page_id >= pages) continue;  // truncated away below
+      db.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
+      db.write(image.data(), kPageSize);
+      if (db.fail()) {
+        return Status::IOError("cannot restore page " +
+                               std::to_string(page_id));
+      }
+      ++stats.pages_restored;
+    }
+    db.flush();
+    if (db.fail()) return Status::IOError("flush failed during recovery");
+  }
+
+  std::error_code ec;
+  std::filesystem::resize_file(db_path, pages * kPageSize, ec);
+  if (ec) {
+    return Status::IOError("cannot truncate '" + db_path +
+                           "' to its checkpoint size: " + ec.message());
+  }
+  stats.recovered = true;
+  stats.page_count = static_cast<PageId>(pages);
+  return stats;
+}
+
+}  // namespace xorator::ordb

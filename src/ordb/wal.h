@@ -1,0 +1,90 @@
+#ifndef XORATOR_ORDB_WAL_H_
+#define XORATOR_ORDB_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "ordb/page.h"
+
+namespace xorator::ordb {
+
+/// Write-ahead log of physical page images, giving the engine crash
+/// atomicity at Checkpoint() granularity (the design of SQLite's rollback
+/// journal; see DESIGN.md "Durability & fault tolerance").
+///
+/// File layout:
+///   header:  [magic:u32][version:u32][checkpoint_page_count:u64]
+///   records: [marker:u32][page_id:u32][crc32:u32][payload: kPageSize]
+///
+/// Between checkpoints, the buffer pool logs the *on-disk* image of every
+/// page — flushed, then overwritten ("write-ahead") — the first time that
+/// page is written back. Recovery restores the logged images in reverse
+/// order and truncates the data file to the checkpointed page count, which
+/// rolls the database back exactly to its last checkpoint: torn data-file
+/// pages are overwritten with their intact pre-images, and half-appended
+/// log records (the crash tail) are ignored, which is safe because a
+/// record is always durable before its data-file write begins.
+class Wal {
+ public:
+  /// Opens (truncating) the log at `path` and writes a fresh header
+  /// declaring `checkpoint_page_count` data pages. Call only after any
+  /// existing log has been recovered — opening discards it.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           PageId checkpoint_page_count);
+
+  /// Appends (and flushes) the pre-image of `page_id`, once per page per
+  /// checkpoint epoch; later calls for the same page are no-ops.
+  Status LogPageImage(PageId page_id, const char* page);
+
+  /// True if `page_id` already has a pre-image in the current epoch.
+  bool Logged(PageId page_id) const { return logged_.count(page_id) > 0; }
+
+  /// Pages the data file held at the epoch's start; pages at or beyond
+  /// this id need no pre-image (recovery truncates them away).
+  PageId checkpoint_page_count() const { return checkpoint_page_count_; }
+
+  /// Starts a new epoch: truncates the log and writes a fresh header.
+  /// This is the engine's atomic commit point.
+  Status Reset(PageId checkpoint_page_count);
+
+  uint64_t records_logged() const { return records_logged_; }
+
+ private:
+  Wal(std::string path, PageId checkpoint_page_count)
+      : path_(std::move(path)),
+        checkpoint_page_count_(checkpoint_page_count) {}
+
+  std::string path_;
+  std::ofstream file_;
+  PageId checkpoint_page_count_ = 0;
+  std::unordered_set<PageId> logged_;
+  uint64_t records_logged_ = 0;
+};
+
+/// What `RecoverFromWal` did.
+struct RecoveryStats {
+  /// True if a log with a valid header existed and recovery ran.
+  bool recovered = false;
+  /// Intact pre-image records found (and restored).
+  uint64_t pages_restored = 0;
+  /// Trailing bytes discarded as a torn record (crash tail).
+  uint64_t torn_tail_bytes = 0;
+  /// Data-file size (in pages) after the rollback truncation.
+  PageId page_count = 0;
+};
+
+/// Rolls `db_path` back to its last checkpoint using the journal at
+/// `wal_path`, as described on Wal. Missing or header-less journals mean
+/// "nothing to recover" (clean shutdown or a database that never
+/// checkpointed); the data file is left untouched in that case. Run this
+/// before opening a FilePager on `db_path`.
+Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
+                                     const std::string& wal_path);
+
+}  // namespace xorator::ordb
+
+#endif  // XORATOR_ORDB_WAL_H_

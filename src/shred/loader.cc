@@ -69,12 +69,27 @@ Result<LoadReport> Loader::Load(const std::vector<const xml::Node*>& documents,
 
   Timer timer;
   Shredder shredder(schema_, compress, options.use_directory);
-  for (const xml::Node* doc : documents) {
+  for (size_t d = 0; d < documents.size(); ++d) {
+    // Per-document fault isolation: one bad document (malformed structure,
+    // or a storage error while inserting its rows) is recorded and skipped
+    // rather than sinking the whole batch. Rows of the failed document
+    // already inserted into earlier tables stay — the engine has no
+    // transactions below Checkpoint() granularity.
+    Status doc_status;
     RowBatch batch;
-    XO_RETURN_NOT_OK(shredder.Shred(*doc, &batch));
-    for (auto& [table, rows] : batch) {
-      XO_RETURN_NOT_OK(db_->BulkInsert(table, rows));
-      report.tuples += rows.size();
+    doc_status = shredder.Shred(*documents[d], &batch);
+    if (doc_status.ok()) {
+      for (auto& [table, rows] : batch) {
+        doc_status = db_->BulkInsert(table, rows);
+        if (!doc_status.ok()) break;
+        report.tuples += rows.size();
+      }
+    }
+    if (!doc_status.ok()) {
+      if (options.stop_on_error) return doc_status;
+      ++report.skipped;
+      report.errors.push_back({d, std::move(doc_status)});
+      continue;
     }
     ++report.documents;
   }

@@ -23,12 +23,26 @@ struct LoadOptions {
   /// Store XADT values with the top-level fragment directory (Section 5
   /// metadata extension); speeds up order access at a few bytes per value.
   bool use_directory = false;
+  /// Abort the batch on the first failed document instead of isolating the
+  /// error and continuing with the rest (see LoadReport::errors).
+  bool stop_on_error = false;
+};
+
+/// One document that failed to load (when LoadOptions::stop_on_error is
+/// off, the failure is recorded here instead of aborting the batch).
+struct LoadError {
+  /// Index of the document in the batch passed to Load.
+  size_t document = 0;
+  Status status;
 };
 
 struct LoadReport {
   bool used_compression = false;
   uint64_t documents = 0;
   uint64_t tuples = 0;
+  /// Documents that failed to shred or insert and were skipped.
+  uint64_t skipped = 0;
+  std::vector<LoadError> errors;
   /// Wall-clock milliseconds spent shredding + inserting.
   double load_millis = 0;
 };

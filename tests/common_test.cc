@@ -2,6 +2,7 @@
 
 #include <random>
 
+#include "common/crc32.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/str_util.h"
@@ -35,6 +36,34 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
             "InvalidArgument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, CorruptionAndUnavailableFactories) {
+  Status c = Status::Corruption("checksum mismatch");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.code(), StatusCode::kCorruption);
+  EXPECT_EQ(c.ToString(), "Corruption: checksum mismatch");
+  Status u = Status::Unavailable("disk busy");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: disk busy");
+}
+
+TEST(Crc32Test, KnownVectorsAndSeedChaining) {
+  // The canonical CRC-32 ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Chaining via the seed equals hashing the concatenation.
+  uint32_t whole = Crc32("hello world", 11);
+  uint32_t chained = Crc32(" world", 6, Crc32("hello", 5));
+  EXPECT_EQ(whole, chained);
+  // Any bit flip changes the sum.
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  uint32_t base = Crc32(data.data(), data.size());
+  data[100] ^= 0x40;
+  EXPECT_NE(Crc32(data.data(), data.size()), base);
 }
 
 Result<int> ParsePositive(int x) {

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "benchutil/fixture.h"
 #include "datagen/dtds.h"
 #include "datagen/generators.h"
+#include "ordb/buffer_pool.h"
 #include "ordb/database.h"
+#include "ordb/fault_pager.h"
+#include "ordb/page.h"
 #include "xadt/functions.h"
 #include "xadt/xadt.h"
 #include "xml/parser.h"
@@ -203,6 +207,214 @@ TEST(EngineRobustnessTest, BufferPoolSmallerThanWorkload) {
   EXPECT_EQ(r->rows.size(), 1u);
   EXPECT_GT((*db)->buffer_pool()->stats().evictions, 0u);
   std::remove(options.path.c_str());
+}
+
+// -- Fault injection (see src/ordb/fault_pager.h) ---------------------------
+
+TEST(FaultInjectionTest, DeterministicGivenSeed) {
+  // The same seed over the same operation sequence injects the same faults
+  // at the same points.
+  auto run = [](uint64_t seed) {
+    ordb::FaultOptions fault;
+    fault.seed = seed;
+    fault.transient_rate = 0.3;
+    fault.permanent_rate = 0.1;
+    ordb::FaultInjectingPager pager(std::make_unique<ordb::MemoryPager>(),
+                                    fault);
+    std::vector<StatusCode> codes;
+    char buf[ordb::kPageSize] = {};
+    for (int i = 0; i < 200; ++i) {
+      auto id = pager.Allocate();
+      codes.push_back(id.status().code());
+      if (!id.ok()) continue;
+      codes.push_back(pager.Write(*id, buf).code());
+      codes.push_back(pager.Read(*id, buf).code());
+    }
+    return std::make_pair(codes, pager.stats());
+  };
+  auto [codes_a, stats_a] = run(1234);
+  auto [codes_b, stats_b] = run(1234);
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(stats_a.transients, stats_b.transients);
+  EXPECT_EQ(stats_a.permanents, stats_b.permanents);
+  EXPECT_GT(stats_a.transients, 0u);
+  EXPECT_GT(stats_a.permanents, 0u);
+  auto [codes_c, stats_c] = run(4321);
+  EXPECT_NE(codes_a, codes_c);  // a different seed is a different schedule
+}
+
+TEST(FaultInjectionTest, TransientScheduleCompletesViaRetry) {
+  // A purely transient schedule is always survivable: the injector caps
+  // consecutive transients below the pool's retry budget.
+  DbOptions options;
+  options.path = ::testing::TempDir() + "/xorator_transient.db";
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  options.buffer_pool_pages = 8;
+  ordb::FaultOptions fault;
+  fault.seed = 7;
+  fault.transient_rate = 0.3;
+  options.fault = fault;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({Value::Int(i), Value::Varchar(std::string(80, 'f'))});
+  }
+  ASSERT_TRUE((*db)->BulkInsert("t", rows).ok());
+  auto r = (*db)->Query("SELECT COUNT(*) AS n FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 500);
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_GT((*db)->fault_pager()->stats().transients, 0u);
+  EXPECT_GT((*db)->buffer_pool()->stats().retries, 0u);
+  ASSERT_TRUE((*db)->Close().ok());
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+}
+
+TEST(FaultInjectionTest, PermanentFaultsFailCleanlyNotCrash) {
+  DbOptions options;
+  options.path = ::testing::TempDir() + "/xorator_permanent.db";
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  options.buffer_pool_pages = 8;
+  ordb::FaultOptions fault;
+  fault.seed = 3;
+  fault.permanent_rate = 0.05;
+  options.fault = fault;
+  auto db = Database::Open(options);
+  if (!db.ok()) {
+    // The schedule can kill Open's initial checkpoint — that too must be a
+    // clean error.
+    EXPECT_EQ(db.status().code(), StatusCode::kIOError);
+    return;
+  }
+  ASSERT_TRUE((*db)->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  int failures = 0;
+  for (int batch = 0; batch < 40; ++batch) {
+    std::vector<Tuple> rows;
+    for (int i = 0; i < 100; ++i) {
+      rows.push_back({Value::Int(i), Value::Varchar(std::string(80, 'p'))});
+    }
+    Status s = (*db)->BulkInsert("t", rows);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.code() == StatusCode::kIOError ||
+                  s.code() == StatusCode::kCorruption)
+          << s.ToString();
+      ++failures;
+    }
+    Status q = (*db)->Query("SELECT COUNT(*) AS n FROM t").status();
+    if (!q.ok()) {
+      EXPECT_TRUE(q.code() == StatusCode::kIOError ||
+                  q.code() == StatusCode::kCorruption)
+          << q.ToString();
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_GT((*db)->fault_pager()->stats().permanents, 0u);
+  (*db)->Kill();  // the destructor checkpoint would just fail again
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+}
+
+TEST(FaultInjectionTest, SilentBitFlipsAreCaughtByChecksum) {
+  ordb::FaultOptions fault;
+  fault.seed = 11;
+  fault.bit_flip_rate = 1.0;  // every write flips one stored bit
+  auto base = std::make_unique<ordb::MemoryPager>();
+  ordb::FaultInjectingPager pager(std::move(base), fault);
+  ordb::BufferPool pool(&pager, 1);  // capacity 1 forces eviction + re-read
+  auto p0 = pool.NewPage();
+  ASSERT_TRUE(p0.ok());
+  p0->second[300] = 'd';
+  pool.Unpin(p0->first, true);
+  auto p1 = pool.NewPage();  // evicts (and silently corrupts) p0
+  ASSERT_TRUE(p1.ok());
+  pool.Unpin(p1->first, false);
+  auto fetched = pool.FetchPage(p0->first);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kCorruption);
+  EXPECT_GT(pager.stats().bit_flips, 0u);
+  EXPECT_GT(pool.stats().checksum_failures, 0u);
+}
+
+TEST(FaultInjectionTest, TornWritesFailCleanlyAndAreDetectable) {
+  ordb::FaultOptions fault;
+  fault.seed = 13;
+  fault.torn_write_rate = 1.0;
+  auto base = std::make_unique<ordb::MemoryPager>();
+  ordb::FaultInjectingPager pager(std::move(base), fault);
+  auto id = pager.Allocate();
+  ASSERT_TRUE(id.ok());
+  char buf[ordb::kPageSize];
+  std::memset(buf, 'x', ordb::kPageSize);
+  ordb::SetPageChecksum(buf);
+  Status s = pager.Write(*id, buf);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("torn"), std::string::npos);
+  // The prefix that did reach "disk" no longer matches its checksum.
+  char stored[ordb::kPageSize];
+  ASSERT_TRUE(pager.base()->Read(*id, stored).ok());
+  EXPECT_FALSE(ordb::VerifyPageChecksum(stored));
+  EXPECT_GT(pager.stats().torn_writes, 0u);
+}
+
+TEST(LoaderRobustnessTest, FailedDocumentsAreIsolated) {
+  // When the disk dies mid-batch, the loader records which documents were
+  // lost instead of sinking the whole load.
+  auto schema = benchutil::MapDtd(datagen::kPlaysDtd,
+                                  benchutil::Mapping::kXorator);
+  ASSERT_TRUE(schema.ok());
+  datagen::ShakespeareOptions opts;
+  opts.plays = 4;
+  opts.acts_per_play = 1;
+  opts.scenes_per_act = 2;
+  auto corpus = datagen::ShakespeareGenerator(opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+
+  DbOptions options;
+  options.path = ::testing::TempDir() + "/xorator_isolate.db";
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  options.buffer_pool_pages = 8;
+  ordb::FaultOptions fault;
+  fault.seed = 21;
+  fault.fail_after_writes = 9;  // enough for setup plus part of the load
+  options.fault = fault;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  shred::Loader loader(db->get(), &*schema);
+  ASSERT_TRUE(loader.CreateTables().ok());
+  auto report = loader.Load(docs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->skipped, 0u);
+  ASSERT_FALSE(report->errors.empty());
+  EXPECT_EQ(report->documents + report->skipped, docs.size());
+  EXPECT_EQ(report->skipped, report->errors.size());
+  for (const auto& e : report->errors) {
+    EXPECT_FALSE(e.status.ok());
+    EXPECT_LT(e.document, docs.size());
+  }
+  // The same schedule with stop_on_error aborts at the first casualty.
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  auto db2 = Database::Open(options);
+  ASSERT_TRUE(db2.ok());
+  shred::Loader loader2(db2->get(), &*schema);
+  ASSERT_TRUE(loader2.CreateTables().ok());
+  shred::LoadOptions strict;
+  strict.stop_on_error = true;
+  auto report2 = loader2.Load(docs, strict);
+  EXPECT_FALSE(report2.ok());
+  (*db)->Kill();
+  (*db2)->Kill();
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
 }
 
 TEST(EngineRobustnessTest, SelfJoinUsesDistinctAliases) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "ordb/buffer_pool.h"
@@ -142,7 +145,9 @@ TEST(BufferPoolTest, HitsAndEvictions) {
   BufferPool pool(&pager, 2);
   auto p0 = pool.NewPage();
   ASSERT_TRUE(p0.ok());
-  p0->second[0] = 'x';
+  // Poke a payload byte; the first kPageHeaderBytes belong to the checksum
+  // header and are overwritten on write-back.
+  p0->second[100] = 'x';
   pool.Unpin(p0->first, true);
   auto p1 = pool.NewPage();
   ASSERT_TRUE(p1.ok());
@@ -155,9 +160,83 @@ TEST(BufferPoolTest, HitsAndEvictions) {
   // Fetching p0 again reads the written-back content.
   auto fetched = pool.FetchPage(p0->first);
   ASSERT_TRUE(fetched.ok());
-  EXPECT_EQ((*fetched)[0], 'x');
+  EXPECT_EQ((*fetched)[100], 'x');
   pool.Unpin(p0->first, false);
   EXPECT_GE(pool.stats().misses, 1u);
+}
+
+TEST(PageChecksumTest, StampVerifyAndDetectFlip) {
+  char buf[kPageSize];
+  std::memset(buf, 0, kPageSize);
+  // A fresh all-zero page verifies (FilePager::Allocate produces these).
+  EXPECT_TRUE(VerifyPageChecksum(buf));
+  buf[100] = 'a';
+  EXPECT_FALSE(VerifyPageChecksum(buf));  // payload set, checksum not stamped
+  SetPageChecksum(buf);
+  EXPECT_TRUE(VerifyPageChecksum(buf));
+  buf[2000] ^= 0x08;  // single bit flip
+  EXPECT_FALSE(VerifyPageChecksum(buf));
+  buf[2000] ^= 0x08;
+  EXPECT_TRUE(VerifyPageChecksum(buf));
+}
+
+TEST(BufferPoolTest, ChecksumFailureOnFetchIsCorruption) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 2);
+  auto p0 = pool.NewPage();
+  ASSERT_TRUE(p0.ok());
+  p0->second[500] = 'v';
+  pool.Unpin(p0->first, true);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Corrupt the stored page behind the pool's back, then force a re-read.
+  char raw[kPageSize];
+  ASSERT_TRUE(pager.Read(p0->first, raw).ok());
+  raw[500] ^= 0x01;
+  ASSERT_TRUE(pager.Write(p0->first, raw).ok());
+  auto p1 = pool.NewPage();
+  ASSERT_TRUE(p1.ok());
+  pool.Unpin(p1->first, false);
+  auto p2 = pool.NewPage();  // evicts p0's frame
+  ASSERT_TRUE(p2.ok());
+  pool.Unpin(p2->first, false);
+  auto fetched = pool.FetchPage(p0->first);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kCorruption);
+  EXPECT_GE(pool.stats().checksum_failures, 1u);
+}
+
+TEST(FilePagerTest, RejectsNonPageMultipleFile) {
+  std::string path = ::testing::TempDir() + "/xorator_torn.db";
+  std::remove(path.c_str());
+  {
+    std::ofstream f(path, std::ios::binary);
+    std::string partial(kPageSize + 100, 'x');  // one page plus a torn tail
+    f.write(partial.data(), static_cast<std::streamsize>(partial.size()));
+  }
+  auto pager = FilePager::Open(path);
+  ASSERT_FALSE(pager.ok());
+  EXPECT_EQ(pager.status().code(), StatusCode::kIOError);
+  EXPECT_NE(pager.status().message().find("multiple"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FilePagerTest, ShortReadNamesThePage) {
+  std::string path = ::testing::TempDir() + "/xorator_short.db";
+  std::remove(path.c_str());
+  auto pager = FilePager::Open(path);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE((*pager)->Allocate().ok());
+  ASSERT_TRUE((*pager)->Allocate().ok());
+  ASSERT_TRUE((*pager)->Flush().ok());
+  // Truncate page 1 away behind the pager's back: reading it now comes up
+  // short and must name the page, not crash or return stale bytes.
+  std::filesystem::resize_file(path, kPageSize);
+  char buf[kPageSize];
+  Status s = (*pager)->Read(1, buf);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("page 1"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(BufferPoolTest, AllPinnedFails) {

@@ -42,7 +42,9 @@ void BM_BPlusTreeLookup(benchmark::State& state) {
   std::vector<uint64_t> keys;
   for (int64_t i = 0; i < state.range(0); ++i) {
     keys.push_back(rng());
-    (void)tree->Insert(keys.back(), i);
+    XO_DISCARD_STATUS(tree->Insert(keys.back(), i),
+                      "setup over a MemoryPager with ample pool capacity; an "
+                      "insert failure would only shrink the lookup key set");
   }
   size_t at = 0;
   for (auto _ : state) {
@@ -73,7 +75,11 @@ void BM_HeapFileScan(benchmark::State& state) {
   BufferPool pool(&pager, 8192);
   auto file = HeapFile::Create(&pool);
   std::string record(128, 'r');
-  for (int i = 0; i < 50000; ++i) (void)file->Insert(record);
+  for (int i = 0; i < 50000; ++i) {
+    XO_DISCARD_STATUS(file->Insert(record),
+                      "setup over a MemoryPager with ample pool capacity; a "
+                      "failed insert only shortens the scanned file");
+  }
   for (auto _ : state) {
     auto scanner = file->Scan();
     Rid rid;
@@ -111,14 +117,20 @@ void BM_BufferPoolChurn(benchmark::State& state) {
   for (int i = 0; i < 256; ++i) {
     auto p = pool.NewPage();
     pages.push_back(p->first);
-    pool.Unpin(p->first, true);
+    if (!pool.Unpin(p->first, true).ok()) {
+      state.SkipWithError("unbalanced unpin during setup");
+      return;
+    }
   }
   std::mt19937_64 rng(7);
   for (auto _ : state) {
     PageId id = pages[rng() % pages.size()];
     auto frame = pool.FetchPage(id);
     benchmark::DoNotOptimize(frame);
-    pool.Unpin(id, false);
+    XO_DISCARD_STATUS(pool.Unpin(id, false),
+                      "every id in `pages` is resident-or-fetchable and was "
+                      "pinned by the FetchPage above; failure here would skew "
+                      "the benchmark, not corrupt it");
   }
   state.SetItemsProcessed(state.iterations());
 }

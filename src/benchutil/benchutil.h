@@ -12,7 +12,7 @@ namespace xorator::benchutil {
 /// Runs `fn` `runs` times and returns the paper's timing statistic: the
 /// mean of the middle `runs - 2` measurements (the paper ran each query five
 /// times and averaged the middle three). Milliseconds.
-Result<double> TimeMedianOfMiddle(const std::function<Status()>& fn,
+[[nodiscard]] Result<double> TimeMedianOfMiddle(const std::function<Status()>& fn,
                                   int runs = 5);
 
 /// Fixed-width text table printer for paper-style outputs.

@@ -24,6 +24,7 @@ struct ExperimentDb {
   shred::LoadReport load;
 };
 
+/// Knobs for one paper-experiment run (mapping, corpus scale, indexes).
 struct ExperimentOptions {
   Mapping mapping = Mapping::kHybrid;
   /// Load the corpus this many times (the paper's DSx1/x2/x4/x8 scaling).
@@ -42,13 +43,13 @@ struct ExperimentOptions {
 /// Builds a database for `dtd_text`, loads `documents` (multiplied), creates
 /// advised indexes and collects statistics. The XADT UDFs are registered for
 /// every mapping so both dialects run everywhere.
-Result<ExperimentDb> BuildExperimentDb(
+[[nodiscard]] Result<ExperimentDb> BuildExperimentDb(
     const std::string& dtd_text,
     const std::vector<const xml::Node*>& documents,
     const ExperimentOptions& options);
 
 /// Maps a DTD text with the requested algorithm.
-Result<mapping::MappedSchema> MapDtd(const std::string& dtd_text,
+[[nodiscard]] Result<mapping::MappedSchema> MapDtd(const std::string& dtd_text,
                                      Mapping mapping);
 
 }  // namespace xorator::benchutil

@@ -12,11 +12,16 @@ namespace xorator {
 /// Either a value of type `T` or a non-OK `Status` explaining why the value
 /// could not be produced.
 ///
+/// Like `Status`, the class is `[[nodiscard]]`: dropping a returned
+/// `Result<T>` is a compile error, and in debug builds destroying a failed
+/// result that was never inspected aborts (the unchecked-Status tracker
+/// tracks the wrapped status; see status.h).
+///
 /// Usage:
 ///   Result<int> Parse(...);
-///   XO_ASSIGN_OR_RETURN(int n, Parse(...));
+///   ASSIGN_OR_RETURN(int n, Parse(...));
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result. Intentionally implicit so functions can
   /// `return value;`.
@@ -24,9 +29,7 @@ class Result {
 
   /// Constructs a failed result from a non-OK status. Intentionally implicit
   /// so functions can `return Status::ParseError(...);`.
-  Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
-  }
+  Result(Status status) : status_(EnsureNotOk(std::move(status))) {}
 
   Result(const Result&) = default;
   Result& operator=(const Result&) = default;
@@ -34,7 +37,13 @@ class Result {
   Result& operator=(Result&&) = default;
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+
+  /// Accessing the status counts as inspecting it: the caller takes over
+  /// the must-check obligation (any copy it makes carries its own).
+  const Status& status() const {
+    status_.IgnoreError();
+    return status_;
+  }
 
   /// Precondition: ok().
   T& value() & {
@@ -56,24 +65,16 @@ class Result {
   const T* operator->() const { return &value(); }
 
  private:
+  /// Asserts the precondition without leaving the stored status marked as
+  /// checked (the final move re-arms the unchecked-Status tracker).
+  [[nodiscard]] static Status EnsureNotOk(Status s) {
+    assert(!s.ok() && "Result(Status) requires a non-OK status");
+    return s;
+  }
+
   Status status_;
   std::optional<T> value_;
 };
-
-#define XO_CONCAT_IMPL_(x, y) x##y
-#define XO_CONCAT_(x, y) XO_CONCAT_IMPL_(x, y)
-
-/// Evaluates `rexpr` (a `Result<T>`); on failure returns its status from the
-/// enclosing function, otherwise moves the value into `lhs` (which may be a
-/// declaration such as `auto v`).
-#define XO_ASSIGN_OR_RETURN(lhs, rexpr)                              \
-  XO_ASSIGN_OR_RETURN_IMPL_(XO_CONCAT_(_xo_result_, __LINE__), lhs,  \
-                            rexpr)
-
-#define XO_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
-  auto result = (rexpr);                              \
-  if (!result.ok()) return result.status();           \
-  lhs = std::move(result).value();
 
 }  // namespace xorator
 

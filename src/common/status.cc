@@ -1,6 +1,23 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace xorator {
+
+namespace internal {
+
+void AbortOnUncheckedStatus(StatusCode code, const std::string& message,
+                            const char* file, unsigned line) {
+  std::fprintf(stderr,
+               "xorator: non-OK Status dropped without being checked: "
+               "%.*s: %s (created at %s:%u)\n",
+               static_cast<int>(StatusCodeToString(code).size()),
+               StatusCodeToString(code).data(), message.c_str(), file, line);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

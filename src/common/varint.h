@@ -15,7 +15,7 @@ void PutVarint(std::string* dst, uint64_t value);
 
 /// Decodes a varint at `*pos` in `src`, advancing `*pos` past it.
 /// Fails with OutOfRange if the buffer ends mid-varint.
-Result<uint64_t> GetVarint(std::string_view src, size_t* pos);
+[[nodiscard]] Result<uint64_t> GetVarint(std::string_view src, size_t* pos);
 
 /// ZigZag encoding so small negative integers stay small on the wire.
 inline uint64_t ZigZagEncode(int64_t v) {

@@ -29,6 +29,7 @@ struct ShakespeareOptions {
   int max_lines_per_speech = 6;
 };
 
+/// Synthesizes Shakespeare-DTD plays (the paper's DSx corpora).
 class ShakespeareGenerator {
  public:
   explicit ShakespeareGenerator(const ShakespeareOptions& options = {});
@@ -55,6 +56,7 @@ struct SigmodOptions {
   int max_authors_per_article = 4;
 };
 
+/// Synthesizes SIGMOD-Record-DTD proceedings documents.
 class SigmodGenerator {
  public:
   explicit SigmodGenerator(const SigmodOptions& options = {});
@@ -82,17 +84,18 @@ struct RandomDocOptions {
   int max_words = 6;
 };
 
+/// Generates random documents from an arbitrary simplified DTD.
 class RandomDocGenerator {
  public:
   RandomDocGenerator(const xml::Dtd* dtd, const RandomDocOptions& options);
 
   /// Generates one document rooted at `root_element`.
-  Result<std::unique_ptr<xml::Node>> Generate(const std::string& root_element);
+  [[nodiscard]] Result<std::unique_ptr<xml::Node>> Generate(const std::string& root_element);
 
  private:
-  Status Expand(const xml::ContentParticle& particle, xml::Node* parent,
+  [[nodiscard]] Status Expand(const xml::ContentParticle& particle, xml::Node* parent,
                 int depth);
-  Status BuildElement(const std::string& name, xml::Node* parent, int depth);
+  [[nodiscard]] Status BuildElement(const std::string& name, xml::Node* parent, int depth);
   std::string RandomText();
 
   const xml::Dtd* dtd_;

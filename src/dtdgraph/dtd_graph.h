@@ -33,6 +33,7 @@ struct GraphNode {
   bool is_leaf() const { return children.empty(); }
 };
 
+/// Options controlling DTD-graph construction.
 struct DtdGraphOptions {
   /// The paper's "revised DTD graph" (Figure 4): every *leaf* element shared
   /// by several parents is duplicated, one copy per referencing parent, so
@@ -44,7 +45,7 @@ struct DtdGraphOptions {
 /// The DTD graph over a simplified DTD.
 class DtdGraph {
  public:
-  static Result<DtdGraph> Build(const SimplifiedDtd& dtd,
+  [[nodiscard]] static Result<DtdGraph> Build(const SimplifiedDtd& dtd,
                                 const DtdGraphOptions& options = {});
 
   const std::vector<GraphNode>& nodes() const { return nodes_; }

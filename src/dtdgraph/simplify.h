@@ -56,7 +56,7 @@ class SimplifiedDtd {
 /// Applies the simplification rules to every declaration of `dtd`.
 /// Fails with InvalidArgument if a content model references an undeclared
 /// element (ANY content is rejected as unmappable).
-Result<SimplifiedDtd> Simplify(const xml::Dtd& dtd);
+[[nodiscard]] Result<SimplifiedDtd> Simplify(const xml::Dtd& dtd);
 
 }  // namespace xorator::dtdgraph
 

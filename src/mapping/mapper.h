@@ -19,7 +19,7 @@ namespace xorator::mapping {
 ///     mutually-recursive cycle whose members all have in-degree 1.
 /// All other elements are inlined into their nearest relation ancestor with
 /// path-prefixed column names (e.g. act_title).
-Result<MappedSchema> MapHybrid(const dtdgraph::SimplifiedDtd& dtd);
+[[nodiscard]] Result<MappedSchema> MapHybrid(const dtdgraph::SimplifiedDtd& dtd);
 
 /// XORator (Section 3.3 of the paper). Works on the revised DTD graph in
 /// which shared PCDATA leaves are duplicated per parent, then applies:
@@ -30,11 +30,11 @@ Result<MappedSchema> MapHybrid(const dtdgraph::SimplifiedDtd& dtd);
 ///      relation (and so do its ancestors);
 ///   3. a leaf below `*` becomes an XADT attribute; any other leaf becomes a
 ///      VARCHAR attribute.
-Result<MappedSchema> MapXorator(const dtdgraph::SimplifiedDtd& dtd);
+[[nodiscard]] Result<MappedSchema> MapXorator(const dtdgraph::SimplifiedDtd& dtd);
 
 /// "Shared" inlining from VLDB '99 (extension): like Hybrid, but every
 /// element with in-degree greater than one also becomes a relation.
-Result<MappedSchema> MapShared(const dtdgraph::SimplifiedDtd& dtd);
+[[nodiscard]] Result<MappedSchema> MapShared(const dtdgraph::SimplifiedDtd& dtd);
 
 /// Thresholds for the statistics-tuned XORator variant.
 struct TunedOptions {
@@ -52,7 +52,7 @@ struct TunedOptions {
 /// sampled data says its fragments stay small and shallow; oversized
 /// subtrees keep the relational treatment so queries inside them can use
 /// joins and indexes.
-Result<MappedSchema> MapXoratorTuned(const dtdgraph::SimplifiedDtd& dtd,
+[[nodiscard]] Result<MappedSchema> MapXoratorTuned(const dtdgraph::SimplifiedDtd& dtd,
                                      const XmlStats& stats,
                                      const TunedOptions& options = {});
 
@@ -60,7 +60,7 @@ Result<MappedSchema> MapXoratorTuned(const dtdgraph::SimplifiedDtd& dtd,
 /// spirit of Monet XML / Shimura et al., which the paper's related-work
 /// section contrasts against (95 tables for the Shakespeare DTD). Useful as
 /// an extreme baseline for table-count and join-count comparisons.
-Result<MappedSchema> MapPerElement(const dtdgraph::SimplifiedDtd& dtd);
+[[nodiscard]] Result<MappedSchema> MapPerElement(const dtdgraph::SimplifiedDtd& dtd);
 
 }  // namespace xorator::mapping
 

@@ -117,7 +117,7 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   SetLeaf(page.second, true);
   SetCount(page.second, 0);
   SetLink(page.second, kInvalidPageId);
-  pool->Unpin(page.first, /*dirty=*/true);
+  RETURN_IF_ERROR(pool->Unpin(page.first, /*dirty=*/true));
   return BPlusTree(pool, page.first, 1, 0);
 }
 
@@ -135,7 +135,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                    (count - pos) * kLeafEntryBytes);
       SetLeafEntry(node, pos, entry);
       SetCount(node, count + 1);
-      pool_->Unpin(node_id, /*dirty=*/true);
+      RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
       return SplitResult{};
     }
     // Split the leaf: left keeps the lower half.
@@ -153,7 +153,6 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     SetLink(node, right_page.first);
     // Insert into the proper half.
     char* target = pos <= mid ? node : right;
-    PageId target_id = pos <= mid ? node_id : right_page.first;
     size_t tpos = pos <= mid ? pos : pos - mid;
     uint16_t tcount = Count(target);
     std::memmove(target + kEntryOffset + (tpos + 1) * kLeafEntryBytes,
@@ -161,10 +160,9 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                  (tcount - tpos) * kLeafEntryBytes);
     SetLeafEntry(target, tpos, entry);
     SetCount(target, tcount + 1);
-    (void)target_id;
     EntryKey sep = LeafEntry(right, 0);
-    pool_->Unpin(right_page.first, /*dirty=*/true);
-    pool_->Unpin(node_id, /*dirty=*/true);
+    RETURN_IF_ERROR(pool_->Unpin(right_page.first, /*dirty=*/true));
+    RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
     SplitResult out;
     out.split = true;
     out.separator = sep.key;
@@ -176,7 +174,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
   // Internal node.
   size_t child_idx = ChildIndexFor(node, entry);
   PageId child = InternalChild(node, child_idx);
-  pool_->Unpin(node_id, /*dirty=*/false);
+  RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/false));
   XO_ASSIGN_OR_RETURN(SplitResult child_split,
                       InsertRecursive(child, key, rid));
   if (!child_split.split) return SplitResult{};
@@ -192,7 +190,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                  (count - pos) * kInternalEntryBytes);
     SetInternalEntry(node, pos, sep, new_child);
     SetCount(node, count + 1);
-    pool_->Unpin(node_id, /*dirty=*/true);
+    RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
     return SplitResult{};
   }
   // Split the internal node. Gather entries into a scratch array first.
@@ -227,8 +225,8 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     ++lcount;
   }
   SetCount(node, lcount);
-  pool_->Unpin(right_page.first, /*dirty=*/true);
-  pool_->Unpin(node_id, /*dirty=*/true);
+  RETURN_IF_ERROR(pool_->Unpin(right_page.first, /*dirty=*/true));
+  RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
   SplitResult out;
   out.split = true;
   out.separator = up.key;
@@ -248,7 +246,7 @@ Status BPlusTree::Insert(uint64_t key, uint64_t rid) {
     SetLink(node, root_);
     SetInternalEntry(node, 0, EntryKey{split.separator, separator_rid_},
                      split.right);
-    pool_->Unpin(page.first, /*dirty=*/true);
+    RETURN_IF_ERROR(pool_->Unpin(page.first, /*dirty=*/true));
     root_ = page.first;
   }
   ++entry_count_;
@@ -261,11 +259,11 @@ Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
   while (true) {
     XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
     if (IsLeaf(node)) {
-      pool_->Unpin(cur, /*dirty=*/false);
+      RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
       return cur;
     }
     PageId next = InternalChild(node, ChildIndexFor(node, target));
-    pool_->Unpin(cur, /*dirty=*/false);
+    RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
     cur = next;
   }
 }
@@ -293,7 +291,7 @@ Result<std::vector<uint64_t>> BPlusTree::FindRange(uint64_t lo,
       out.push_back(e.rid);
     }
     PageId next = Link(node);
-    pool_->Unpin(leaf, /*dirty=*/false);
+    RETURN_IF_ERROR(pool_->Unpin(leaf, /*dirty=*/false));
     if (done) break;
     leaf = next;
     target = EntryKey{0, 0};  // subsequent leaves: take from the start
@@ -308,7 +306,7 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
     XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
     if (!IsLeaf(node)) {
       PageId next = InternalChild(node, ChildIndexFor(node, target));
-      pool_->Unpin(cur, /*dirty=*/false);
+      RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
       cur = next;
       continue;
     }
@@ -321,12 +319,12 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
                      node + kEntryOffset + (i + 1) * kLeafEntryBytes,
                      (count - i - 1) * kLeafEntryBytes);
         SetCount(node, count - 1);
-        pool_->Unpin(cur, /*dirty=*/true);
+        RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/true));
         if (entry_count_ > 0) --entry_count_;
         return Status::OK();
       }
     }
-    pool_->Unpin(cur, /*dirty=*/false);
+    RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
     return Status::NotFound("entry not in index");
   }
 }
@@ -351,8 +349,14 @@ Status BPlusTree::CheckNode(PageId node_id, uint64_t lo, uint64_t hi,
         status = Status::Internal("leaf entries out of order");
       }
     }
-    pool_->Unpin(node_id, /*dirty=*/false);
-    return status;
+    Status unpin = pool_->Unpin(node_id, /*dirty=*/false);
+    if (!status.ok()) {
+      XO_DISCARD_STATUS(unpin,
+                        "the structural violation found above is the error "
+                        "worth reporting; an unbalanced unpin is secondary");
+      return status;
+    }
+    return unpin;
   }
   std::vector<std::pair<PageId, std::pair<uint64_t, uint64_t>>> children;
   uint64_t prev = lo;
@@ -368,8 +372,14 @@ Status BPlusTree::CheckNode(PageId node_id, uint64_t lo, uint64_t hi,
     prev = sep.key;
   }
   children.push_back({InternalChild(node, count), {prev, hi}});
-  pool_->Unpin(node_id, /*dirty=*/false);
-  XO_RETURN_NOT_OK(status);
+  Status unpin = pool_->Unpin(node_id, /*dirty=*/false);
+  if (!status.ok()) {
+    XO_DISCARD_STATUS(unpin,
+                      "the structural violation found above is the error "
+                      "worth reporting; an unbalanced unpin is secondary");
+    return status;
+  }
+  RETURN_IF_ERROR(unpin);
   for (auto& [child, bounds] : children) {
     XO_RETURN_NOT_OK(
         CheckNode(child, bounds.first, bounds.second, depth + 1, leaf_depth));

@@ -28,7 +28,7 @@ inline uint64_t IntIndexKey(int64_t v) {
 class BPlusTree {
  public:
   /// Creates an empty tree (allocates the root leaf).
-  static Result<BPlusTree> Create(BufferPool* pool);
+  [[nodiscard]] static Result<BPlusTree> Create(BufferPool* pool);
 
   /// Re-attaches to an existing tree.
   BPlusTree(BufferPool* pool, PageId root, uint64_t page_count,
@@ -43,20 +43,20 @@ class BPlusTree {
   uint64_t bytes() const { return page_count_ * kPageSize; }
   uint64_t entry_count() const { return entry_count_; }
 
-  Status Insert(uint64_t key, uint64_t rid);
+  [[nodiscard]] Status Insert(uint64_t key, uint64_t rid);
 
   /// Removes one (key, rid) entry; NotFound if absent.
-  Status Delete(uint64_t key, uint64_t rid);
+  [[nodiscard]] Status Delete(uint64_t key, uint64_t rid);
 
   /// All rids whose key equals `key`.
-  Result<std::vector<uint64_t>> Find(uint64_t key) const;
+  [[nodiscard]] Result<std::vector<uint64_t>> Find(uint64_t key) const;
 
   /// All rids with key in [lo, hi], in key order.
-  Result<std::vector<uint64_t>> FindRange(uint64_t lo, uint64_t hi) const;
+  [[nodiscard]] Result<std::vector<uint64_t>> FindRange(uint64_t lo, uint64_t hi) const;
 
   /// Structural invariant check for tests: keys sorted within nodes, leaf
   /// chain ordered, parent separators bound children.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct SplitResult {
@@ -65,9 +65,9 @@ class BPlusTree {
     PageId right = kInvalidPageId;
   };
 
-  Result<SplitResult> InsertRecursive(PageId node, uint64_t key, uint64_t rid);
-  Result<PageId> FindLeaf(uint64_t key) const;
-  Status CheckNode(PageId node, uint64_t lo, uint64_t hi, int depth,
+  [[nodiscard]] Result<SplitResult> InsertRecursive(PageId node, uint64_t key, uint64_t rid);
+  [[nodiscard]] Result<PageId> FindLeaf(uint64_t key) const;
+  [[nodiscard]] Status CheckNode(PageId node, uint64_t lo, uint64_t hi, int depth,
                    int* leaf_depth) const;
 
   BufferPool* pool_;

@@ -128,12 +128,20 @@ Result<std::pair<PageId, char*>> BufferPool::NewPage() {
   return std::make_pair(id, f.data.get());
 }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
+Status BufferPool::Unpin(PageId id, bool dirty) {
   auto it = frame_of_page_.find(id);
-  if (it == frame_of_page_.end()) return;
+  if (it == frame_of_page_.end()) {
+    return Status::InvalidArgument("Unpin of non-resident page " +
+                                   std::to_string(id));
+  }
   Frame& f = frames_[it->second];
-  if (f.pin_count > 0) --f.pin_count;
+  if (f.pin_count == 0) {
+    return Status::InvalidArgument("unbalanced Unpin of page " +
+                                   std::to_string(id));
+  }
+  --f.pin_count;
   f.dirty = f.dirty || dirty;
+  return Status::OK();
 }
 
 Status BufferPool::FlushAll() {

@@ -49,15 +49,19 @@ class BufferPool {
   void set_wal(Wal* wal) { wal_ = wal; }
 
   /// Returns a pinned pointer to the page contents.
-  Result<char*> FetchPage(PageId id);
+  [[nodiscard]] Result<char*> FetchPage(PageId id);
 
   /// Allocates a new page and returns it pinned (already zeroed).
-  Result<std::pair<PageId, char*>> NewPage();
+  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage();
 
-  void Unpin(PageId id, bool dirty);
+  /// Releases one pin on `id`, marking the frame dirty if `dirty`. Fails
+  /// with kInvalidArgument on an unbalanced unpin (page not resident or
+  /// not pinned) — always a caller bug, so propagate or discard with an
+  /// annotation stating the invariant.
+  [[nodiscard]] Status Unpin(PageId id, bool dirty);
 
   /// Writes back all dirty frames.
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   const BufferPoolStats& stats() const { return stats_; }
   size_t capacity() const { return frames_.size(); }
@@ -74,11 +78,11 @@ class BufferPool {
     uint64_t last_used = 0;
   };
 
-  Result<size_t> GetVictimFrame();
+  [[nodiscard]] Result<size_t> GetVictimFrame();
   /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
-  Status WriteBack(Frame& frame);
-  Status ReadRetry(PageId id, char* buf);
-  Status WriteRetry(PageId id, const char* buf);
+  [[nodiscard]] Status WriteBack(Frame& frame);
+  [[nodiscard]] Status ReadRetry(PageId id, char* buf);
+  [[nodiscard]] Status WriteRetry(PageId id, const char* buf);
 
   Pager* pager_;
   Wal* wal_ = nullptr;

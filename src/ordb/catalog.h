@@ -19,6 +19,7 @@ struct ColumnStats {
   double ndv = 0;
 };
 
+/// Optimizer statistics for a table (the paper's runstats output).
 struct TableStats {
   uint64_t row_count = 0;
   std::vector<ColumnStats> columns;
@@ -52,17 +53,17 @@ struct TableInfo {
 /// pool.
 class Catalog {
  public:
-  Result<TableInfo*> CreateTable(const std::string& name, TableSchema schema,
+  [[nodiscard]] Result<TableInfo*> CreateTable(const std::string& name, TableSchema schema,
                                  BufferPool* pool);
-  Result<IndexInfo*> CreateIndex(const std::string& index_name,
+  [[nodiscard]] Result<IndexInfo*> CreateIndex(const std::string& index_name,
                                  const std::string& table,
                                  const std::string& column, BufferPool* pool);
 
   /// Re-registers a table deserialized from the catalog page (its heap
   /// already exists in the file). Fails if the name is taken.
-  Result<TableInfo*> RestoreTable(std::unique_ptr<TableInfo> info);
+  [[nodiscard]] Result<TableInfo*> RestoreTable(std::unique_ptr<TableInfo> info);
   /// Re-registers a deserialized index and links it to its table.
-  Result<IndexInfo*> RestoreIndex(std::unique_ptr<IndexInfo> info);
+  [[nodiscard]] Result<IndexInfo*> RestoreIndex(std::unique_ptr<IndexInfo> info);
 
   TableInfo* FindTable(std::string_view name);
   const TableInfo* FindTable(std::string_view name) const;

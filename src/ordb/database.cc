@@ -1,5 +1,6 @@
 #include "ordb/database.h"
 
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <unordered_set>
@@ -10,6 +11,23 @@
 namespace xorator::ordb {
 
 namespace {
+
+/// Process-wide record of the most recent destructor/Close() checkpoint,
+/// stored as raw code+message (not a Status) so that nothing enforces a
+/// check on the global itself at process exit.
+std::mutex g_close_status_mu;
+StatusCode g_close_status_code = StatusCode::kOk;
+std::string g_close_status_message;  // NOLINT(runtime/string)
+
+void RecordCloseStatus(const Status& s) {
+  std::lock_guard<std::mutex> lock(g_close_status_mu);
+  g_close_status_code = s.code();
+  g_close_status_message = s.message();
+  if (!s.ok()) {
+    std::fprintf(stderr, "xorator: close-time checkpoint failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
 
 /// Meta-page catalog serialization (see DESIGN.md "Durability & fault
 /// tolerance"). Everything is varints after the magic; strings are
@@ -94,7 +112,7 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
         return Status::Internal("meta page allocated as page " +
                                 std::to_string(meta.first) + ", not 0");
       }
-      db->pool_->Unpin(meta.first, /*dirty=*/true);
+      XO_RETURN_NOT_OK(db->pool_->Unpin(meta.first, /*dirty=*/true));
       XO_RETURN_NOT_OK(db->Checkpoint());
     } else {
       XO_RETURN_NOT_OK(db->LoadCatalog());
@@ -105,10 +123,22 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
 }
 
 Database::~Database() {
-  if (opened_ && !closed_ && !killed_ && pool_ != nullptr) (void)Checkpoint();
+  if (opened_ && !closed_ && !killed_.load(std::memory_order_relaxed) &&
+      pool_ != nullptr) {
+    // A destructor cannot return the checkpoint status, but it must not
+    // swallow it either: record it for last_close_status() (which also
+    // logs a failure to stderr).
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordCloseStatus(CheckpointLocked());
+  }
 }
 
 Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   if (pool_ == nullptr) return Status::OK();
   if (wal_ == nullptr) return pool_->FlushAll();  // memory-backed
   XO_RETURN_NOT_OK(SaveCatalog());
@@ -120,10 +150,17 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Close() {
-  if (closed_ || killed_) return Status::OK();
-  Status s = Checkpoint();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || killed_.load(std::memory_order_relaxed)) return Status::OK();
+  Status s = CheckpointLocked();
   closed_ = true;
+  RecordCloseStatus(s);
   return s;
+}
+
+Status Database::last_close_status() {
+  std::lock_guard<std::mutex> lock(g_close_status_mu);
+  return Status(g_close_status_code, g_close_status_message);
 }
 
 Status Database::SaveCatalog() {
@@ -161,8 +198,7 @@ Status Database::SaveCatalog() {
   XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
   std::memset(page + kPageHeaderBytes, 0, kPageSize - kPageHeaderBytes);
   std::memcpy(page + kPageHeaderBytes, blob.data(), blob.size());
-  pool_->Unpin(0, /*dirty=*/true);
-  return Status::OK();
+  return pool_->Unpin(0, /*dirty=*/true);
 }
 
 Status Database::LoadCatalog() {
@@ -170,7 +206,7 @@ Status Database::LoadCatalog() {
   {
     XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
     payload.assign(page + kPageHeaderBytes, kPageSize - kPageHeaderBytes);
-    pool_->Unpin(0, /*dirty=*/false);
+    XO_RETURN_NOT_OK(pool_->Unpin(0, /*dirty=*/false));
   }
   const std::string_view view(payload);
   const PageId pages = pager_->page_count();
@@ -274,6 +310,11 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
 }
 
 Result<QueryResult> Database::Query(const std::string& sql_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueryLocked(sql_text);
+}
+
+Result<QueryResult> Database::QueryLocked(const std::string& sql_text) {
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
@@ -292,12 +333,13 @@ Result<QueryResult> Database::Query(const std::string& sql_text) {
       for (const auto& [name, type] : stmt.create_table.columns) {
         schema.columns.push_back({name, type});
       }
-      XO_RETURN_NOT_OK(CreateTable(stmt.create_table.name, std::move(schema)));
+      XO_RETURN_NOT_OK(
+          CreateTableLocked(stmt.create_table.name, std::move(schema)));
       return QueryResult{};
     }
     case sql::Statement::Kind::kCreateIndex:
-      XO_RETURN_NOT_OK(
-          CreateIndex(stmt.create_index.table, stmt.create_index.column));
+      XO_RETURN_NOT_OK(CreateIndexLocked(stmt.create_index.table,
+                                         stmt.create_index.column));
       return QueryResult{};
     case sql::Statement::Kind::kInsert: {
       std::vector<Tuple> rows;
@@ -337,7 +379,7 @@ Result<QueryResult> Database::Query(const std::string& sql_text) {
         }
         rows.push_back(std::move(row));
       }
-      XO_RETURN_NOT_OK(BulkInsert(stmt.insert.table, rows));
+      XO_RETURN_NOT_OK(BulkInsertLocked(stmt.insert.table, rows));
       return QueryResult{};
     }
     case sql::Statement::Kind::kDelete:
@@ -347,10 +389,12 @@ Result<QueryResult> Database::Query(const std::string& sql_text) {
 }
 
 Status Database::Execute(const std::string& sql_text) {
-  return Query(sql_text).status();
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueryLocked(sql_text).status();
 }
 
 Result<std::string> Database::Explain(const std::string& sql_text) {
+  std::lock_guard<std::mutex> lock(mu_);
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
   if (stmt.kind != sql::Statement::Kind::kSelect &&
       stmt.kind != sql::Statement::Kind::kExplain) {
@@ -362,11 +406,23 @@ Result<std::string> Database::Explain(const std::string& sql_text) {
 }
 
 Status Database::CreateTable(const std::string& name, TableSchema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateTableLocked(name, std::move(schema));
+}
+
+Status Database::CreateTableLocked(const std::string& name,
+                                   TableSchema schema) {
   return catalog_.CreateTable(name, std::move(schema), pool_.get()).status();
 }
 
 Status Database::CreateIndex(const std::string& table,
                              const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateIndexLocked(table, column);
+}
+
+Status Database::CreateIndexLocked(const std::string& table,
+                                   const std::string& column) {
   std::string index_name = "idx_" + table + "_" + column;
   XO_ASSIGN_OR_RETURN(IndexInfo * index,
                       catalog_.CreateIndex(index_name, table, column,
@@ -392,6 +448,12 @@ Status Database::CreateIndex(const std::string& table,
 
 Status Database::BulkInsert(const std::string& table,
                             const std::vector<Tuple>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BulkInsertLocked(table, rows);
+}
+
+Status Database::BulkInsertLocked(const std::string& table,
+                                  const std::vector<Tuple>& rows) {
   TableInfo* t = catalog_.FindTable(table);
   if (t == nullptr) return Status::NotFound("unknown table '" + table + "'");
   std::string record;
@@ -415,6 +477,7 @@ Status Database::BulkInsert(const std::string& table,
 }
 
 Status Database::RunStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& t : catalog_.tables()) {
     std::vector<std::unordered_set<uint64_t>> distinct(t->schema.size());
     HeapFile::Scanner scanner = t->heap->Scan();
@@ -588,6 +651,7 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
 }
 
 Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<std::pair<std::string, std::string>> wanted;
   for (const std::string& q : queries) {
     auto parsed = sql::ParseSql(q);
@@ -628,7 +692,7 @@ Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
   for (const auto& [table, col] : wanted) {
     const TableInfo* t = catalog_.FindTable(table);
     if (t != nullptr && t->FindIndex(col) == nullptr) {
-      XO_RETURN_NOT_OK(CreateIndex(table, col));
+      XO_RETURN_NOT_OK(CreateIndexLocked(table, col));
     }
   }
   return Status::OK();

@@ -1,7 +1,9 @@
 #ifndef XORATOR_ORDB_DATABASE_H_
 #define XORATOR_ORDB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,54 +52,72 @@ struct QueryResult {
 ///   db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)");
 ///   db->Execute("INSERT INTO t VALUES (1, 'x')");
 ///   auto result = db->Query("SELECT a FROM t WHERE b = 'x'");
+///
+/// Thread safety: the statement-level entry points (Query, Execute,
+/// Explain, Checkpoint, Close, CreateTable, CreateIndex, BulkInsert,
+/// RunStats, AdviseIndexes) are serialized by an internal mutex, so
+/// concurrent callers are safe (though not parallel). The raw component
+/// accessors (catalog(), buffer_pool(), wal(), ...) bypass that mutex and
+/// remain single-threaded.
 class Database {
  public:
   /// Opens (creating or recovering) a database. For file-backed databases
   /// this first rolls back any interrupted epoch via the write-ahead log
   /// (see wal.h), then reloads the catalog from the meta page; the last
   /// Checkpoint() is the state that survives a crash.
-  static Result<std::unique_ptr<Database>> Open(const DbOptions& options = {});
+  [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
+      const DbOptions& options = {});
 
-  /// Checkpoints (best effort) unless Close() or Kill() was called.
+  /// Checkpoints (best effort) unless Close() or Kill() was called. A
+  /// failed implicit checkpoint cannot be returned, so it is recorded in
+  /// last_close_status() and logged to stderr instead of being swallowed.
   ~Database();
 
   /// Makes the current state durable: persists the catalog to the meta
   /// page, flushes every dirty buffer, and truncates the WAL (the atomic
   /// commit point). No-op persistence-wise for memory-backed databases.
-  Status Checkpoint();
+  [[nodiscard]] Status Checkpoint();
 
   /// Checkpoints and marks the database closed.
-  Status Close();
+  [[nodiscard]] Status Close();
+
+  /// The status of the most recent destructor or Close() checkpoint of any
+  /// Database in this process (OK when it succeeded, or before any close).
+  /// This is how a failure in the implicit destructor checkpoint — which
+  /// has no other way to report — stays observable to callers and tests.
+  [[nodiscard]] static Status last_close_status();
 
   /// Testing hook: simulate a crash. The destructor will NOT checkpoint;
   /// dirty frames are dropped and the WAL keeps its current epoch, so the
   /// next Open() rolls back to the last checkpoint — exactly as if the
   /// process had died here.
-  void Kill() { killed_ = true; }
+  void Kill() { killed_.store(true, std::memory_order_relaxed); }
 
   /// Runs any statement; DDL/INSERT return an empty result.
-  Result<QueryResult> Query(const std::string& sql);
+  [[nodiscard]] Result<QueryResult> Query(const std::string& sql);
 
   /// Runs a statement for effect only.
-  Status Execute(const std::string& sql);
+  [[nodiscard]] Status Execute(const std::string& sql);
 
   /// Returns the EXPLAIN plan of a SELECT without running it.
-  Result<std::string> Explain(const std::string& sql);
+  [[nodiscard]] Result<std::string> Explain(const std::string& sql);
 
   // -- Direct (non-SQL) data path, used by the bulk loader. -----------------
 
-  Status CreateTable(const std::string& name, TableSchema schema);
-  Status CreateIndex(const std::string& table, const std::string& column);
+  [[nodiscard]] Status CreateTable(const std::string& name, TableSchema schema);
+  [[nodiscard]] Status CreateIndex(const std::string& table,
+                                   const std::string& column);
 
   /// Appends `rows` to `table`, maintaining any existing indexes.
-  Status BulkInsert(const std::string& table, const std::vector<Tuple>& rows);
+  [[nodiscard]] Status BulkInsert(const std::string& table,
+                                  const std::vector<Tuple>& rows);
 
   /// Recomputes table statistics (the paper's "runstats").
-  Status RunStats();
+  [[nodiscard]] Status RunStats();
 
   /// Creates indexes useful for `queries` (the paper's "DB2 Index Wizard"):
   /// every column compared for equality against a literal or another column.
-  Status AdviseIndexes(const std::vector<std::string>& queries);
+  [[nodiscard]] Status AdviseIndexes(const std::vector<std::string>& queries);
 
   Catalog* catalog() { return &catalog_; }
   FunctionRegistry* functions() { return &functions_; }
@@ -117,15 +137,28 @@ class Database {
  private:
   explicit Database(DbOptions options) : options_(std::move(options)) {}
 
-  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt, bool explain_only);
-  Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+  // Unlocked bodies of the public entry points; callers hold mu_.
+  [[nodiscard]] Result<QueryResult> QueryLocked(const std::string& sql);
+  [[nodiscard]] Status CheckpointLocked();
+  [[nodiscard]] Status CreateTableLocked(const std::string& name,
+                                         TableSchema schema);
+  [[nodiscard]] Status CreateIndexLocked(const std::string& table,
+                                         const std::string& column);
+  [[nodiscard]] Status BulkInsertLocked(const std::string& table,
+                                        const std::vector<Tuple>& rows);
+
+  [[nodiscard]] Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
+                                              bool explain_only);
+  [[nodiscard]] Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
 
   /// Serializes the catalog into the meta page (page 0 of file-backed
   /// databases).
-  Status SaveCatalog();
+  [[nodiscard]] Status SaveCatalog();
   /// Rebuilds the catalog from the meta page of an existing database.
-  Status LoadCatalog();
+  [[nodiscard]] Status LoadCatalog();
 
+  /// Serializes the statement-level entry points (see the class comment).
+  mutable std::mutex mu_;
   DbOptions options_;
   std::unique_ptr<Pager> pager_;  // declared before pool_/wal_: destroyed last
   std::unique_ptr<Wal> wal_;
@@ -139,7 +172,7 @@ class Database {
   /// destroying exactly the evidence a later repair needs.
   bool opened_ = false;
   bool closed_ = false;
-  bool killed_ = false;
+  std::atomic<bool> killed_{false};
 };
 
 }  // namespace xorator::ordb

@@ -25,9 +25,9 @@ class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  [[nodiscard]] virtual Status Open(ExecContext* ctx) = 0;
   /// Produces the next row into `*out`; returns false at end of stream.
-  virtual Result<bool> Next(Tuple* out) = 0;
+  [[nodiscard]] virtual Result<bool> Next(Tuple* out) = 0;
   virtual void Close() {}
 
   const std::vector<ColumnMeta>& columns() const { return columns_; }
@@ -50,8 +50,8 @@ class SeqScanOp : public Operator {
  public:
   SeqScanOp(const TableInfo* table, const std::string& alias);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   std::string Label() const override;
 
  private:
@@ -67,8 +67,8 @@ class IndexScanOp : public Operator {
   IndexScanOp(const TableInfo* table, const IndexInfo* index, Value key,
               const std::string& alias);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   std::string Label() const override;
 
  private:
@@ -80,12 +80,13 @@ class IndexScanOp : public Operator {
   size_t pos_ = 0;
 };
 
+/// Drops rows whose predicate does not evaluate to TRUE.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override { child_->Close(); }
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -98,13 +99,14 @@ class FilterOp : public Operator {
   ExecContext* ctx_ = nullptr;
 };
 
+/// Evaluates one output expression per projected column.
 class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
             std::vector<std::string> names);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override { child_->Close(); }
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -122,8 +124,8 @@ class NestedLoopJoinOp : public Operator {
  public:
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -148,8 +150,8 @@ class HashJoinOp : public Operator {
              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
              ExprPtr residual);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -178,8 +180,8 @@ class SortMergeJoinOp : public Operator {
                   std::vector<ExprPtr> left_keys,
                   std::vector<ExprPtr> right_keys, ExprPtr residual);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -187,7 +189,7 @@ class SortMergeJoinOp : public Operator {
   }
 
  private:
-  Result<bool> AdvanceRuns();
+  [[nodiscard]] Result<bool> AdvanceRuns();
 
   OperatorPtr left_;
   OperatorPtr right_;
@@ -211,8 +213,8 @@ class IndexNestedLoopJoinOp : public Operator {
                         const IndexInfo* index, ExprPtr left_key,
                         const std::string& inner_alias, ExprPtr residual);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -238,8 +240,8 @@ class SortOp : public Operator {
   SortOp(OperatorPtr child, std::vector<ExprPtr> keys,
          std::vector<bool> ascending);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -259,8 +261,8 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -276,6 +278,7 @@ class DistinctOp : public Operator {
 /// Supported aggregate functions.
 enum class AggKind { kCountStar, kCount, kSum, kMin, kMax };
 
+/// One aggregate in a GROUP BY plan: function + argument + label.
 struct AggregateSpec {
   AggKind kind = AggKind::kCountStar;
   ExprPtr arg;  // null for COUNT(*)
@@ -289,8 +292,8 @@ class AggregateOp : public Operator {
               std::vector<std::string> group_names,
               std::vector<AggregateSpec> aggs);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {
@@ -314,8 +317,8 @@ class LateralTableFuncOp : public Operator {
   LateralTableFuncOp(OperatorPtr child, const TableFunction* fn,
                      std::vector<ExprPtr> args, const std::string& alias);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Tuple* out) override;
+  [[nodiscard]] Status Open(ExecContext* ctx) override;
+  [[nodiscard]] Result<bool> Next(Tuple* out) override;
   void Close() override;
   std::string Label() const override;
   std::vector<const Operator*> Children() const override {

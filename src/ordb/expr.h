@@ -19,7 +19,7 @@ std::string_view CompareOpName(CompareOp op);
 class Expr {
  public:
   virtual ~Expr() = default;
-  virtual Result<Value> Eval(const Tuple& row, ExecContext* ctx) const = 0;
+  [[nodiscard]] virtual Result<Value> Eval(const Tuple& row, ExecContext* ctx) const = 0;
   virtual TypeId type() const = 0;
   virtual std::string ToString() const = 0;
 
@@ -38,7 +38,7 @@ class ColumnRefExpr : public Expr {
   size_t index() const { return index_; }
   const std::string& name() const { return name_; }
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return type_; }
   std::string ToString() const override { return name_; }
   void CollectColumns(std::vector<size_t>* out) const override {
@@ -51,13 +51,14 @@ class ColumnRefExpr : public Expr {
   TypeId type_;
 };
 
+/// A constant value.
 class LiteralExpr : public Expr {
  public:
   explicit LiteralExpr(Value value) : value_(std::move(value)) {}
 
   const Value& value() const { return value_; }
 
-  Result<Value> Eval(const Tuple&, ExecContext*) const override {
+  [[nodiscard]] Result<Value> Eval(const Tuple&, ExecContext*) const override {
     return value_;
   }
   TypeId type() const override { return value_.type(); }
@@ -68,6 +69,7 @@ class LiteralExpr : public Expr {
   Value value_;
 };
 
+/// Binary comparison (=, <>, <, <=, >, >=) with SQL NULL semantics.
 class CompareExpr : public Expr {
  public:
   CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
@@ -77,7 +79,7 @@ class CompareExpr : public Expr {
   const Expr& lhs() const { return *lhs_; }
   const Expr& rhs() const { return *rhs_; }
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return TypeId::kBoolean; }
   std::string ToString() const override;
   void CollectColumns(std::vector<size_t>* out) const override {
@@ -99,7 +101,7 @@ class LogicExpr : public Expr {
   LogicExpr(Kind kind, ExprPtr lhs, ExprPtr rhs)
       : kind_(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return TypeId::kBoolean; }
   std::string ToString() const override;
   void CollectColumns(std::vector<size_t>* out) const override {
@@ -119,7 +121,7 @@ class LikeExpr : public Expr {
   LikeExpr(ExprPtr input, std::string pattern)
       : input_(std::move(input)), pattern_(std::move(pattern)) {}
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return TypeId::kBoolean; }
   std::string ToString() const override;
   void CollectColumns(std::vector<size_t>* out) const override {
@@ -137,7 +139,7 @@ class IsNullExpr : public Expr {
   IsNullExpr(ExprPtr input, bool negated)
       : input_(std::move(input)), negated_(negated) {}
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return TypeId::kBoolean; }
   std::string ToString() const override;
   void CollectColumns(std::vector<size_t>* out) const override {
@@ -158,7 +160,7 @@ class FunctionExpr : public Expr {
 
   const ScalarFunction& fn() const { return *fn_; }
 
-  Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
+  [[nodiscard]] Result<Value> Eval(const Tuple& row, ExecContext* ctx) const override;
   TypeId type() const override { return fn_->return_type; }
   std::string ToString() const override;
   void CollectColumns(std::vector<size_t>* out) const override {

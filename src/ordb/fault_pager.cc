@@ -59,7 +59,10 @@ Status FaultInjectingPager::Write(PageId id, const char* buf) {
     Status read = base_->Read(id, torn);
     if (!read.ok()) std::memset(torn, 0, kPageSize);
     std::memcpy(torn, buf, cut);
-    (void)base_->Write(id, torn);
+    XO_DISCARD_STATUS(base_->Write(id, torn),
+                      "a torn write is reported as the IOError below either "
+                      "way; whether the partial page also reached disk only "
+                      "changes which corruption the checksum later catches");
     return Status::IOError("injected torn write of page " +
                            std::to_string(id) + " (" + std::to_string(cut) +
                            " bytes reached disk)");

@@ -63,10 +63,10 @@ class FaultInjectingPager : public Pager {
   FaultInjectingPager(std::unique_ptr<Pager> base, const FaultOptions& options)
       : base_(std::move(base)), options_(options), rng_(options.seed) {}
 
-  Result<PageId> Allocate() override;
-  Status Read(PageId id, char* buf) override;
-  Status Write(PageId id, const char* buf) override;
-  Status Flush() override;
+  [[nodiscard]] Result<PageId> Allocate() override;
+  [[nodiscard]] Status Read(PageId id, char* buf) override;
+  [[nodiscard]] Status Write(PageId id, const char* buf) override;
+  [[nodiscard]] Status Flush() override;
   PageId page_count() const override { return base_->page_count(); }
 
   const FaultStats& stats() const { return stats_; }
@@ -74,7 +74,7 @@ class FaultInjectingPager : public Pager {
 
  private:
   /// Draws the fault decision for one operation; OK means "pass through".
-  Status Draw(bool is_write);
+  [[nodiscard]] Status Draw(bool is_write);
   bool Chance(double rate);
 
   std::unique_ptr<Pager> base_;

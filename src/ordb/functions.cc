@@ -71,7 +71,9 @@ FunctionRegistry FunctionRegistry::WithBuiltins() {
     fn.arity = arity;
     fn.is_udf = udf;
     fn.impl = std::move(impl);
-    (void)reg.RegisterScalar(std::move(fn));
+    XO_DISCARD_STATUS(reg.RegisterScalar(std::move(fn)),
+                      "the built-in names are unique by construction, so "
+                      "kAlreadyExists cannot occur here");
   };
   add("length", TypeId::kInteger, 1, false, BuiltinLength);
   add("substr", TypeId::kVarchar, -1, false, BuiltinSubstr);

@@ -52,8 +52,8 @@ class FunctionRegistry {
   /// (udf_length, udf_substr) used by the Figure 14 experiment.
   static FunctionRegistry WithBuiltins();
 
-  Status RegisterScalar(ScalarFunction fn);
-  Status RegisterTable(TableFunction fn);
+  [[nodiscard]] Status RegisterScalar(ScalarFunction fn);
+  [[nodiscard]] Status RegisterTable(TableFunction fn);
 
   const ScalarFunction* FindScalar(std::string_view name) const;
   const TableFunction* FindTable(std::string_view name) const;
@@ -65,10 +65,10 @@ class FunctionRegistry {
 
 /// Invokes `fn` through the appropriate dispatch path, updating `stats`
 /// (which may be null) for UDFs.
-Result<Value> InvokeScalar(const ScalarFunction& fn,
+[[nodiscard]] Result<Value> InvokeScalar(const ScalarFunction& fn,
                            const std::vector<Value>& args, UdfStats* stats);
 
-Result<std::vector<Tuple>> InvokeTable(const TableFunction& fn,
+[[nodiscard]] Result<std::vector<Tuple>> InvokeTable(const TableFunction& fn,
                                        const std::vector<Value>& args,
                                        UdfStats* stats);
 

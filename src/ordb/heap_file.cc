@@ -17,7 +17,7 @@ constexpr size_t kMaxInline = kPageSize - 64;
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
   XO_ASSIGN_OR_RETURN(auto page, pool->NewPage());
   SlottedPage(page.second).Init();
-  pool->Unpin(page.first, /*dirty=*/true);
+  RETURN_IF_ERROR(pool->Unpin(page.first, /*dirty=*/true));
   return HeapFile(pool, page.first, page.first, 0, 1);
 }
 
@@ -50,12 +50,12 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
     std::memcpy(page.second + kOverflowBase, &next, 4);
     std::memcpy(page.second + kOverflowBase + 4, &len, 4);
     std::memcpy(page.second + kOverflowHeader, record.data() + pos, chunk);
-    pool_->Unpin(page.first, /*dirty=*/true);
+    RETURN_IF_ERROR(pool_->Unpin(page.first, /*dirty=*/true));
     if (prev != kInvalidPageId) {
       XO_ASSIGN_OR_RETURN(char* prev_data, pool_->FetchPage(prev));
       uint32_t link = page.first;
       std::memcpy(prev_data + kOverflowBase, &link, 4);
-      pool_->Unpin(prev, /*dirty=*/true);
+      RETURN_IF_ERROR(pool_->Unpin(prev, /*dirty=*/true));
     } else {
       head = page.first;
     }
@@ -75,8 +75,12 @@ Result<Rid> HeapFile::InsertEncoded(std::string_view payload) {
   SlottedPage page(data);
   if (page.Fits(payload.size())) {
     auto slot = page.Insert(payload);
-    pool_->Unpin(last_page_, /*dirty=*/true);
-    XO_RETURN_NOT_OK(slot.status());
+    Status unpin = pool_->Unpin(last_page_, /*dirty=*/true);
+    if (!slot.ok()) {
+      XO_DISCARD_STATUS(unpin, "the slot-insert failure is the primary error");
+      return slot.status();
+    }
+    RETURN_IF_ERROR(unpin);
     ++record_count_;
     return Rid{last_page_, *slot};
   }
@@ -86,11 +90,15 @@ Result<Rid> HeapFile::InsertEncoded(std::string_view payload) {
   SlottedPage fresh_page(fresh.second);
   fresh_page.Init();
   auto slot = fresh_page.Insert(payload);
-  pool_->Unpin(fresh.first, /*dirty=*/true);
+  Status unpin = pool_->Unpin(fresh.first, /*dirty=*/true);
   page.set_next_page(fresh.first);
-  pool_->Unpin(last_page_, /*dirty=*/true);
+  unpin.Update(pool_->Unpin(last_page_, /*dirty=*/true));
   last_page_ = fresh.first;
-  XO_RETURN_NOT_OK(slot.status());
+  if (!slot.ok()) {
+    XO_DISCARD_STATUS(unpin, "the slot-insert failure is the primary error");
+    return slot.status();
+  }
+  RETURN_IF_ERROR(unpin);
   ++record_count_;
   return Rid{last_page_, *slot};
 }
@@ -109,12 +117,13 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
     std::memcpy(&next, data + kOverflowBase, 4);
     std::memcpy(&len, data + kOverflowBase + 4, 4);
     if (len > kPageSize - kOverflowHeader) {
-      pool_->Unpin(page_id, /*dirty=*/false);
+      XO_DISCARD_STATUS(pool_->Unpin(page_id, /*dirty=*/false),
+                        "the corruption below is the primary error");
       return Status::Corruption("overflow page " + std::to_string(page_id) +
                                 " has a bad chunk length");
     }
     out.append(data + kOverflowHeader, len);
-    pool_->Unpin(page_id, /*dirty=*/false);
+    RETURN_IF_ERROR(pool_->Unpin(page_id, /*dirty=*/false));
     page_id = next;
   }
   if (out.size() != total) {
@@ -128,21 +137,23 @@ Result<std::string> HeapFile::Get(const Rid& rid) const {
   SlottedPage page(data);
   auto record = page.Get(rid.slot);
   if (!record.ok()) {
-    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    XO_DISCARD_STATUS(pool_->Unpin(rid.page_id, /*dirty=*/false),
+                      "the record-lookup failure is the primary error");
     return record.status();
   }
   std::string_view bytes = *record;
   if (bytes.empty()) {
-    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    XO_DISCARD_STATUS(pool_->Unpin(rid.page_id, /*dirty=*/false),
+                      "the empty-payload error is the primary error");
     return Status::Internal("empty record payload");
   }
   if (bytes[0] == kInlineMarker) {
     std::string out(bytes.substr(1));
-    pool_->Unpin(rid.page_id, /*dirty=*/false);
+    RETURN_IF_ERROR(pool_->Unpin(rid.page_id, /*dirty=*/false));
     return out;
   }
   std::string stub(bytes.substr(1));
-  pool_->Unpin(rid.page_id, /*dirty=*/false);
+  RETURN_IF_ERROR(pool_->Unpin(rid.page_id, /*dirty=*/false));
   return ReadOverflow(stub);
 }
 
@@ -150,8 +161,14 @@ Status HeapFile::Delete(const Rid& rid) {
   XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(rid.page_id));
   SlottedPage page(data);
   Status s = page.Delete(rid.slot);
-  pool_->Unpin(rid.page_id, s.ok());
-  if (s.ok() && record_count_ > 0) --record_count_;
+  const bool deleted = s.ok();
+  Status unpin = pool_->Unpin(rid.page_id, /*dirty=*/deleted);
+  if (!deleted) {
+    XO_DISCARD_STATUS(unpin, "the delete failure is the primary error");
+    return s;
+  }
+  RETURN_IF_ERROR(unpin);
+  if (record_count_ > 0) --record_count_;
   return s;
 }
 
@@ -165,7 +182,8 @@ Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
     if (!page.initialized()) {
       // A chained page whose initialization never reached disk (crash
       // without recovery): surface it rather than scanning garbage.
-      file_->pool_->Unpin(page_, /*dirty=*/false);
+      XO_DISCARD_STATUS(file_->pool_->Unpin(page_, /*dirty=*/false),
+                        "the corruption below is the primary error");
       return Status::Corruption("heap chain reaches uninitialized page " +
                                 std::to_string(page_));
     }
@@ -180,17 +198,17 @@ Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
         record->assign(payload.substr(1));
       } else {
         std::string stub(payload.substr(1));
-        file_->pool_->Unpin(page_, /*dirty=*/false);
+        RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
         XO_ASSIGN_OR_RETURN(*record, file_->ReadOverflow(stub));
         *rid = Rid{page_, s};
         return true;
       }
       *rid = Rid{page_, s};
-      file_->pool_->Unpin(page_, /*dirty=*/false);
+      RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
       return true;
     }
     PageId next = page.next_page();
-    file_->pool_->Unpin(page_, /*dirty=*/false);
+    RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
     if (next == page_) {
       return Status::Corruption("heap chain cycle at page " +
                                 std::to_string(page_));

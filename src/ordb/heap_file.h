@@ -17,7 +17,7 @@ namespace xorator::ordb {
 class HeapFile {
  public:
   /// Creates an empty heap file (allocates its first page).
-  static Result<HeapFile> Create(BufferPool* pool);
+  [[nodiscard]] static Result<HeapFile> Create(BufferPool* pool);
 
   /// Re-attaches to an existing heap file rooted at `first_page`.
   HeapFile(BufferPool* pool, PageId first_page, PageId last_page,
@@ -30,12 +30,12 @@ class HeapFile {
   uint64_t page_count() const { return page_count_; }
   uint64_t bytes() const { return page_count_ * kPageSize; }
 
-  Result<Rid> Insert(std::string_view record);
+  [[nodiscard]] Result<Rid> Insert(std::string_view record);
 
   /// Reads the record at `rid` (follows overflow stubs).
-  Result<std::string> Get(const Rid& rid) const;
+  [[nodiscard]] Result<std::string> Get(const Rid& rid) const;
 
-  Status Delete(const Rid& rid);
+  [[nodiscard]] Status Delete(const Rid& rid);
 
   /// Sequential scanner over live records.
   class Scanner {
@@ -43,7 +43,7 @@ class HeapFile {
     Scanner(const HeapFile* file);
 
     /// Advances to the next record; false at end of file.
-    Result<bool> Next(Rid* rid, std::string* record);
+    [[nodiscard]] Result<bool> Next(Rid* rid, std::string* record);
 
    private:
     const HeapFile* file_;
@@ -58,8 +58,8 @@ class HeapFile {
   static constexpr char kInlineMarker = 0x00;
   static constexpr char kOverflowMarker = 0x01;
 
-  Result<Rid> InsertEncoded(std::string_view payload);
-  Result<std::string> ReadOverflow(std::string_view stub) const;
+  [[nodiscard]] Result<Rid> InsertEncoded(std::string_view payload);
+  [[nodiscard]] Result<std::string> ReadOverflow(std::string_view stub) const;
 
   BufferPool* pool_ = nullptr;
   PageId first_page_ = kInvalidPageId;

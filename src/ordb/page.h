@@ -87,14 +87,14 @@ class SlottedPage {
   bool Fits(size_t len) const { return FreeSpace() >= len + kSlotBytes; }
 
   /// Inserts a record; returns its slot. Fails with OutOfRange if full.
-  Result<uint16_t> Insert(std::string_view record);
+  [[nodiscard]] Result<uint16_t> Insert(std::string_view record);
 
   /// Returns the record bytes in `slot`; NotFound for deleted/bad slots,
   /// Corruption for slots whose offset/length escape the page.
-  Result<std::string_view> Get(uint16_t slot) const;
+  [[nodiscard]] Result<std::string_view> Get(uint16_t slot) const;
 
   /// Tombstones `slot` (space is not compacted).
-  Status Delete(uint16_t slot);
+  [[nodiscard]] Status Delete(uint16_t slot);
 
  private:
   static constexpr size_t kHeaderBytes = kPageHeaderBytes + 8;

@@ -18,16 +18,16 @@ class Pager {
   virtual ~Pager() = default;
 
   /// Allocates a zeroed page and returns its id.
-  virtual Result<PageId> Allocate() = 0;
+  [[nodiscard]] virtual Result<PageId> Allocate() = 0;
 
   /// Reads page `id` into `buf` (kPageSize bytes).
-  virtual Status Read(PageId id, char* buf) = 0;
+  [[nodiscard]] virtual Status Read(PageId id, char* buf) = 0;
 
   /// Writes `buf` (kPageSize bytes) to page `id`.
-  virtual Status Write(PageId id, const char* buf) = 0;
+  [[nodiscard]] virtual Status Write(PageId id, const char* buf) = 0;
 
   /// Pushes buffered writes toward durable storage (no-op by default).
-  virtual Status Flush() { return Status::OK(); }
+  [[nodiscard]] virtual Status Flush() { return Status::OK(); }
 
   /// Number of pages allocated so far.
   virtual PageId page_count() const = 0;
@@ -37,9 +37,9 @@ class Pager {
 /// claims are about bytes touched and operator asymptotics, not disk).
 class MemoryPager : public Pager {
  public:
-  Result<PageId> Allocate() override;
-  Status Read(PageId id, char* buf) override;
-  Status Write(PageId id, const char* buf) override;
+  [[nodiscard]] Result<PageId> Allocate() override;
+  [[nodiscard]] Status Read(PageId id, char* buf) override;
+  [[nodiscard]] Status Write(PageId id, const char* buf) override;
   PageId page_count() const override {
     return static_cast<PageId>(pages_.size());
   }
@@ -59,13 +59,13 @@ class FilePager : public Pager {
   /// multiple of kPageSize is rejected (a torn final page from a crash;
   /// Database::Open runs WAL recovery, which repairs the size, before
   /// opening the pager).
-  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
   ~FilePager() override;
 
-  Result<PageId> Allocate() override;
-  Status Read(PageId id, char* buf) override;
-  Status Write(PageId id, const char* buf) override;
-  Status Flush() override;
+  [[nodiscard]] Result<PageId> Allocate() override;
+  [[nodiscard]] Status Read(PageId id, char* buf) override;
+  [[nodiscard]] Status Write(PageId id, const char* buf) override;
+  [[nodiscard]] Status Flush() override;
   PageId page_count() const override { return page_count_; }
 
  private:

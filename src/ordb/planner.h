@@ -38,7 +38,7 @@ class Planner {
           const PlannerOptions& options)
       : catalog_(catalog), functions_(functions), options_(options) {}
 
-  Result<OperatorPtr> PlanSelect(const sql::SelectStmt& stmt);
+  [[nodiscard]] Result<OperatorPtr> PlanSelect(const sql::SelectStmt& stmt);
 
  private:
   Catalog* catalog_;

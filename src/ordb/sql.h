@@ -50,16 +50,19 @@ struct TableRef {
   std::vector<AstExprPtr> function_args;
 };
 
+/// One expression in a SELECT list.
 struct SelectItem {
   AstExprPtr expr;
   std::string alias;  // from AS, may be empty
 };
 
+/// One ORDER BY key.
 struct OrderItem {
   AstExprPtr expr;
   bool ascending = true;
 };
 
+/// A parsed SELECT (or the SELECT under an EXPLAIN).
 struct SelectStmt {
   bool distinct = false;
   std::vector<SelectItem> items;
@@ -70,22 +73,26 @@ struct SelectStmt {
   int64_t limit = -1;  // -1: none
 };
 
+/// A parsed CREATE TABLE.
 struct CreateTableStmt {
   std::string name;
   std::vector<std::pair<std::string, TypeId>> columns;
 };
 
+/// A parsed CREATE INDEX.
 struct CreateIndexStmt {
   std::string index_name;
   std::string table;
   std::string column;
 };
 
+/// A parsed INSERT ... VALUES.
 struct InsertStmt {
   std::string table;
   std::vector<std::vector<Value>> rows;  // literal rows
 };
 
+/// A parsed DELETE.
 struct DeleteStmt {
   std::string table;
   AstExprPtr where;  // may be null (delete all rows)
@@ -123,7 +130,7 @@ struct Statement {
 ///   INSERT INTO t VALUES (lit, ...), (...)
 ///   DELETE FROM t [WHERE predicate]
 ///   EXPLAIN SELECT ...
-Result<Statement> ParseSql(std::string_view input);
+[[nodiscard]] Result<Statement> ParseSql(std::string_view input);
 
 }  // namespace xorator::ordb::sql
 

@@ -33,7 +33,7 @@ void EncodeTuple(const TableSchema& schema, const Tuple& tuple,
                  std::string* out);
 
 /// Decodes a tuple previously produced by EncodeTuple.
-Result<Tuple> DecodeTuple(const TableSchema& schema, std::string_view bytes);
+[[nodiscard]] Result<Tuple> DecodeTuple(const TableSchema& schema, std::string_view bytes);
 
 /// Approximate in-memory footprint, used for sort-heap accounting.
 size_t TupleFootprint(const Tuple& tuple);

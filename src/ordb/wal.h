@@ -33,12 +33,12 @@ class Wal {
   /// Opens (truncating) the log at `path` and writes a fresh header
   /// declaring `checkpoint_page_count` data pages. Call only after any
   /// existing log has been recovered — opening discards it.
-  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<Wal>> Open(const std::string& path,
                                            PageId checkpoint_page_count);
 
   /// Appends (and flushes) the pre-image of `page_id`, once per page per
   /// checkpoint epoch; later calls for the same page are no-ops.
-  Status LogPageImage(PageId page_id, const char* page);
+  [[nodiscard]] Status LogPageImage(PageId page_id, const char* page);
 
   /// True if `page_id` already has a pre-image in the current epoch.
   bool Logged(PageId page_id) const { return logged_.count(page_id) > 0; }
@@ -49,7 +49,7 @@ class Wal {
 
   /// Starts a new epoch: truncates the log and writes a fresh header.
   /// This is the engine's atomic commit point.
-  Status Reset(PageId checkpoint_page_count);
+  [[nodiscard]] Status Reset(PageId checkpoint_page_count);
 
   uint64_t records_logged() const { return records_logged_; }
 
@@ -82,7 +82,7 @@ struct RecoveryStats {
 /// "nothing to recover" (clean shutdown or a database that never
 /// checkpointed); the data file is left untouched in that case. Run this
 /// before opening a FilePager on `db_path`.
-Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
+[[nodiscard]] Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
                                      const std::string& wal_path);
 
 }  // namespace xorator::ordb

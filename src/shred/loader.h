@@ -11,6 +11,7 @@
 
 namespace xorator::shred {
 
+/// Knobs for shredding documents into the mapped tables.
 struct LoadOptions {
   /// Pick the XADT representation by sampling (Section 4.1): compression is
   /// used only when it saves at least `compression_threshold` on the first
@@ -36,6 +37,7 @@ struct LoadError {
   Status status;
 };
 
+/// What a Load() call actually did (rows, bytes, XADT choices).
 struct LoadReport {
   bool used_compression = false;
   uint64_t documents = 0;
@@ -56,10 +58,10 @@ class Loader {
 
   /// Creates one engine table per mapped table (idempotent failure if any
   /// already exists).
-  Status CreateTables();
+  [[nodiscard]] Status CreateTables();
 
   /// Shreds and bulk-inserts all documents; returns load statistics.
-  Result<LoadReport> Load(const std::vector<const xml::Node*>& documents,
+  [[nodiscard]] Result<LoadReport> Load(const std::vector<const xml::Node*>& documents,
                           const LoadOptions& options = {});
 
  private:

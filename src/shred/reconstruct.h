@@ -36,7 +36,7 @@ class Reconstructor {
 
   /// Scans every table once and rebuilds all documents, ordered by the
   /// root tuple id.
-  Result<std::vector<std::unique_ptr<xml::Node>>> ReconstructAll();
+  [[nodiscard]] Result<std::vector<std::unique_ptr<xml::Node>>> ReconstructAll();
 
  private:
   struct LoadedTable {
@@ -51,13 +51,13 @@ class Reconstructor {
         by_parent;
   };
 
-  Status LoadTables();
-  Result<std::unique_ptr<xml::Node>> BuildElement(const LoadedTable& table,
+  [[nodiscard]] Status LoadTables();
+  [[nodiscard]] Result<std::unique_ptr<xml::Node>> BuildElement(const LoadedTable& table,
                                                   const ordb::Tuple& row);
   /// Reconstructs the inlined (non-relation) child `child_name` of `row`,
   /// appending to `parent` when any of its columns are populated or its
   /// occurrence is mandatory.
-  Status BuildInlined(const LoadedTable& table, const ordb::Tuple& row,
+  [[nodiscard]] Status BuildInlined(const LoadedTable& table, const ordb::Tuple& row,
                       const std::string& child_name,
                       const std::vector<std::string>& path,
                       dtdgraph::Occurrence occurrence, xml::Node* parent);

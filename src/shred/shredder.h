@@ -34,7 +34,7 @@ class Shredder {
 
   /// Shreds one document rooted at `root`, appending rows to `*out`.
   /// Fails if the root element is not mapped to a relation.
-  Status Shred(const xml::Node& root, RowBatch* out);
+  [[nodiscard]] Status Shred(const xml::Node& root, RowBatch* out);
 
   /// Next id that will be assigned for `table` (ids are 1-based).
   int64_t NextId(const std::string& table) const;
@@ -54,10 +54,10 @@ class Shredder {
     std::map<std::string, int> xadt_cols;
   };
 
-  Status VisitRelation(const xml::Node& elem, const TablePlan* parent_plan,
+  [[nodiscard]] Status VisitRelation(const xml::Node& elem, const TablePlan* parent_plan,
                        int64_t parent_id, int64_t child_order, RowBatch* out);
 
-  Status WalkInlined(const xml::Node& node, const TablePlan& plan,
+  [[nodiscard]] Status WalkInlined(const xml::Node& node, const TablePlan& plan,
                      const std::string& path, ordb::Tuple* tuple,
                      std::map<int, std::vector<const xml::Node*>>* fragments,
                      int64_t tuple_id, RowBatch* out);

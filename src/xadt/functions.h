@@ -17,7 +17,7 @@ namespace xorator::xadt {
 ///
 /// All are registered as UDFs (is_udf = true) and therefore pay the UDF
 /// marshaling dispatch, exactly as the paper's DB2 implementation does.
-Status RegisterXadtFunctions(ordb::FunctionRegistry* registry);
+[[nodiscard]] Status RegisterXadtFunctions(ordb::FunctionRegistry* registry);
 
 }  // namespace xorator::xadt
 

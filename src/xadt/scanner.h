@@ -40,9 +40,9 @@ class FragmentScanner {
   /// `bytes` must outlive the scanner. Accepts all three representations
   /// (raw, compressed, and the directory-prefixed form, whose directory is
   /// parsed into top_offsets()).
-  static Result<FragmentScanner> Create(std::string_view bytes);
+  [[nodiscard]] static Result<FragmentScanner> Create(std::string_view bytes);
 
-  Result<Event> Next();
+  [[nodiscard]] Result<Event> Next();
 
   bool compressed() const { return compressed_; }
 
@@ -58,7 +58,7 @@ class FragmentScanner {
 
   /// Element name of the start event at `offset` (which must be the first
   /// byte of an element in this value), without advancing the scanner.
-  Result<std::string_view> NameAt(size_t offset) const;
+  [[nodiscard]] Result<std::string_view> NameAt(size_t offset) const;
 
   /// Offset where the token/markup stream begins (after the marker byte
   /// and, for the compressed form, the dictionary).
@@ -73,9 +73,9 @@ class FragmentScanner {
  private:
   explicit FragmentScanner(std::string_view bytes) : bytes_(bytes) {}
 
-  Result<Event> NextRaw();
-  Result<Event> NextCompressed();
-  Status ParseDictionary(size_t dict_begin);
+  [[nodiscard]] Result<Event> NextRaw();
+  [[nodiscard]] Result<Event> NextCompressed();
+  [[nodiscard]] Status ParseDictionary(size_t dict_begin);
 
   std::string_view bytes_;
   bool compressed_ = false;

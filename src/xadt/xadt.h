@@ -52,13 +52,13 @@ std::string EncodeWithDirectory(const std::vector<const xml::Node*>& fragments,
 
 /// Decodes an XADT value into a DOM forest under a synthetic `#fragment`
 /// root node.
-Result<std::unique_ptr<xml::Node>> Decode(std::string_view bytes);
+[[nodiscard]] Result<std::unique_ptr<xml::Node>> Decode(std::string_view bytes);
 
 /// Renders an XADT value back to XML text (no enclosing root).
-Result<std::string> ToXmlString(std::string_view bytes);
+[[nodiscard]] Result<std::string> ToXmlString(std::string_view bytes);
 
 /// Concatenated text content of all fragments.
-Result<std::string> TextContent(std::string_view bytes);
+[[nodiscard]] Result<std::string> TextContent(std::string_view bytes);
 
 /// Decides between the two representations by trial-encoding sample
 /// fragments: compression is chosen only when it saves at least
@@ -94,21 +94,21 @@ class CompressionAdvisor {
 /// (level <= 0: any depth) whose text content contains `search_key`.
 /// Per the paper: an empty `search_key` only requires `search_elm` to exist;
 /// an empty `search_elm` returns all `root_elm` elements.
-Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
+[[nodiscard]] Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
                            std::string_view search_elm,
                            std::string_view search_key, int level = 0);
 
 /// Returns 1 if some `search_elm` element's text contains `search_key`
 /// (empty `search_elm`: any element; empty `search_key`: existence test).
 /// Both arguments empty is an error.
-Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
+[[nodiscard]] Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
                              std::string_view search_key);
 
 /// Returns all `child_elm` elements that are direct children of
 /// `parent_elm` elements with 1-based same-tag sibling position in
 /// [start_pos, end_pos]. An empty `parent_elm` treats `child_elm` as the
 /// fragment roots. `child_elm` must not be empty.
-Result<std::string> GetElmIndex(std::string_view in,
+[[nodiscard]] Result<std::string> GetElmIndex(std::string_view in,
                                 std::string_view parent_elm,
                                 std::string_view child_elm, int start_pos,
                                 int end_pos);
@@ -116,7 +116,7 @@ Result<std::string> GetElmIndex(std::string_view in,
 /// Splits the value into one single-element XADT per `tag` element
 /// (descendant-or-self; empty `tag`: every top-level fragment). This backs
 /// the table UDF `unnest` of Section 3.5.
-Result<std::vector<std::string>> Unnest(std::string_view in,
+[[nodiscard]] Result<std::vector<std::string>> Unnest(std::string_view in,
                                         std::string_view tag);
 
 }  // namespace xorator::xadt

@@ -91,7 +91,7 @@ class Dtd {
   ElementDecl* FindMutable(std::string_view name);
 
   /// Adds a declaration; fails if the element was already declared.
-  Status Add(std::unique_ptr<ElementDecl> decl);
+  [[nodiscard]] Status Add(std::unique_ptr<ElementDecl> decl);
 
   /// Elements that are referenced by some content model but never declared.
   std::vector<std::string> UndeclaredReferences() const;
@@ -113,7 +113,7 @@ class Dtd {
 /// `<!ENTITY % name "text">` are textually expanded at `%name;` references
 /// before declaration parsing, which is how real DTDs such as the SIGMOD
 /// Proceedings DTD use them.
-Result<Dtd> ParseDtd(std::string_view input);
+[[nodiscard]] Result<Dtd> ParseDtd(std::string_view input);
 
 }  // namespace xorator::xml
 

@@ -23,18 +23,18 @@ struct ParseOptions {
 ///
 /// Well-formedness violations produce a ParseError with a line/column
 /// position.
-Result<Document> ParseDocument(std::string_view input,
+[[nodiscard]] Result<Document> ParseDocument(std::string_view input,
                                const ParseOptions& options = {});
 
 /// Parses a *fragment*: a sequence of sibling elements/text with no single
 /// root, e.g. "<speaker>s1</speaker><speaker>s2</speaker>". Returned under a
 /// synthetic root element named `#fragment`.
-Result<std::unique_ptr<Node>> ParseFragment(std::string_view input,
+[[nodiscard]] Result<std::unique_ptr<Node>> ParseFragment(std::string_view input,
                                             const ParseOptions& options = {});
 
 /// Expands the five predefined entities and character references in
 /// attribute values / character data. Exposed for tests.
-Result<std::string> DecodeEntities(std::string_view raw);
+[[nodiscard]] Result<std::string> DecodeEntities(std::string_view raw);
 
 }  // namespace xorator::xml
 

@@ -45,7 +45,7 @@ struct PathExpr {
 ///   step       := ('/' | '//') Name predicate*
 ///   predicate  := '[' 'contains' '(' ('.' | Name) ',' string ')' ']'
 ///               | '[' 'position' '(' ')' '=' number ']'
-Result<PathExpr> ParsePath(std::string_view input);
+[[nodiscard]] Result<PathExpr> ParsePath(std::string_view input);
 
 /// What the generated SQL should return.
 enum class OutputMode {
@@ -77,7 +77,7 @@ class Translator {
              const dtdgraph::SimplifiedDtd* dtd)
       : schema_(schema), dtd_(dtd) {}
 
-  Result<std::string> ToSql(const PathExpr& path, OutputMode mode) const;
+  [[nodiscard]] Result<std::string> ToSql(const PathExpr& path, OutputMode mode) const;
 
  private:
   const mapping::MappedSchema* schema_;

@@ -172,7 +172,8 @@ TEST(ScannerCompressedTest, MalformedInputsFailCleanly) {
   // Truncations at every prefix either fail or end cleanly, never crash.
   for (size_t len = 0; len < good.size(); ++len) {
     auto events = Drain(good.substr(0, len));
-    (void)events;
+    XO_DISCARD_STATUS(events, "a truncated prefix may fail or end cleanly; "
+                              "the test only asserts no crash");
   }
   // Corrupted opcode.
   std::string bad = good;

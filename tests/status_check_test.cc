@@ -1,0 +1,212 @@
+// Tests for the error-handling contract (DESIGN.md section 6): the
+// RETURN_IF_ERROR / ASSIGN_OR_RETURN macros, Status::Update, and — in builds
+// with XORATOR_STATUS_CHECK — the unchecked-Status tracker, which must abort
+// when a non-OK Status (or failed Result) is destroyed without ever being
+// inspected.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ordb/database.h"
+
+namespace xorator {
+namespace {
+
+Status FailIf(bool fail, const std::string& what) {
+  if (fail) return Status::ParseError(what);
+  return Status::OK();
+}
+
+Status Propagate(bool fail, bool* reached_end) {
+  RETURN_IF_ERROR(FailIf(fail, "inner detail"));
+  *reached_end = true;
+  return Status::OK();
+}
+
+Result<int> HalfOf(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd: " + std::to_string(n));
+  return n / 2;
+}
+
+Result<int> QuarterOf(int n) {
+  int half = 0;
+  ASSIGN_OR_RETURN(half, HalfOf(n));
+  ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesCodeAndMessage) {
+  bool reached = false;
+  Status s = Propagate(/*fail=*/true, &reached);
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "inner detail");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesThroughOnOk) {
+  bool reached = false;
+  EXPECT_TRUE(Propagate(/*fail=*/false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorAcceptsAnLvalue) {
+  // The macro binds by reference, so checking the lvalue through it must
+  // satisfy the tracker for that very object (no copy is destroyed
+  // unchecked, and neither is the original).
+  auto check = [](Status pending) {
+    RETURN_IF_ERROR(pending);
+    return Status::OK();
+  };
+  Status out = check(Status::Unavailable("retry me"));
+  EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  // 6 halves fine once, then 3 is odd: the second ASSIGN_OR_RETURN fires.
+  Result<int> inner = QuarterOf(6);
+  ASSERT_FALSE(inner.ok());
+  EXPECT_EQ(inner.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(inner.status().message(), "odd: 3");
+
+  // 5 is odd immediately: the first ASSIGN_OR_RETURN fires.
+  Result<int> outer = QuarterOf(5);
+  ASSERT_FALSE(outer.ok());
+  EXPECT_EQ(outer.status().message(), "odd: 5");
+}
+
+TEST(StatusUpdateTest, FirstErrorWins) {
+  Status s;
+  s.Update(Status::OK());
+  EXPECT_TRUE(s.ok());
+  s.Update(Status::IOError("first"));
+  s.Update(Status::Corruption("second"));  // swallowed (and marked checked)
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "first");
+}
+
+TEST(StatusTrackerTest, CheckedAndIgnoredStatusesNeverAbort) {
+  // These must be safe in every build type.
+  { Status s = Status::IOError("inspected"); EXPECT_FALSE(s.ok()); }
+  { Status s = Status::IOError("ignored"); s.IgnoreError(); }
+  XO_DISCARD_STATUS(Status::IOError("discarded"),
+                    "this test asserts the annotated discard is tracker-safe");
+  {
+    Result<int> r = HalfOf(3);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Moving transfers the obligation: the source must destroy silently.
+    Status src = Status::Internal("moved");
+    Status dst = std::move(src);
+    EXPECT_EQ(dst.code(), StatusCode::kInternal);
+  }
+  SUCCEED();
+}
+
+#if XORATOR_STATUS_CHECK
+
+using StatusTrackerDeathTest = ::testing::Test;
+
+TEST(StatusTrackerDeathTest, DroppedNonOkStatusAborts) {
+  EXPECT_DEATH(
+      { Status s = Status::IOError("boom"); },
+      "dropped without being checked.*IOError: boom");
+}
+
+TEST(StatusTrackerDeathTest, AbortNamesTheCreationSite) {
+  EXPECT_DEATH(
+      { Status s = Status::Corruption("torn page"); },
+      "status_check_test\\.cc");
+}
+
+TEST(StatusTrackerDeathTest, DroppedFailedResultAborts) {
+  EXPECT_DEATH(
+      { Result<int> r = Status::NotFound("gone"); },
+      "dropped without being checked.*NotFound: gone");
+}
+
+TEST(StatusTrackerDeathTest, OverwritingAnUncheckedStatusAborts) {
+  EXPECT_DEATH(
+      {
+        Status s = Status::Internal("never looked at");
+        s = Status::OK();  // assignment enforces the old obligation
+        s.IgnoreError();
+      },
+      "dropped without being checked.*Internal: never looked at");
+}
+
+TEST(StatusTrackerDeathTest, EachCopyCarriesItsOwnObligation) {
+  EXPECT_DEATH(
+      {
+        Status original = Status::Internal("copied");
+        {
+          Status copy = original;
+          copy.IgnoreError();  // satisfies the copy only
+        }
+        // `original` goes out of scope unchecked here.
+      },
+      "dropped without being checked.*Internal: copied");
+}
+
+#else
+
+TEST(StatusTrackerDeathTest, SkippedWithoutTracker) {
+  GTEST_SKIP() << "XORATOR_STATUS_CHECK is compiled out in this build "
+                  "(NDEBUG); the tracker death tests run under the Debug/"
+                  "Sanitize/ThreadSanitize configurations.";
+}
+
+#endif  // XORATOR_STATUS_CHECK
+
+// ------------------------------------------------------------------------
+// Satellite: a failed implicit destructor checkpoint must stay observable
+// through Database::last_close_status() instead of being swallowed.
+
+TEST(LastCloseStatusTest, FailedDestructorCheckpointIsRecorded) {
+  std::string path = ::testing::TempDir() + "/xorator_last_close.db";
+  bool saw_failure = false;
+  bool saw_success = false;
+  // Sweep the injected disk lifetime: small budgets kill Open itself,
+  // large ones let everything succeed; in between, Open and the insert
+  // succeed but the destructor's implicit checkpoint runs out of writes.
+  for (int64_t budget = 1; budget <= 128 && !(saw_failure && saw_success);
+       ++budget) {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    ordb::DbOptions options;
+    options.path = path;
+    ordb::FaultOptions fault;
+    fault.fail_after_writes = budget;
+    options.fault = fault;
+    auto db = ordb::Database::Open(options);
+    if (!db.ok()) continue;  // the disk died during Open's own checkpoint
+    if (!(*db)->Execute("CREATE TABLE t (a INTEGER)").ok()) continue;
+    if (!(*db)->Execute("INSERT INTO t VALUES (7)").ok()) continue;
+    (*db).reset();  // destructor checkpoints implicitly
+    Status close = ordb::Database::last_close_status();
+    if (close.ok()) {
+      saw_success = true;
+    } else {
+      EXPECT_EQ(close.code(), StatusCode::kIOError) << close.ToString();
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure)
+      << "no budget made the destructor checkpoint fail";
+  EXPECT_TRUE(saw_success)
+      << "no budget let the destructor checkpoint succeed";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+}  // namespace
+}  // namespace xorator

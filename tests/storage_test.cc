@@ -148,20 +148,20 @@ TEST(BufferPoolTest, HitsAndEvictions) {
   // Poke a payload byte; the first kPageHeaderBytes belong to the checksum
   // header and are overwritten on write-back.
   p0->second[100] = 'x';
-  pool.Unpin(p0->first, true);
+  ASSERT_TRUE(pool.Unpin(p0->first, true).ok());
   auto p1 = pool.NewPage();
   ASSERT_TRUE(p1.ok());
-  pool.Unpin(p1->first, false);
+  ASSERT_TRUE(pool.Unpin(p1->first, false).ok());
   auto p2 = pool.NewPage();  // evicts p0 (LRU), which is dirty
   ASSERT_TRUE(p2.ok());
-  pool.Unpin(p2->first, false);
+  ASSERT_TRUE(pool.Unpin(p2->first, false).ok());
   EXPECT_GE(pool.stats().evictions, 1u);
   EXPECT_GE(pool.stats().writebacks, 1u);
   // Fetching p0 again reads the written-back content.
   auto fetched = pool.FetchPage(p0->first);
   ASSERT_TRUE(fetched.ok());
   EXPECT_EQ((*fetched)[100], 'x');
-  pool.Unpin(p0->first, false);
+  ASSERT_TRUE(pool.Unpin(p0->first, false).ok());
   EXPECT_GE(pool.stats().misses, 1u);
 }
 
@@ -186,7 +186,7 @@ TEST(BufferPoolTest, ChecksumFailureOnFetchIsCorruption) {
   auto p0 = pool.NewPage();
   ASSERT_TRUE(p0.ok());
   p0->second[500] = 'v';
-  pool.Unpin(p0->first, true);
+  ASSERT_TRUE(pool.Unpin(p0->first, true).ok());
   ASSERT_TRUE(pool.FlushAll().ok());
   // Corrupt the stored page behind the pool's back, then force a re-read.
   char raw[kPageSize];
@@ -195,10 +195,10 @@ TEST(BufferPoolTest, ChecksumFailureOnFetchIsCorruption) {
   ASSERT_TRUE(pager.Write(p0->first, raw).ok());
   auto p1 = pool.NewPage();
   ASSERT_TRUE(p1.ok());
-  pool.Unpin(p1->first, false);
+  ASSERT_TRUE(pool.Unpin(p1->first, false).ok());
   auto p2 = pool.NewPage();  // evicts p0's frame
   ASSERT_TRUE(p2.ok());
-  pool.Unpin(p2->first, false);
+  ASSERT_TRUE(pool.Unpin(p2->first, false).ok());
   auto fetched = pool.FetchPage(p0->first);
   ASSERT_FALSE(fetched.ok());
   EXPECT_EQ(fetched.status().code(), StatusCode::kCorruption);
@@ -246,7 +246,7 @@ TEST(BufferPoolTest, AllPinnedFails) {
   ASSERT_TRUE(p0.ok());
   // p0 still pinned; no frame available.
   EXPECT_FALSE(pool.NewPage().ok());
-  pool.Unpin(p0->first, false);
+  ASSERT_TRUE(pool.Unpin(p0->first, false).ok());
   EXPECT_TRUE(pool.NewPage().ok());
 }
 
@@ -256,7 +256,7 @@ TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
   auto p = pool.NewPage();
   ASSERT_TRUE(p.ok());
   p->second[7] = 'q';
-  pool.Unpin(p->first, true);
+  ASSERT_TRUE(pool.Unpin(p->first, true).ok());
   ASSERT_TRUE(pool.FlushAll().ok());
   char buf[kPageSize];
   ASSERT_TRUE(pager.Read(p->first, buf).ok());

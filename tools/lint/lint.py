@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Repository lint for xorator (DESIGN.md section 6 conventions).
+
+Checks, in order of appearance in DESIGN.md:
+
+  guard      src/**/*.h must use the XORATOR_<PATH>_H_ include-guard pattern
+             (ifndef/define pair at the top, matching endif comment at the
+             bottom) derived from the path below src/.
+  throw      Library code (src/) must not throw or catch: fallible functions
+             return Status/Result<T> (common/status.h).
+  docs       Namespace-scope classes, structs, enums, and free functions
+             declared in src/ headers must carry a `///` doc comment.
+  banned     rand/srand (seeded std::mt19937_64 only), strcpy/strcat/sprintf/
+             gets (bounds-unsafe), and raw printf (library code reports
+             through Status messages; diagnostics go to stderr) are banned
+             in src/.
+  discard    A bare `(void)call(...)` discard is banned everywhere: a
+             deliberately ignored Status/Result must use
+             XO_DISCARD_STATUS(expr, "why"), and other unused results should
+             be named or restructured. `(void)variable;` (no call) is fine.
+
+Usage:
+  lint.py --root <repo-root>      lint the tree, exit 1 on findings
+  lint.py --self-test             run the checks against tools/lint/testdata
+                                  fixtures and verify expected findings
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories whose sources are library code (strict rules).
+LIB_DIRS = ("src",)
+# Directories additionally scanned for the discard rule.
+ALL_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+BANNED_CALLS = {
+    "rand": "use a seeded std::mt19937_64 (reproducibility)",
+    "srand": "use a seeded std::mt19937_64 (reproducibility)",
+    "strcpy": "bounds-unsafe; use std::string or std::memcpy with a size",
+    "strcat": "bounds-unsafe; use std::string",
+    "sprintf": "bounds-unsafe; use std::snprintf or std::string",
+    "gets": "bounds-unsafe; never acceptable",
+    "printf": "library code reports through Status; diagnostics use "
+              "std::fprintf(stderr, ...)",
+}
+
+# `(void)name(...)` or `(void)obj.method(...)` / `(void)p->method(...)`:
+# a call result dropped without justification.
+DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:]*(?:(?:\.|->)\w+)*\s*\(")
+
+DECL_RE = re.compile(
+    r"^(?:template\s*<.*>\s*)?"
+    r"(?:class|struct|enum(?:\s+class)?)\s+(?:\[\[\w+\]\]\s*)?\w+"
+    r"\s*(?:final\s*)?(?::[^;]*)?(?:\{|$)"
+)
+FUNC_RE = re.compile(
+    r"^(?:\[\[nodiscard\]\]\s+)?"
+    r"(?:inline\s+|constexpr\s+|static\s+)*"
+    r"(?:[\w:<>,\s&*]+?)\s+\w+\s*\("
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so the token checks do not fire on prose or literals."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(root, path):
+    rel = path.relative_to(root / "src")
+    token = re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper()
+    return f"XORATOR_{token}_"
+
+
+def check_guard(root, path, lines, findings):
+    guard = expected_guard(root, path)
+    meaningful = [l for l in lines if l.strip() and not l.strip().startswith("//")]
+    if len(meaningful) < 2 or \
+            meaningful[0].strip() != f"#ifndef {guard}" or \
+            meaningful[1].strip() != f"#define {guard}":
+        findings.append(Finding(path, 1, "guard",
+                                f"header must open with '#ifndef {guard}' / "
+                                f"'#define {guard}'"))
+        return
+    tail = [l.strip() for l in lines if l.strip()]
+    if not tail or tail[-1] != f"#endif  // {guard}":
+        findings.append(Finding(path, len(lines), "guard",
+                                f"header must close with '#endif  // {guard}'"))
+
+
+def check_throw(path, stripped_lines, findings):
+    for no, line in enumerate(stripped_lines, 1):
+        if re.search(r"\bthrow\b", line) or re.search(r"\bcatch\s*\(", line):
+            findings.append(Finding(path, no, "throw",
+                                    "library code must not throw or catch; "
+                                    "return a Status (common/status.h)"))
+
+
+def check_banned(path, stripped_lines, findings):
+    for no, line in enumerate(stripped_lines, 1):
+        for name, why in BANNED_CALLS.items():
+            # Reject bare calls; allow qualified safe cousins (std::snprintf,
+            # fprintf) which do not match the \b...\( pattern for `name`.
+            for m in re.finditer(r"\b" + name + r"\s*\(", line):
+                before = line[:m.start()]
+                if re.search(r"[\w.>]$", before.rstrip()) and \
+                        not before.rstrip().endswith("std::"):
+                    continue  # method call or prefixed identifier
+                findings.append(Finding(path, no, "banned",
+                                        f"'{name}' is banned: {why}"))
+
+
+def check_discard(path, stripped_lines, findings):
+    for no, line in enumerate(stripped_lines, 1):
+        if DISCARD_RE.search(line):
+            findings.append(Finding(path, no, "discard",
+                                    "bare (void) call discard; use "
+                                    "XO_DISCARD_STATUS(expr, \"why\") for "
+                                    "Status/Result, or name the value"))
+
+
+def relevant_decl(line):
+    s = line.strip()
+    if not s or s.startswith(("#", "//", "/*", "*", "}", "using ", "typedef ",
+                              "extern ", "friend ", "namespace")):
+        return False
+    if s.startswith(("XORATOR_", "XO_")):  # macro invocations
+        return False
+    return bool(DECL_RE.match(s))
+
+
+def check_docs(path, lines, stripped_lines, findings):
+    """Namespace-scope classes/structs/enums in headers need /// docs."""
+    depth = 0  # brace depth; declarations at depth 0 are namespace scope
+    ns_depth = 0
+    for no, raw in enumerate(lines, 1):
+        line = stripped_lines[no - 1]
+        s = raw.strip()
+        if re.match(r"^namespace\b", s) and "{" in line:
+            ns_depth += 1
+            depth += line.count("{") - line.count("}")
+            continue
+        at_top = depth == ns_depth
+        if at_top and relevant_decl(raw):
+            # Look upward for a `///` block (skip blank and template lines).
+            k = no - 2
+            while k >= 0 and (not lines[k].strip() or
+                              lines[k].strip().startswith("template")):
+                k -= 1
+            if k < 0 or not lines[k].strip().startswith("///"):
+                findings.append(Finding(path, no, "docs",
+                                        "public declaration needs a /// doc "
+                                        "comment"))
+        depth += line.count("{") - line.count("}")
+        if depth < ns_depth:
+            ns_depth = depth
+    return
+
+
+def lint_file(root, path, findings, lib):
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        findings.append(Finding(path, 1, "encoding", "file is not UTF-8"))
+        return
+    lines = text.splitlines()
+    stripped = strip_comments_and_strings(text).splitlines()
+    # Pad in case the file does not end with a newline symmetry.
+    while len(stripped) < len(lines):
+        stripped.append("")
+    if lib:
+        if path.suffix == ".h":
+            check_guard(root, path, lines, findings)
+            check_docs(path, lines, stripped, findings)
+        check_throw(path, stripped, findings)
+        check_banned(path, stripped, findings)
+    check_discard(path, stripped, findings)
+
+
+def run(root):
+    findings = []
+    for d in ALL_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        lib = d in LIB_DIRS
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp", ".hpp"):
+                continue
+            if "testdata" in path.parts:
+                continue
+            lint_file(root, path, findings, lib)
+    return findings
+
+
+def self_test(script_dir):
+    """Runs the checks over the fixtures and verifies each expected finding
+    (and that the clean fixture produces none)."""
+    testdata = script_dir / "testdata"
+    cases = {
+        "bad_guard.h": {"guard"},
+        "bad_throw.h": {"throw", "docs"},
+        "bad_banned.cc": {"banned"},
+        "bad_discard.cc": {"discard"},
+        "clean.h": set(),
+    }
+    failures = []
+    for name, expected in cases.items():
+        path = testdata / "src" / name
+        if not path.exists():
+            failures.append(f"missing fixture {path}")
+            continue
+        findings = []
+        lint_file(testdata, path, findings, lib=True)
+        got = {f.rule for f in findings}
+        if got != expected:
+            failures.append(f"{name}: expected rules {sorted(expected)}, "
+                            f"got {sorted(got)}: "
+                            + "; ".join(str(f) for f in findings))
+    if failures:
+        print("lint self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint self-test passed ({len(cases)} fixtures)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2])
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test(pathlib.Path(__file__).resolve().parent)
+    findings = run(args.root.resolve())
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

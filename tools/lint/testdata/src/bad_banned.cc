@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+// The string literal and the comment must NOT fire: rand( strcpy( printf(
+void Bad(char* dst, const char* src) {
+  const char* s = "rand( printf( strcpy(";
+  (void)s;
+  strcpy(dst, src);
+  printf("value: %d\n", rand());
+  std::fprintf(stderr, "fprintf to stderr is fine\n");
+  std::snprintf(dst, 4, "ok");
+}

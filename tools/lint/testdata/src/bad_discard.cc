@@ -1,0 +1,12 @@
+int Fallible();
+
+struct Api {
+  int Try();
+};
+
+void Bad(Api* api) {
+  (void)Fallible();
+  (void)api->Try();
+  int unused = 0;
+  (void)unused;  // a variable, not a call: allowed, so only two findings
+}

@@ -1,0 +1,9 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+/// A documented struct so only the guard rule fires.
+struct Dummy {
+  int x = 0;
+};
+
+#endif  // WRONG_GUARD_H

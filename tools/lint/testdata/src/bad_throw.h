@@ -1,0 +1,10 @@
+#ifndef XORATOR_BAD_THROW_H_
+#define XORATOR_BAD_THROW_H_
+
+#include <stdexcept>
+
+struct Thrower {
+  void Boom() { throw std::runtime_error("no"); }
+};
+
+#endif  // XORATOR_BAD_THROW_H_

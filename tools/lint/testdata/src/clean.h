@@ -1,0 +1,23 @@
+#ifndef XORATOR_CLEAN_H_
+#define XORATOR_CLEAN_H_
+
+#include <string>
+
+namespace xorator {
+
+/// A documented class: no findings expected anywhere in this file.
+class Clean {
+ public:
+  /// Returns the stored name.
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A documented free function declaration.
+int Answer();
+
+}  // namespace xorator
+
+#endif  // XORATOR_CLEAN_H_

@@ -1,7 +1,8 @@
 // Microbenchmarks of the storage substrate (google-benchmark): B+-tree
-// inserts/lookups, heap-file inserts/scans, tuple codec, buffer-pool churn
-// and XML parsing throughput. Supporting evidence for DESIGN.md's cost
-// model of the higher-level experiments.
+// inserts/lookups, heap-file inserts/scans, tuple codec, buffer-pool churn,
+// XML parsing throughput, and multi-threaded SELECT scaling over the shared
+// statement lock. Supporting evidence for DESIGN.md's cost model of the
+// higher-level experiments.
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +10,7 @@
 
 #include "ordb/bptree.h"
 #include "ordb/buffer_pool.h"
+#include "ordb/database.h"
 #include "ordb/heap_file.h"
 #include "ordb/pager.h"
 #include "ordb/tuple.h"
@@ -135,6 +137,52 @@ void BM_BufferPoolChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BufferPoolChurn);
+
+// Read-side scaling of the statement lock (DESIGN.md section 10): the same
+// indexed point SELECT from 1..8 threads against one shared database.
+// SELECT takes the statement lock shared, so items/sec should grow with
+// the thread count (bounded by cores); a flat curve here would mean the
+// read path has re-serialized.
+void BM_ConcurrentReaders(benchmark::State& state) {
+  // One database shared by every benchmark thread, built by thread 0 and
+  // deliberately leaked: google-benchmark gives no hook that runs after
+  // the last thread exits but before the process does, and a static would
+  // checkpoint during shutdown — pure noise for a memory-backed database.
+  static Database* db = [] {
+    auto opened = Database::Open({});
+    if (!opened.ok()) return static_cast<Database*>(nullptr);
+    auto* raw = opened->release();
+    Status setup = raw->Execute("CREATE TABLE r (a INTEGER, b VARCHAR)");
+    for (int i = 0; setup.ok() && i < 64; ++i) {
+      setup = raw->Execute("INSERT INTO r VALUES (" + std::to_string(i) +
+                           ", 'row" + std::to_string(i) + "')");
+    }
+    if (setup.ok()) setup = raw->Execute("CREATE INDEX ri ON r (a)");
+    if (setup.ok()) setup = raw->RunStats();
+    return setup.ok() ? raw : static_cast<Database*>(nullptr);
+  }();
+  if (db == nullptr) {
+    state.SkipWithError("shared database setup failed");
+    return;
+  }
+  const std::string sql =
+      "SELECT b FROM r WHERE a = " + std::to_string(state.thread_index() * 7);
+  for (auto _ : state) {
+    auto r = db->Query(sql);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentReaders)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 void BM_XmlParse(benchmark::State& state) {
   std::string doc = "<SPEECH>";

@@ -18,6 +18,11 @@ namespace xorator::benchutil {
 enum class Mapping { kHybrid, kXorator, kShared, kPerElement, kXoratorTuned };
 
 /// A loaded experiment database: mapping + engine + load report.
+///
+/// Once built, the database may be queried from many threads at once —
+/// SELECTs take the statement lock shared (DESIGN.md section 10); the
+/// concurrency tests and the multi-threaded benchmarks share one
+/// ExperimentDb across reader threads this way.
 struct ExperimentDb {
   mapping::MappedSchema schema;
   std::unique_ptr<ordb::Database> db;

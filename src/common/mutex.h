@@ -1,0 +1,117 @@
+#ifndef XORATOR_COMMON_MUTEX_H_
+#define XORATOR_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+// Annotated synchronization primitives (DESIGN.md section 10).
+//
+// These wrap the standard mutexes with Clang Thread Safety Analysis
+// capability annotations so that `XO_GUARDED_BY(mu_)` members and
+// `XO_REQUIRES(mu_)` functions are statically checked on every Clang
+// build. Library code must use these instead of raw `std::mutex` /
+// `std::shared_mutex` / `std::lock_guard` / `std::unique_lock` — the
+// repository lint (tools/lint, rule `raw-mutex`) enforces that; this file
+// is the single allowlisted implementation site.
+//
+// The deliberately minimal surface (no timed waits, no condition
+// variables, no native_handle) keeps every acquisition analyzable: a
+// capability is only ever taken through `Lock`/`ReaderLock` members or
+// the scoped RAII guards below, so the analysis sees every edge.
+
+namespace xo {
+
+/// An exclusive mutex carrying the "mutex" capability. Prefer the scoped
+/// MutexLock guard over calling Lock/Unlock directly.
+class XO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Acquires the mutex exclusively, blocking until available.
+  void Lock() XO_ACQUIRE() { mu_.lock(); }
+
+  /// Releases an exclusive hold.
+  void Unlock() XO_RELEASE() { mu_.unlock(); }
+
+  /// Attempts an exclusive acquisition; true if it was obtained.
+  [[nodiscard]] bool TryLock() XO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// A reader/writer mutex: many concurrent shared holders or one exclusive
+/// holder. Carries the "shared_mutex" capability; shared acquisitions
+/// satisfy XO_REQUIRES_SHARED, exclusive ones satisfy XO_REQUIRES.
+class XO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  /// Acquires the mutex exclusively (writer side).
+  void Lock() XO_ACQUIRE() { mu_.lock(); }
+
+  /// Releases an exclusive hold.
+  void Unlock() XO_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the mutex shared (reader side).
+  void ReaderLock() XO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+
+  /// Releases a shared hold.
+  void ReaderUnlock() XO_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive guard over an xo::Mutex (the std::lock_guard shape,
+/// visible to the analysis).
+class XO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) XO_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() XO_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Scoped exclusive (writer) guard over an xo::SharedMutex.
+class XO_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) XO_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() XO_RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped shared (reader) guard over an xo::SharedMutex. The destructor's
+/// generic release matches either mode, which is how scoped capabilities
+/// are modelled by the analysis.
+class XO_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) XO_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderLock() XO_RELEASE() { mu_->ReaderUnlock(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace xo
+
+#endif  // XORATOR_COMMON_MUTEX_H_

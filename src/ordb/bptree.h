@@ -25,6 +25,12 @@ inline uint64_t IntIndexKey(int64_t v) {
 /// Deletion is "lazy": the entry is removed from its leaf but nodes are not
 /// rebalanced, which is adequate for this engine's bulk-load-then-query
 /// usage.
+///
+/// Thread safety: lookups (Find/Scan) go through the thread-safe
+/// BufferPool and copy node contents out before unpinning, so concurrent
+/// readers are safe. Insert/Delete restructure nodes and update the inline
+/// counters and must hold the Database statement lock exclusively
+/// (DESIGN.md section 10).
 class BPlusTree {
  public:
   /// Creates an empty tree (allocates the root leaf).

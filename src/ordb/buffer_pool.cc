@@ -6,8 +6,19 @@
 
 namespace xorator::ordb {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
-  frames_.resize(capacity == 0 ? 1 : capacity);
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+}
+
+void BufferPool::set_wal(Wal* wal) {
+  xo::MutexLock lock(&mu_);
+  wal_ = wal;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  xo::MutexLock lock(&mu_);
+  return stats_;
 }
 
 namespace {
@@ -80,6 +91,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<char*> BufferPool::FetchPage(PageId id) {
+  xo::MutexLock lock(&mu_);
   auto it = frame_of_page_.find(id);
   if (it != frame_of_page_.end()) {
     Frame& f = frames_[it->second];
@@ -107,6 +119,7 @@ Result<char*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<std::pair<PageId, char*>> BufferPool::NewPage() {
+  xo::MutexLock lock(&mu_);
   Result<PageId> alloc = pager_->Allocate();
   for (int attempt = 1; attempt <= kMaxIoRetries &&
                         alloc.status().code() == StatusCode::kUnavailable;
@@ -129,6 +142,7 @@ Result<std::pair<PageId, char*>> BufferPool::NewPage() {
 }
 
 Status BufferPool::Unpin(PageId id, bool dirty) {
+  xo::MutexLock lock(&mu_);
   auto it = frame_of_page_.find(id);
   if (it == frame_of_page_.end()) {
     return Status::InvalidArgument("Unpin of non-resident page " +
@@ -145,6 +159,7 @@ Status BufferPool::Unpin(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  xo::MutexLock lock(&mu_);
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
       XO_RETURN_NOT_OK(WriteBack(f));

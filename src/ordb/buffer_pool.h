@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "ordb/page.h"
 #include "ordb/pager.h"
 #include "ordb/wal.h"
@@ -29,8 +31,18 @@ struct BufferPoolStats {
 /// A fixed-capacity LRU buffer pool over a Pager.
 ///
 /// Usage: FetchPage/NewPage pin a frame; callers must Unpin with the dirty
-/// flag once done. Not thread-safe (the engine is single-threaded by
-/// design; see DESIGN.md).
+/// flag once done.
+///
+/// Thread safety: fully thread-safe. An internal mutex (`mu_`, statically
+/// checked via Clang Thread Safety Analysis) guards the frame table, LRU
+/// clock, pin counts and counters, and is held across the underlying pager
+/// I/O, so the Pager itself needs no locking of its own. The `char*`
+/// returned by FetchPage/NewPage is valid — and its frame immune to
+/// eviction — until the matching Unpin; the pin count, not the mutex, is
+/// what protects the page bytes. Writers of page contents must still be
+/// mutually excluded from readers of the same page by a higher-level lock
+/// (the Database statement lock: statements that mutate pages run
+/// exclusively; see DESIGN.md section 10 for the lock hierarchy).
 ///
 /// Durability duties (see DESIGN.md "Durability & fault tolerance"):
 /// - every fetched page is checksum-verified (kCorruption on mismatch);
@@ -46,25 +58,27 @@ class BufferPool {
 
   /// Attaches the write-ahead log consulted before write-backs. Pass
   /// nullptr to detach (memory-backed databases run without one).
-  void set_wal(Wal* wal) { wal_ = wal; }
+  void set_wal(Wal* wal) XO_EXCLUDES(mu_);
 
   /// Returns a pinned pointer to the page contents.
-  [[nodiscard]] Result<char*> FetchPage(PageId id);
+  [[nodiscard]] Result<char*> FetchPage(PageId id) XO_EXCLUDES(mu_);
 
   /// Allocates a new page and returns it pinned (already zeroed).
-  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage();
+  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage() XO_EXCLUDES(mu_);
 
   /// Releases one pin on `id`, marking the frame dirty if `dirty`. Fails
   /// with kInvalidArgument on an unbalanced unpin (page not resident or
   /// not pinned) — always a caller bug, so propagate or discard with an
   /// annotation stating the invariant.
-  [[nodiscard]] Status Unpin(PageId id, bool dirty);
+  [[nodiscard]] Status Unpin(PageId id, bool dirty) XO_EXCLUDES(mu_);
 
   /// Writes back all dirty frames.
-  [[nodiscard]] Status FlushAll();
+  [[nodiscard]] Status FlushAll() XO_EXCLUDES(mu_);
 
-  const BufferPoolStats& stats() const { return stats_; }
-  size_t capacity() const { return frames_.size(); }
+  /// Snapshot of the counters (copied under the pool mutex).
+  [[nodiscard]] BufferPoolStats stats() const XO_EXCLUDES(mu_);
+
+  size_t capacity() const { return capacity_; }
 
   /// Attempts a pager op, absorbing up to this many transient faults.
   static constexpr int kMaxIoRetries = 4;
@@ -78,19 +92,24 @@ class BufferPool {
     uint64_t last_used = 0;
   };
 
-  [[nodiscard]] Result<size_t> GetVictimFrame();
+  [[nodiscard]] Result<size_t> GetVictimFrame() XO_REQUIRES(mu_);
   /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
-  [[nodiscard]] Status WriteBack(Frame& frame);
-  [[nodiscard]] Status ReadRetry(PageId id, char* buf);
-  [[nodiscard]] Status WriteRetry(PageId id, const char* buf);
+  [[nodiscard]] Status WriteBack(Frame& frame) XO_REQUIRES(mu_);
+  [[nodiscard]] Status ReadRetry(PageId id, char* buf) XO_REQUIRES(mu_);
+  [[nodiscard]] Status WriteRetry(PageId id, const char* buf) XO_REQUIRES(mu_);
 
-  Pager* pager_;
-  Wal* wal_ = nullptr;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> frame_of_page_;
-  std::unique_ptr<char[]> scratch_;  // pre-image staging buffer
-  uint64_t clock_ = 0;
-  BufferPoolStats stats_;
+  Pager* const pager_;  // only touched under mu_ (or by Database exclusively)
+  const size_t capacity_;
+
+  /// Guards every mutable member below. Acquired after the Database
+  /// statement lock and before Wal::mu_ (DESIGN.md section 10).
+  mutable xo::Mutex mu_;
+  Wal* wal_ XO_GUARDED_BY(mu_) = nullptr;
+  std::vector<Frame> frames_ XO_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> frame_of_page_ XO_GUARDED_BY(mu_);
+  std::unique_ptr<char[]> scratch_ XO_GUARDED_BY(mu_);  // pre-image staging
+  uint64_t clock_ XO_GUARDED_BY(mu_) = 0;
+  BufferPoolStats stats_ XO_GUARDED_BY(mu_);
 };
 
 }  // namespace xorator::ordb

@@ -11,16 +11,21 @@ const IndexInfo* TableInfo::FindIndex(std::string_view column) const {
 
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
                                         TableSchema schema, BufferPool* pool) {
-  if (table_by_name_.count(name)) {
-    return Status::AlreadyExists("table '" + name + "' exists");
-  }
+  // The heap pages are allocated before taking the registry lock so the
+  // buffer-pool mutex is never acquired under mu_ (lock hierarchy: the
+  // catalog mutex is a leaf). A lost race on the name check only costs the
+  // loser its freshly created (empty) heap.
+  XO_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
   auto info = std::make_unique<TableInfo>();
   info->name = name;
   info->schema = std::move(schema);
-  XO_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
   info->heap = std::make_unique<HeapFile>(heap);
   info->stats.columns.resize(info->schema.size());
   TableInfo* raw = info.get();
+  xo::WriterLock lock(&mu_);
+  if (table_by_name_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
   tables_.push_back(std::move(info));
   table_by_name_[name] = raw;
   return raw;
@@ -50,15 +55,20 @@ Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
   info->column = column;
   info->column_index = col;
   info->key_type = type;
+  // Root-page allocation happens before the registry lock (see
+  // CreateTable); DDL is serialized by the exclusive statement lock, so
+  // the FindIndex check above cannot be raced by another CreateIndex.
   XO_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool));
   info->tree = std::make_unique<BPlusTree>(tree);
   IndexInfo* raw = info.get();
+  xo::WriterLock lock(&mu_);
   indexes_.push_back(std::move(info));
   t->indexes.push_back(raw);
   return raw;
 }
 
 Result<TableInfo*> Catalog::RestoreTable(std::unique_ptr<TableInfo> info) {
+  xo::WriterLock lock(&mu_);
   if (table_by_name_.count(info->name)) {
     return Status::AlreadyExists("table '" + info->name + "' exists");
   }
@@ -70,7 +80,8 @@ Result<TableInfo*> Catalog::RestoreTable(std::unique_ptr<TableInfo> info) {
 }
 
 Result<IndexInfo*> Catalog::RestoreIndex(std::unique_ptr<IndexInfo> info) {
-  TableInfo* t = FindTable(info->table);
+  xo::WriterLock lock(&mu_);
+  TableInfo* t = FindTableLocked(info->table);
   if (t == nullptr) {
     return Status::Corruption("index '" + info->name +
                               "' references missing table '" + info->table +
@@ -82,25 +93,46 @@ Result<IndexInfo*> Catalog::RestoreIndex(std::unique_ptr<IndexInfo> info) {
   return raw;
 }
 
-TableInfo* Catalog::FindTable(std::string_view name) {
+TableInfo* Catalog::FindTableLocked(std::string_view name) const {
   auto it = table_by_name_.find(name);
   return it == table_by_name_.end() ? nullptr : it->second;
 }
 
+TableInfo* Catalog::FindTable(std::string_view name) {
+  xo::ReaderLock lock(&mu_);
+  return FindTableLocked(name);
+}
+
 const TableInfo* Catalog::FindTable(std::string_view name) const {
-  auto it = table_by_name_.find(name);
-  return it == table_by_name_.end() ? nullptr : it->second;
+  xo::ReaderLock lock(&mu_);
+  return FindTableLocked(name);
+}
+
+std::vector<TableInfo*> Catalog::tables() const {
+  xo::ReaderLock lock(&mu_);
+  std::vector<TableInfo*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<IndexInfo*> Catalog::indexes() const {
+  xo::ReaderLock lock(&mu_);
+  std::vector<IndexInfo*> out;
+  out.reserve(indexes_.size());
+  for (const auto& i : indexes_) out.push_back(i.get());
+  return out;
 }
 
 uint64_t Catalog::DataBytes() const {
   uint64_t bytes = 0;
-  for (const auto& t : tables_) bytes += t->heap->bytes();
+  for (TableInfo* t : tables()) bytes += t->heap->bytes();
   return bytes;
 }
 
 uint64_t Catalog::IndexBytes() const {
   uint64_t bytes = 0;
-  for (const auto& i : indexes_) bytes += i->tree->bytes();
+  for (IndexInfo* i : indexes()) bytes += i->tree->bytes();
   return bytes;
 }
 

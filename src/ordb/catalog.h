@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "ordb/bptree.h"
 #include "ordb/heap_file.h"
 #include "ordb/tuple.h"
@@ -51,39 +53,56 @@ struct TableInfo {
 /// In-memory catalog of tables and indexes. The catalog owns all table and
 /// index metadata; heap files and trees reference the database's buffer
 /// pool.
+///
+/// Thread safety: the registry itself (name map, table/index lists) is
+/// guarded by an internal reader/writer mutex, so lookups may race
+/// registrations safely. Entries are never removed, so a TableInfo* /
+/// IndexInfo* stays valid for the catalog's lifetime. The *contents* of an
+/// entry (heap, tree, stats) are NOT guarded here: statements that mutate
+/// them run under the Database statement lock held exclusively, while
+/// read-only statements hold it shared (DESIGN.md section 10).
 class Catalog {
  public:
   [[nodiscard]] Result<TableInfo*> CreateTable(const std::string& name, TableSchema schema,
-                                 BufferPool* pool);
+                                 BufferPool* pool) XO_EXCLUDES(mu_);
   [[nodiscard]] Result<IndexInfo*> CreateIndex(const std::string& index_name,
                                  const std::string& table,
-                                 const std::string& column, BufferPool* pool);
+                                 const std::string& column, BufferPool* pool)
+      XO_EXCLUDES(mu_);
 
   /// Re-registers a table deserialized from the catalog page (its heap
   /// already exists in the file). Fails if the name is taken.
-  [[nodiscard]] Result<TableInfo*> RestoreTable(std::unique_ptr<TableInfo> info);
+  [[nodiscard]] Result<TableInfo*> RestoreTable(std::unique_ptr<TableInfo> info)
+      XO_EXCLUDES(mu_);
   /// Re-registers a deserialized index and links it to its table.
-  [[nodiscard]] Result<IndexInfo*> RestoreIndex(std::unique_ptr<IndexInfo> info);
+  [[nodiscard]] Result<IndexInfo*> RestoreIndex(std::unique_ptr<IndexInfo> info)
+      XO_EXCLUDES(mu_);
 
-  TableInfo* FindTable(std::string_view name);
-  const TableInfo* FindTable(std::string_view name) const;
+  TableInfo* FindTable(std::string_view name) XO_EXCLUDES(mu_);
+  const TableInfo* FindTable(std::string_view name) const XO_EXCLUDES(mu_);
 
-  const std::vector<std::unique_ptr<TableInfo>>& tables() const {
-    return tables_;
-  }
-  const std::vector<std::unique_ptr<IndexInfo>>& indexes() const {
-    return indexes_;
-  }
+  /// Snapshot of the registered tables, in creation order. The pointers
+  /// stay valid for the catalog's lifetime (entries are never removed).
+  [[nodiscard]] std::vector<TableInfo*> tables() const XO_EXCLUDES(mu_);
+  /// Snapshot of the registered indexes, in creation order.
+  [[nodiscard]] std::vector<IndexInfo*> indexes() const XO_EXCLUDES(mu_);
 
   /// Total pages/bytes across table heaps (the paper's "database size").
-  uint64_t DataBytes() const;
+  uint64_t DataBytes() const XO_EXCLUDES(mu_);
   /// Total pages/bytes across indexes (the paper's "index size").
-  uint64_t IndexBytes() const;
+  uint64_t IndexBytes() const XO_EXCLUDES(mu_);
 
  private:
-  std::vector<std::unique_ptr<TableInfo>> tables_;
-  std::vector<std::unique_ptr<IndexInfo>> indexes_;
-  std::map<std::string, TableInfo*, std::less<>> table_by_name_;
+  TableInfo* FindTableLocked(std::string_view name) const
+      XO_REQUIRES_SHARED(mu_);
+
+  /// Guards the registry containers below (not the pointees; see the
+  /// class comment). Leaf lock: nothing else is acquired while held.
+  mutable xo::SharedMutex mu_;
+  std::vector<std::unique_ptr<TableInfo>> tables_ XO_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<IndexInfo>> indexes_ XO_GUARDED_BY(mu_);
+  std::map<std::string, TableInfo*, std::less<>> table_by_name_
+      XO_GUARDED_BY(mu_);
 };
 
 }  // namespace xorator::ordb

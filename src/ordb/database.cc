@@ -15,12 +15,14 @@ namespace {
 /// Process-wide record of the most recent destructor/Close() checkpoint,
 /// stored as raw code+message (not a Status) so that nothing enforces a
 /// check on the global itself at process exit.
-std::mutex g_close_status_mu;
-StatusCode g_close_status_code = StatusCode::kOk;
-std::string g_close_status_message;  // NOLINT(runtime/string)
+xo::Mutex g_close_status_mu;
+StatusCode g_close_status_code XO_GUARDED_BY(g_close_status_mu) =
+    StatusCode::kOk;
+std::string g_close_status_message  // NOLINT(runtime/string)
+    XO_GUARDED_BY(g_close_status_mu);
 
-void RecordCloseStatus(const Status& s) {
-  std::lock_guard<std::mutex> lock(g_close_status_mu);
+void RecordCloseStatus(const Status& s) XO_EXCLUDES(g_close_status_mu) {
+  xo::MutexLock lock(&g_close_status_mu);
   g_close_status_code = s.code();
   g_close_status_message = s.message();
   if (!s.ok()) {
@@ -103,6 +105,10 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
       std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
   db->pool_->set_wal(db->wal_.get());
   db->functions_ = FunctionRegistry::WithBuiltins();
+  // The database is not published yet, but the locked helpers below
+  // require the statement lock; taking it here is free and lets the
+  // analysis check Open() against the same capability as every other path.
+  xo::WriterLock lock(&db->mu_);
   if (db->wal_ != nullptr) {
     if (db->pager_->page_count() == 0) {
       // Fresh database: claim page 0 as the meta page and commit the
@@ -113,7 +119,7 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
                                 std::to_string(meta.first) + ", not 0");
       }
       XO_RETURN_NOT_OK(db->pool_->Unpin(meta.first, /*dirty=*/true));
-      XO_RETURN_NOT_OK(db->Checkpoint());
+      XO_RETURN_NOT_OK(db->CheckpointLocked());
     } else {
       XO_RETURN_NOT_OK(db->LoadCatalog());
     }
@@ -123,18 +129,18 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
 }
 
 Database::~Database() {
-  if (opened_ && !closed_ && !killed_.load(std::memory_order_relaxed) &&
-      pool_ != nullptr) {
+  if (killed_.load(std::memory_order_relaxed)) return;
+  xo::WriterLock lock(&mu_);
+  if (opened_ && !closed_ && pool_ != nullptr) {
     // A destructor cannot return the checkpoint status, but it must not
     // swallow it either: record it for last_close_status() (which also
     // logs a failure to stderr).
-    std::lock_guard<std::mutex> lock(mu_);
     RecordCloseStatus(CheckpointLocked());
   }
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   return CheckpointLocked();
 }
 
@@ -150,7 +156,7 @@ Status Database::CheckpointLocked() {
 }
 
 Status Database::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   if (closed_ || killed_.load(std::memory_order_relaxed)) return Status::OK();
   Status s = CheckpointLocked();
   closed_ = true;
@@ -159,7 +165,7 @@ Status Database::Close() {
 }
 
 Status Database::last_close_status() {
-  std::lock_guard<std::mutex> lock(g_close_status_mu);
+  xo::MutexLock lock(&g_close_status_mu);
   return Status(g_close_status_code, g_close_status_message);
 }
 
@@ -310,16 +316,18 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
 }
 
 Result<QueryResult> Database::Query(const std::string& sql_text) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return QueryLocked(sql_text);
-}
-
-Result<QueryResult> Database::QueryLocked(const std::string& sql_text) {
+  // Parsing is stateless, so it runs before any lock; the statement kind
+  // then picks the side of the statement lock. SELECT/EXPLAIN take it
+  // shared and run in parallel with other readers; everything else is
+  // exclusive.
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
   switch (stmt.kind) {
-    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kSelect: {
+      xo::ReaderLock lock(&mu_);
       return RunSelect(stmt.select, /*explain_only=*/false);
+    }
     case sql::Statement::Kind::kExplain: {
+      xo::ReaderLock lock(&mu_);
       XO_ASSIGN_OR_RETURN(QueryResult r,
                           RunSelect(stmt.select, /*explain_only=*/true));
       QueryResult out;
@@ -328,6 +336,20 @@ Result<QueryResult> Database::QueryLocked(const std::string& sql_text) {
       out.rows.push_back({Value::Varchar(r.plan)});
       return out;
     }
+    default: {
+      xo::WriterLock lock(&mu_);
+      return ExecuteStmtLocked(stmt);
+    }
+  }
+}
+
+Result<QueryResult> Database::ExecuteStmtLocked(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kExplain:
+      // Read-only kinds never reach here: Query() routes them through the
+      // shared side of the lock (see the dispatch above).
+      return Status::Internal("read-only statement on the write path");
     case sql::Statement::Kind::kCreateTable: {
       TableSchema schema;
       for (const auto& [name, type] : stmt.create_table.columns) {
@@ -389,24 +411,23 @@ Result<QueryResult> Database::QueryLocked(const std::string& sql_text) {
 }
 
 Status Database::Execute(const std::string& sql_text) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return QueryLocked(sql_text).status();
+  return Query(sql_text).status();
 }
 
 Result<std::string> Database::Explain(const std::string& sql_text) {
-  std::lock_guard<std::mutex> lock(mu_);
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
   if (stmt.kind != sql::Statement::Kind::kSelect &&
       stmt.kind != sql::Statement::Kind::kExplain) {
     return Status::InvalidArgument("EXPLAIN requires a SELECT");
   }
+  xo::ReaderLock lock(&mu_);
   XO_ASSIGN_OR_RETURN(QueryResult r,
                       RunSelect(stmt.select, /*explain_only=*/true));
   return r.plan;
 }
 
 Status Database::CreateTable(const std::string& name, TableSchema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   return CreateTableLocked(name, std::move(schema));
 }
 
@@ -417,7 +438,7 @@ Status Database::CreateTableLocked(const std::string& name,
 
 Status Database::CreateIndex(const std::string& table,
                              const std::string& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   return CreateIndexLocked(table, column);
 }
 
@@ -448,7 +469,7 @@ Status Database::CreateIndexLocked(const std::string& table,
 
 Status Database::BulkInsert(const std::string& table,
                             const std::vector<Tuple>& rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   return BulkInsertLocked(table, rows);
 }
 
@@ -477,8 +498,8 @@ Status Database::BulkInsertLocked(const std::string& table,
 }
 
 Status Database::RunStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& t : catalog_.tables()) {
+  xo::WriterLock lock(&mu_);
+  for (TableInfo* t : catalog_.tables()) {
     std::vector<std::unordered_set<uint64_t>> distinct(t->schema.size());
     HeapFile::Scanner scanner = t->heap->Scan();
     Rid rid;
@@ -651,7 +672,7 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
 }
 
 Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  xo::WriterLock lock(&mu_);
   std::set<std::pair<std::string, std::string>> wanted;
   for (const std::string& q : queries) {
     auto parsed = sql::ParseSql(q);

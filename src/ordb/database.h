@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "ordb/buffer_pool.h"
 #include "ordb/catalog.h"
 #include "ordb/fault_pager.h"
@@ -53,12 +54,20 @@ struct QueryResult {
 ///   db->Execute("INSERT INTO t VALUES (1, 'x')");
 ///   auto result = db->Query("SELECT a FROM t WHERE b = 'x'");
 ///
-/// Thread safety: the statement-level entry points (Query, Execute,
-/// Explain, Checkpoint, Close, CreateTable, CreateIndex, BulkInsert,
-/// RunStats, AdviseIndexes) are serialized by an internal mutex, so
-/// concurrent callers are safe (though not parallel). The raw component
-/// accessors (catalog(), buffer_pool(), wal(), ...) bypass that mutex and
-/// remain single-threaded.
+/// Thread safety: the statement-level entry points synchronize on an
+/// internal reader/writer statement lock (statically checked via Clang
+/// Thread Safety Analysis; see DESIGN.md section 10). Read-only statements
+/// — SELECT and EXPLAIN via Query/Execute/Explain — take the lock shared
+/// and run genuinely in parallel. Statements that mutate state (DDL,
+/// INSERT, DELETE, BulkInsert, Checkpoint, RunStats, AdviseIndexes, Close)
+/// take it exclusively and serialize against everything else. Concurrent
+/// readers are safe because every component they touch is internally
+/// synchronized (BufferPool, Wal, Catalog registry) or only mutated under
+/// the exclusive lock (heap/index structure, table statistics). The raw
+/// component accessors (catalog(), buffer_pool(), wal(), ...) return
+/// internally synchronized objects, but orchestrating multi-step work
+/// through them (as the loader does) must happen on one thread or under
+/// application-level exclusion — they bypass the statement lock.
 class Database {
  public:
   /// Opens (creating or recovering) a database. For file-backed databases
@@ -76,10 +85,10 @@ class Database {
   /// Makes the current state durable: persists the catalog to the meta
   /// page, flushes every dirty buffer, and truncates the WAL (the atomic
   /// commit point). No-op persistence-wise for memory-backed databases.
-  [[nodiscard]] Status Checkpoint();
+  [[nodiscard]] Status Checkpoint() XO_EXCLUDES(mu_);
 
   /// Checkpoints and marks the database closed.
-  [[nodiscard]] Status Close();
+  [[nodiscard]] Status Close() XO_EXCLUDES(mu_);
 
   /// The status of the most recent destructor or Close() checkpoint of any
   /// Database in this process (OK when it succeeded, or before any close).
@@ -93,31 +102,38 @@ class Database {
   /// process had died here.
   void Kill() { killed_.store(true, std::memory_order_relaxed); }
 
-  /// Runs any statement; DDL/INSERT return an empty result.
-  [[nodiscard]] Result<QueryResult> Query(const std::string& sql);
+  /// Runs any statement; DDL/INSERT return an empty result. SELECT and
+  /// EXPLAIN take the statement lock shared (parallel with other readers);
+  /// everything else takes it exclusively.
+  [[nodiscard]] Result<QueryResult> Query(const std::string& sql)
+      XO_EXCLUDES(mu_);
 
   /// Runs a statement for effect only.
-  [[nodiscard]] Status Execute(const std::string& sql);
+  [[nodiscard]] Status Execute(const std::string& sql) XO_EXCLUDES(mu_);
 
   /// Returns the EXPLAIN plan of a SELECT without running it.
-  [[nodiscard]] Result<std::string> Explain(const std::string& sql);
+  [[nodiscard]] Result<std::string> Explain(const std::string& sql)
+      XO_EXCLUDES(mu_);
 
   // -- Direct (non-SQL) data path, used by the bulk loader. -----------------
 
-  [[nodiscard]] Status CreateTable(const std::string& name, TableSchema schema);
+  [[nodiscard]] Status CreateTable(const std::string& name, TableSchema schema)
+      XO_EXCLUDES(mu_);
   [[nodiscard]] Status CreateIndex(const std::string& table,
-                                   const std::string& column);
+                                   const std::string& column) XO_EXCLUDES(mu_);
 
   /// Appends `rows` to `table`, maintaining any existing indexes.
   [[nodiscard]] Status BulkInsert(const std::string& table,
-                                  const std::vector<Tuple>& rows);
+                                  const std::vector<Tuple>& rows)
+      XO_EXCLUDES(mu_);
 
   /// Recomputes table statistics (the paper's "runstats").
-  [[nodiscard]] Status RunStats();
+  [[nodiscard]] Status RunStats() XO_EXCLUDES(mu_);
 
   /// Creates indexes useful for `queries` (the paper's "DB2 Index Wizard"):
   /// every column compared for equality against a literal or another column.
-  [[nodiscard]] Status AdviseIndexes(const std::vector<std::string>& queries);
+  [[nodiscard]] Status AdviseIndexes(const std::vector<std::string>& queries)
+      XO_EXCLUDES(mu_);
 
   Catalog* catalog() { return &catalog_; }
   FunctionRegistry* functions() { return &functions_; }
@@ -137,29 +153,42 @@ class Database {
  private:
   explicit Database(DbOptions options) : options_(std::move(options)) {}
 
-  // Unlocked bodies of the public entry points; callers hold mu_.
-  [[nodiscard]] Result<QueryResult> QueryLocked(const std::string& sql);
-  [[nodiscard]] Status CheckpointLocked();
+  // Locked bodies of the public entry points. XO_REQUIRES(mu_) bodies run
+  // with the statement lock held exclusively; RunSelect only needs it
+  // shared (it is the concurrent read path).
+  [[nodiscard]] Result<QueryResult> ExecuteStmtLocked(
+      const sql::Statement& stmt) XO_REQUIRES(mu_);
+  [[nodiscard]] Status CheckpointLocked() XO_REQUIRES(mu_);
   [[nodiscard]] Status CreateTableLocked(const std::string& name,
-                                         TableSchema schema);
+                                         TableSchema schema) XO_REQUIRES(mu_);
   [[nodiscard]] Status CreateIndexLocked(const std::string& table,
-                                         const std::string& column);
+                                         const std::string& column)
+      XO_REQUIRES(mu_);
   [[nodiscard]] Status BulkInsertLocked(const std::string& table,
-                                        const std::vector<Tuple>& rows);
+                                        const std::vector<Tuple>& rows)
+      XO_REQUIRES(mu_);
 
   [[nodiscard]] Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
-                                              bool explain_only);
-  [[nodiscard]] Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+                                              bool explain_only)
+      XO_REQUIRES_SHARED(mu_);
+  [[nodiscard]] Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt)
+      XO_REQUIRES(mu_);
 
   /// Serializes the catalog into the meta page (page 0 of file-backed
   /// databases).
-  [[nodiscard]] Status SaveCatalog();
+  [[nodiscard]] Status SaveCatalog() XO_REQUIRES(mu_);
   /// Rebuilds the catalog from the meta page of an existing database.
-  [[nodiscard]] Status LoadCatalog();
+  [[nodiscard]] Status LoadCatalog() XO_REQUIRES(mu_);
 
-  /// Serializes the statement-level entry points (see the class comment).
-  mutable std::mutex mu_;
+  /// The statement lock (see the class comment): shared for read-only
+  /// statements, exclusive for mutating ones. Outermost lock of the
+  /// hierarchy — BufferPool::mu_, Wal::mu_ and Catalog::mu_ nest under it
+  /// (DESIGN.md section 10).
+  mutable xo::SharedMutex mu_;
   DbOptions options_;
+  // The component pointers below are set while Open() runs single-threaded
+  // and are immutable afterwards; the objects they point to are internally
+  // synchronized, so the pointers themselves need no capability.
   std::unique_ptr<Pager> pager_;  // declared before pool_/wal_: destroyed last
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
@@ -170,8 +199,8 @@ class Database {
   /// its catalog is corrupt) must stay read-only: checkpointing it would
   /// overwrite the meta page with a partial catalog and truncate the WAL,
   /// destroying exactly the evidence a later repair needs.
-  bool opened_ = false;
-  bool closed_ = false;
+  bool opened_ XO_GUARDED_BY(mu_) = false;
+  bool closed_ XO_GUARDED_BY(mu_) = false;
   std::atomic<bool> killed_{false};
 };
 

@@ -14,6 +14,13 @@ namespace xorator::ordb {
 /// slotted pages. Records larger than a page spill to dedicated overflow
 /// pages (an in-page stub points at the overflow chain), which is how large
 /// XADT fragments are stored.
+///
+/// Thread safety: the underlying pages are accessed through the (fully
+/// thread-safe) BufferPool and every read path copies record bytes out
+/// before unpinning, so any number of concurrent readers (Get/Scan) are
+/// safe. Insert/Delete mutate the page chain and the inline counters and
+/// must hold the Database statement lock exclusively — which the engine's
+/// statement dispatch guarantees (DESIGN.md section 10).
 class HeapFile {
  public:
   /// Creates an empty heap file (allocates its first page).

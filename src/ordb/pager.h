@@ -13,6 +13,11 @@ namespace xorator::ordb {
 
 /// Abstract page-addressed storage; pages are allocated sequentially and
 /// never freed (the engine has no vacuum — see DESIGN.md non-goals).
+///
+/// Thread safety: implementations are NOT internally synchronized. In the
+/// engine a pager is only reached from under BufferPool::mu_ (page I/O and
+/// allocation) or the exclusive Database statement lock (Checkpoint's
+/// Flush), which serializes all access (DESIGN.md section 10).
 class Pager {
  public:
   virtual ~Pager() = default;

@@ -38,14 +38,33 @@ Status WriteHeader(std::ofstream& file, PageId checkpoint_page_count) {
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                                        PageId checkpoint_page_count) {
   auto wal = std::unique_ptr<Wal>(new Wal(path, checkpoint_page_count));
+  // The object is not published yet; the lock only satisfies the analysis
+  // (static member functions get no constructor exemption).
+  xo::MutexLock lock(&wal->mu_);
   wal->file_.open(path, std::ios::binary | std::ios::trunc);
   if (!wal->file_) return Status::IOError("cannot open WAL '" + path + "'");
   XO_RETURN_NOT_OK(WriteHeader(wal->file_, checkpoint_page_count));
   return wal;
 }
 
+bool Wal::Logged(PageId page_id) const {
+  xo::MutexLock lock(&mu_);
+  return logged_.count(page_id) > 0;
+}
+
+PageId Wal::checkpoint_page_count() const {
+  xo::MutexLock lock(&mu_);
+  return checkpoint_page_count_;
+}
+
+uint64_t Wal::records_logged() const {
+  xo::MutexLock lock(&mu_);
+  return records_logged_;
+}
+
 Status Wal::LogPageImage(PageId page_id, const char* page) {
-  if (page_id >= checkpoint_page_count_ || Logged(page_id)) {
+  xo::MutexLock lock(&mu_);
+  if (page_id >= checkpoint_page_count_ || logged_.count(page_id) > 0) {
     return Status::OK();  // truncation covers it / pre-image already logged
   }
   char header[kRecordHeaderBytes];
@@ -67,6 +86,7 @@ Status Wal::LogPageImage(PageId page_id, const char* page) {
 }
 
 Status Wal::Reset(PageId checkpoint_page_count) {
+  xo::MutexLock lock(&mu_);
   file_.close();
   file_.open(path_, std::ios::binary | std::ios::trunc);
   if (!file_) return Status::IOError("cannot reset WAL '" + path_ + "'");

@@ -7,7 +7,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "ordb/page.h"
 
 namespace xorator::ordb {
@@ -28,6 +30,13 @@ namespace xorator::ordb {
 /// pages are overwritten with their intact pre-images, and half-appended
 /// log records (the crash tail) are ignored, which is safe because a
 /// record is always durable before its data-file write begins.
+///
+/// Thread safety: fully thread-safe. An internal mutex guards the log
+/// stream and the logged-page set, so concurrent write-backs from the
+/// buffer pool append whole records. Reset() is the epoch boundary and is
+/// only called with the Database statement lock held exclusively, which
+/// keeps it ordered against in-flight LogPageImage calls (DESIGN.md
+/// section 10 has the full lock hierarchy).
 class Wal {
  public:
   /// Opens (truncating) the log at `path` and writes a fresh header
@@ -38,31 +47,38 @@ class Wal {
 
   /// Appends (and flushes) the pre-image of `page_id`, once per page per
   /// checkpoint epoch; later calls for the same page are no-ops.
-  [[nodiscard]] Status LogPageImage(PageId page_id, const char* page);
+  [[nodiscard]] Status LogPageImage(PageId page_id, const char* page)
+      XO_EXCLUDES(mu_);
 
   /// True if `page_id` already has a pre-image in the current epoch.
-  bool Logged(PageId page_id) const { return logged_.count(page_id) > 0; }
+  [[nodiscard]] bool Logged(PageId page_id) const XO_EXCLUDES(mu_);
 
   /// Pages the data file held at the epoch's start; pages at or beyond
   /// this id need no pre-image (recovery truncates them away).
-  PageId checkpoint_page_count() const { return checkpoint_page_count_; }
+  [[nodiscard]] PageId checkpoint_page_count() const XO_EXCLUDES(mu_);
 
   /// Starts a new epoch: truncates the log and writes a fresh header.
   /// This is the engine's atomic commit point.
-  [[nodiscard]] Status Reset(PageId checkpoint_page_count);
+  [[nodiscard]] Status Reset(PageId checkpoint_page_count) XO_EXCLUDES(mu_);
 
-  uint64_t records_logged() const { return records_logged_; }
+  /// Pre-image records appended in the current epoch.
+  [[nodiscard]] uint64_t records_logged() const XO_EXCLUDES(mu_);
 
  private:
   Wal(std::string path, PageId checkpoint_page_count)
       : path_(std::move(path)),
         checkpoint_page_count_(checkpoint_page_count) {}
 
-  std::string path_;
-  std::ofstream file_;
-  PageId checkpoint_page_count_ = 0;
-  std::unordered_set<PageId> logged_;
-  uint64_t records_logged_ = 0;
+  const std::string path_;
+
+  /// Guards the log stream and the epoch state below. Innermost lock of
+  /// the engine hierarchy: acquired under BufferPool::mu_ during
+  /// write-backs, never the other way around.
+  mutable xo::Mutex mu_;
+  std::ofstream file_ XO_GUARDED_BY(mu_);
+  PageId checkpoint_page_count_ XO_GUARDED_BY(mu_) = 0;
+  std::unordered_set<PageId> logged_ XO_GUARDED_BY(mu_);
+  uint64_t records_logged_ XO_GUARDED_BY(mu_) = 0;
 };
 
 /// What `RecoverFromWal` did.

@@ -51,6 +51,12 @@ struct LoadReport {
 
 /// Creates the tables of `schema` in `db` and loads `documents` through the
 /// Shredder.
+///
+/// Thread safety: not synchronized. Each statement-level call into the
+/// database takes the statement lock itself, but a load is a multi-step
+/// orchestration (create tables, then many bulk inserts), so a Loader must
+/// be driven from one thread and must not overlap other writers on the
+/// same database (DESIGN.md section 10).
 class Loader {
  public:
   Loader(ordb::Database* db, const mapping::MappedSchema* schema)

@@ -1,0 +1,91 @@
+/// Compile-time self-test for the thread-safety annotation layer
+/// (src/common/thread_annotations.h, src/common/mutex.h).
+///
+/// This file is never linked into a test binary; CMake compiles it with
+/// `-fsyntax-only` in two configurations (see tests/CMakeLists.txt):
+///
+///  * Without XO_THREAD_ANNOTATION_SELFTEST it must compile cleanly on
+///    every compiler — proving the annotation macros expand to valid
+///    (empty, on GCC) attributes and the guard classes are usable.
+///
+///  * With XO_THREAD_ANNOTATION_SELFTEST defined, the block at the bottom
+///    adds a deliberate lock-discipline violation. Under Clang with
+///    -Werror=thread-safety-analysis the compilation MUST fail; the ctest
+///    entry is registered with WILL_FAIL so a pass here means the analysis
+///    actually rejects unguarded access. If this test ever "succeeds",
+///    the -Wthread-safety wiring has silently rotted.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace xorator {
+namespace {
+
+/// Minimal guarded structure exercising every macro the engine relies on.
+class Counter {
+ public:
+  void Increment() XO_EXCLUDES(mu_) {
+    xo::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  [[nodiscard]] int value() const XO_EXCLUDES(mu_) {
+    xo::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementLocked() XO_REQUIRES(mu_) { ++value_; }
+
+#ifdef XO_THREAD_ANNOTATION_SELFTEST
+  /// Deliberate violation: touches the guarded member with no lock held.
+  /// Clang Thread Safety Analysis must reject this function.
+  void BrokenIncrement() { ++value_; }
+#endif
+
+ private:
+  mutable xo::Mutex mu_;
+  int value_ XO_GUARDED_BY(mu_) = 0;
+};
+
+/// Same shape for the shared mutex and its two guard flavors.
+class Registry {
+ public:
+  void Set(int v) XO_EXCLUDES(mu_) {
+    xo::WriterLock lock(&mu_);
+    value_ = v;
+  }
+
+  [[nodiscard]] int Get() const XO_EXCLUDES(mu_) {
+    xo::ReaderLock lock(&mu_);
+    return GetLocked();
+  }
+
+#ifdef XO_THREAD_ANNOTATION_SELFTEST
+  /// Deliberate violation: a reader lock does not permit writing.
+  void BrokenSet(int v) {
+    xo::ReaderLock lock(&mu_);
+    value_ = v;
+  }
+#endif
+
+ private:
+  [[nodiscard]] int GetLocked() const XO_REQUIRES_SHARED(mu_) {
+    return value_;
+  }
+
+  mutable xo::SharedMutex mu_;
+  int value_ XO_GUARDED_BY(mu_) = 0;
+};
+
+/// Keeps both classes odr-used so no -Wunused warning fires in the clean
+/// configuration.
+[[maybe_unused]] int Exercise() {
+  Counter c;
+  c.Increment();
+  Registry r;
+  r.Set(1);
+  return c.value() + r.Get();
+}
+
+}  // namespace
+}  // namespace xorator

@@ -18,6 +18,12 @@ Checks, in order of appearance in DESIGN.md:
              deliberately ignored Status/Result must use
              XO_DISCARD_STATUS(expr, "why"), and other unused results should
              be named or restructured. `(void)variable;` (no call) is fine.
+  raw-mutex  Library code (src/) must not use the raw standard locking
+             primitives (std::mutex, std::shared_mutex, std::lock_guard,
+             std::unique_lock, ...): they are invisible to Clang Thread
+             Safety Analysis. Use the annotated xo::Mutex / xo::SharedMutex
+             and their guards from common/mutex.h (DESIGN.md section 10) —
+             that header is the single allowlisted wrapper site.
 
 Usage:
   lint.py --root <repo-root>      lint the tree, exit 1 on findings
@@ -49,6 +55,15 @@ BANNED_CALLS = {
 # `(void)name(...)` or `(void)obj.method(...)` / `(void)p->method(...)`:
 # a call result dropped without justification.
 DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:]*(?:(?:\.|->)\w+)*\s*\(")
+
+# Raw standard locking primitives, banned in library code: Clang Thread
+# Safety Analysis cannot see them, so locks taken this way are unchecked.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:(?:recursive_|timed_|recursive_timed_|shared_)?mutex"
+    r"|lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+# The annotated wrapper layer itself — the one file allowed to touch the
+# raw primitives (everything else goes through xo::Mutex & friends).
+RAW_MUTEX_ALLOWLIST = ("src/common/mutex.h",)
 
 DECL_RE = re.compile(
     r"^(?:template\s*<.*>\s*)?"
@@ -148,6 +163,19 @@ def check_banned(path, stripped_lines, findings):
                                         f"'{name}' is banned: {why}"))
 
 
+def check_raw_mutex(root, path, stripped_lines, findings):
+    rel = path.relative_to(root).as_posix()
+    if rel in RAW_MUTEX_ALLOWLIST:
+        return
+    for no, line in enumerate(stripped_lines, 1):
+        if RAW_MUTEX_RE.search(line):
+            findings.append(Finding(path, no, "raw-mutex",
+                                    "raw std locking primitive is invisible "
+                                    "to Thread Safety Analysis; use "
+                                    "xo::Mutex / xo::SharedMutex and their "
+                                    "guards (common/mutex.h)"))
+
+
 def check_discard(path, stripped_lines, findings):
     for no, line in enumerate(stripped_lines, 1):
         if DISCARD_RE.search(line):
@@ -212,6 +240,7 @@ def lint_file(root, path, findings, lib):
             check_docs(path, lines, stripped, findings)
         check_throw(path, stripped, findings)
         check_banned(path, stripped, findings)
+        check_raw_mutex(root, path, stripped, findings)
     check_discard(path, stripped, findings)
 
 
@@ -240,6 +269,7 @@ def self_test(script_dir):
         "bad_throw.h": {"throw", "docs"},
         "bad_banned.cc": {"banned"},
         "bad_discard.cc": {"discard"},
+        "bad_raw_mutex.cc": {"raw-mutex"},
         "clean.h": set(),
     }
     failures = []

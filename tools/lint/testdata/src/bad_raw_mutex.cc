@@ -1,0 +1,17 @@
+// Fixture: every raw standard locking primitive the raw-mutex rule bans.
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+std::shared_mutex g_rw;
+
+int LockedRead(int* value) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::shared_lock<std::shared_mutex> rlock(g_rw);
+  std::unique_lock<std::mutex> ulock(g_mu, std::defer_lock);
+  return *value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,78 @@
+#ifndef XORATOR_COMMON_TYPESTATE_H_
+#define XORATOR_COMMON_TYPESTATE_H_
+
+// Clang Consumed Analysis annotations (DESIGN.md section 11).
+//
+// These macros attach typestate annotations to move-only resource guards —
+// today, the page-pin guard `xorator::ordb::PageRef` — turning their
+// acquire/release protocol into a compile-time proof: under Clang,
+// `-Wconsumed` (promoted to an error for every target by the top-level
+// CMakeLists.txt) rejects any path that touches a guard after it was
+// released or moved from, or that releases it twice. Under other compilers
+// the macros compile to nothing, so the annotations are free documentation.
+//
+// The analysis tracks each annotated object through one of three states:
+//
+//   unconsumed  the guard holds its resource (a pinned page);
+//   consumed    the resource was released, or moved into another guard;
+//   unknown     the analysis cannot tell (e.g. after a branch merge) — no
+//               diagnostics fire in this state, so the checking is sound
+//               but not complete.
+//
+// They are macros (not attributes spelled inline) for the same reasons as
+// the lock annotations in common/thread_annotations.h:
+//   1. GCC has no consumed analysis; `__attribute__((consumable(x)))` is
+//      an error there, so the spelling must vanish on non-Clang builds.
+//   2. One macro layer isolates the repository from attribute churn.
+//   3. Grep-ability: `XO_CONSUMABLE` finds every typestate-tracked class.
+//
+// Known limits, so callers are not surprised:
+//   * The analysis tracks local variables. Guards stored in containers or
+//     members leave its sight (state "unknown"); the RAII destructor still
+//     releases the resource at runtime, so only the *static* double/after-
+//     release check is lost for such guards.
+//   * A guard that lives across a loop back-edge must be in the same state
+//     at the loop's entry and exit; declare per-iteration guards inside
+//     the loop body.
+//   * Do not annotate move constructors with XO_RETURN_TYPESTATE: Clang's
+//     built-in move handling (source becomes consumed) is bypassed when an
+//     explicit annotation is present, which would silence use-after-move.
+
+#if defined(__clang__) && !defined(SWIG)
+#define XO_TYPESTATE_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define XO_TYPESTATE_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class whose instances' typestates are tracked. The argument
+/// (unconsumed | consumed | unknown) is the state assumed for instances
+/// the analysis receives from un-annotated producers, e.g. a guard pulled
+/// out of a Result<T>.
+#define XO_CONSUMABLE(state) XO_TYPESTATE_ATTRIBUTE_(consumable(state))
+
+/// The annotated method may only be invoked in the listed state(s), spelled
+/// as string literals: XO_CALLABLE_WHEN("unconsumed"). Calling it in any
+/// other *known* state is a compile error under -Wconsumed.
+#define XO_CALLABLE_WHEN(...) \
+  XO_TYPESTATE_ATTRIBUTE_(callable_when(__VA_ARGS__))
+
+/// After the annotated method returns, the object is in the given state
+/// (e.g. Release() leaves the guard consumed).
+#define XO_SET_TYPESTATE(state) XO_TYPESTATE_ATTRIBUTE_(set_typestate(state))
+
+/// On a constructor: the state of the freshly constructed object. On a
+/// function returning a tracked type: the state of the returned value.
+#define XO_RETURN_TYPESTATE(state) \
+  XO_TYPESTATE_ATTRIBUTE_(return_typestate(state))
+
+/// On a parameter of tracked type: the state the argument must be in at
+/// the call (violations are diagnosed at the call site).
+#define XO_PARAM_TYPESTATE(state) \
+  XO_TYPESTATE_ATTRIBUTE_(param_typestate(state))
+
+/// On a const method returning bool: returns true iff the object is in the
+/// given state. Branching on it refines the tracked state, so
+/// `if (ref.holds()) { ... }` makes the guarded block "unconsumed".
+#define XO_TEST_TYPESTATE(state) XO_TYPESTATE_ATTRIBUTE_(test_typestate(state))
+
+#endif  // XORATOR_COMMON_TYPESTATE_H_

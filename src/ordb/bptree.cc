@@ -113,18 +113,20 @@ size_t LeafLowerBound(const char* node, EntryKey target) {
 }  // namespace
 
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
-  XO_ASSIGN_OR_RETURN(auto page, pool->NewPage());
-  SetLeaf(page.second, true);
-  SetCount(page.second, 0);
-  SetLink(page.second, kInvalidPageId);
-  RETURN_IF_ERROR(pool->Unpin(page.first, /*dirty=*/true));
-  return BPlusTree(pool, page.first, 1, 0);
+  XO_ASSIGN_OR_RETURN(PageRef page, pool->Create());
+  SetLeaf(page.data(), true);
+  SetCount(page.data(), 0);
+  SetLink(page.data(), kInvalidPageId);
+  const PageId root = page.id();
+  RETURN_IF_ERROR(page.Release());
+  return BPlusTree(pool, root, 1, 0);
 }
 
 Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                                                           uint64_t key,
                                                           uint64_t rid) {
-  XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(node_id));
+  XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(node_id));
+  char* node = node_ref.data();
   EntryKey entry{key, rid};
   if (IsLeaf(node)) {
     uint16_t count = Count(node);
@@ -135,13 +137,14 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                    (count - pos) * kLeafEntryBytes);
       SetLeafEntry(node, pos, entry);
       SetCount(node, count + 1);
-      RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
+      node_ref.MarkDirty();
+      RETURN_IF_ERROR(node_ref.Release());
       return SplitResult{};
     }
     // Split the leaf: left keeps the lower half.
-    XO_ASSIGN_OR_RETURN(auto right_page, pool_->NewPage());
+    XO_ASSIGN_OR_RETURN(PageRef right_ref, pool_->Create());
     ++page_count_;
-    char* right = right_page.second;
+    char* right = right_ref.data();
     SetLeaf(right, true);
     size_t mid = count / 2;
     size_t right_count = count - mid;
@@ -150,7 +153,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     SetCount(right, static_cast<uint16_t>(right_count));
     SetLink(right, Link(node));
     SetCount(node, static_cast<uint16_t>(mid));
-    SetLink(node, right_page.first);
+    SetLink(node, right_ref.id());
     // Insert into the proper half.
     char* target = pos <= mid ? node : right;
     size_t tpos = pos <= mid ? pos : pos - mid;
@@ -161,27 +164,29 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     SetLeafEntry(target, tpos, entry);
     SetCount(target, tcount + 1);
     EntryKey sep = LeafEntry(right, 0);
-    RETURN_IF_ERROR(pool_->Unpin(right_page.first, /*dirty=*/true));
-    RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
+    node_ref.MarkDirty();
     SplitResult out;
     out.split = true;
     out.separator = sep.key;
-    out.right = right_page.first;
+    out.right = right_ref.id();
     separator_rid_ = sep.rid;
+    RETURN_IF_ERROR(right_ref.Release());
+    RETURN_IF_ERROR(node_ref.Release());
     return out;
   }
 
   // Internal node.
   size_t child_idx = ChildIndexFor(node, entry);
   PageId child = InternalChild(node, child_idx);
-  RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/false));
+  RETURN_IF_ERROR(node_ref.Release());
   XO_ASSIGN_OR_RETURN(SplitResult child_split,
                       InsertRecursive(child, key, rid));
   if (!child_split.split) return SplitResult{};
 
   EntryKey sep{child_split.separator, separator_rid_};
   PageId new_child = child_split.right;
-  XO_ASSIGN_OR_RETURN(node, pool_->FetchPage(node_id));
+  XO_ASSIGN_OR_RETURN(node_ref, pool_->Fetch(node_id));
+  node = node_ref.data();
   uint16_t count = Count(node);
   size_t pos = ChildIndexFor(node, sep);
   if (count < kInternalCapacity) {
@@ -190,7 +195,8 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                  (count - pos) * kInternalEntryBytes);
     SetInternalEntry(node, pos, sep, new_child);
     SetCount(node, count + 1);
-    RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
+    node_ref.MarkDirty();
+    RETURN_IF_ERROR(node_ref.Release());
     return SplitResult{};
   }
   // Split the internal node. Gather entries into a scratch array first.
@@ -207,9 +213,9 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
   size_t mid = items.size() / 2;
   EntryKey up = items[mid].sep;
 
-  XO_ASSIGN_OR_RETURN(auto right_page, pool_->NewPage());
+  XO_ASSIGN_OR_RETURN(PageRef right_ref, pool_->Create());
   ++page_count_;
-  char* right = right_page.second;
+  char* right = right_ref.data();
   SetLeaf(right, false);
   SetLink(right, items[mid].child);  // leftmost child of the right node
   uint16_t rcount = 0;
@@ -225,29 +231,31 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     ++lcount;
   }
   SetCount(node, lcount);
-  RETURN_IF_ERROR(pool_->Unpin(right_page.first, /*dirty=*/true));
-  RETURN_IF_ERROR(pool_->Unpin(node_id, /*dirty=*/true));
+  node_ref.MarkDirty();
   SplitResult out;
   out.split = true;
   out.separator = up.key;
-  out.right = right_page.first;
+  out.right = right_ref.id();
   separator_rid_ = up.rid;
+  RETURN_IF_ERROR(right_ref.Release());
+  RETURN_IF_ERROR(node_ref.Release());
   return out;
 }
 
 Status BPlusTree::Insert(uint64_t key, uint64_t rid) {
   XO_ASSIGN_OR_RETURN(SplitResult split, InsertRecursive(root_, key, rid));
   if (split.split) {
-    XO_ASSIGN_OR_RETURN(auto page, pool_->NewPage());
+    XO_ASSIGN_OR_RETURN(PageRef page, pool_->Create());
     ++page_count_;
-    char* node = page.second;
+    char* node = page.data();
     SetLeaf(node, false);
     SetCount(node, 1);
     SetLink(node, root_);
     SetInternalEntry(node, 0, EntryKey{split.separator, separator_rid_},
                      split.right);
-    RETURN_IF_ERROR(pool_->Unpin(page.first, /*dirty=*/true));
-    root_ = page.first;
+    const PageId new_root = page.id();
+    RETURN_IF_ERROR(page.Release());
+    root_ = new_root;
   }
   ++entry_count_;
   return Status::OK();
@@ -257,13 +265,13 @@ Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
   EntryKey target{key, 0};
   PageId cur = root_;
   while (true) {
-    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
-    if (IsLeaf(node)) {
-      RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
+    XO_ASSIGN_OR_RETURN(PageRef node, pool_->Fetch(cur));
+    if (IsLeaf(node.data())) {
+      RETURN_IF_ERROR(node.Release());
       return cur;
     }
-    PageId next = InternalChild(node, ChildIndexFor(node, target));
-    RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
+    PageId next = InternalChild(node.data(), ChildIndexFor(node.data(), target));
+    RETURN_IF_ERROR(node.Release());
     cur = next;
   }
 }
@@ -278,7 +286,8 @@ Result<std::vector<uint64_t>> BPlusTree::FindRange(uint64_t lo,
   XO_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
   EntryKey target{lo, 0};
   while (leaf != kInvalidPageId) {
-    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(leaf));
+    XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(leaf));
+    const char* node = node_ref.data();
     uint16_t count = Count(node);
     size_t i = LeafLowerBound(node, target);
     bool done = false;
@@ -291,7 +300,7 @@ Result<std::vector<uint64_t>> BPlusTree::FindRange(uint64_t lo,
       out.push_back(e.rid);
     }
     PageId next = Link(node);
-    RETURN_IF_ERROR(pool_->Unpin(leaf, /*dirty=*/false));
+    RETURN_IF_ERROR(node_ref.Release());
     if (done) break;
     leaf = next;
     target = EntryKey{0, 0};  // subsequent leaves: take from the start
@@ -303,10 +312,11 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
   EntryKey target{key, rid};
   PageId cur = root_;
   while (true) {
-    XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(cur));
+    XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(cur));
+    char* node = node_ref.data();
     if (!IsLeaf(node)) {
       PageId next = InternalChild(node, ChildIndexFor(node, target));
-      RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
+      RETURN_IF_ERROR(node_ref.Release());
       cur = next;
       continue;
     }
@@ -319,67 +329,57 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
                      node + kEntryOffset + (i + 1) * kLeafEntryBytes,
                      (count - i - 1) * kLeafEntryBytes);
         SetCount(node, count - 1);
-        RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/true));
+        node_ref.MarkDirty();
+        RETURN_IF_ERROR(node_ref.Release());
         if (entry_count_ > 0) --entry_count_;
         return Status::OK();
       }
     }
-    RETURN_IF_ERROR(pool_->Unpin(cur, /*dirty=*/false));
+    RETURN_IF_ERROR(node_ref.Release());
     return Status::NotFound("entry not in index");
   }
 }
 
 Status BPlusTree::CheckNode(PageId node_id, uint64_t lo, uint64_t hi,
                             int depth, int* leaf_depth) const {
-  XO_ASSIGN_OR_RETURN(char* node, pool_->FetchPage(node_id));
+  // The pre-PageRef version of this function juggled error precedence by
+  // hand (a structural violation outranks the trailing unpin status); the
+  // guard's destructor now releases the pin on the violation returns.
+  XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(node_id));
+  const char* node = node_ref.data();
   uint16_t count = Count(node);
-  Status status = Status::OK();
   if (IsLeaf(node)) {
     if (*leaf_depth == -1) {
       *leaf_depth = depth;
     } else if (*leaf_depth != depth) {
-      status = Status::Internal("leaves at differing depths");
+      return Status::Internal("leaves at differing depths");
     }
-    for (size_t i = 0; status.ok() && i < count; ++i) {
+    for (size_t i = 0; i < count; ++i) {
       EntryKey e = LeafEntry(node, i);
       if (e.key < lo || e.key > hi) {
-        status = Status::Internal("leaf key outside separator bounds");
+        return Status::Internal("leaf key outside separator bounds");
       }
       if (i > 0 && e < LeafEntry(node, i - 1)) {
-        status = Status::Internal("leaf entries out of order");
+        return Status::Internal("leaf entries out of order");
       }
     }
-    Status unpin = pool_->Unpin(node_id, /*dirty=*/false);
-    if (!status.ok()) {
-      XO_DISCARD_STATUS(unpin,
-                        "the structural violation found above is the error "
-                        "worth reporting; an unbalanced unpin is secondary");
-      return status;
-    }
-    return unpin;
+    return node_ref.Release();
   }
   std::vector<std::pair<PageId, std::pair<uint64_t, uint64_t>>> children;
   uint64_t prev = lo;
   for (size_t i = 0; i < count; ++i) {
     EntryKey sep = InternalSep(node, i);
     if (sep.key < lo || sep.key > hi) {
-      status = Status::Internal("separator outside bounds");
+      return Status::Internal("separator outside bounds");
     }
     if (i > 0 && sep < InternalSep(node, i - 1)) {
-      status = Status::Internal("separators out of order");
+      return Status::Internal("separators out of order");
     }
     children.push_back({InternalChild(node, i), {prev, sep.key}});
     prev = sep.key;
   }
   children.push_back({InternalChild(node, count), {prev, hi}});
-  Status unpin = pool_->Unpin(node_id, /*dirty=*/false);
-  if (!status.ok()) {
-    XO_DISCARD_STATUS(unpin,
-                      "the structural violation found above is the error "
-                      "worth reporting; an unbalanced unpin is secondary");
-    return status;
-  }
-  RETURN_IF_ERROR(unpin);
+  RETURN_IF_ERROR(node_ref.Release());
   for (auto& [child, bounds] : children) {
     XO_RETURN_NOT_OK(
         CheckNode(child, bounds.first, bounds.second, depth + 1, leaf_depth));

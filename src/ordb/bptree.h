@@ -26,11 +26,14 @@ inline uint64_t IntIndexKey(int64_t v) {
 /// rebalanced, which is adequate for this engine's bulk-load-then-query
 /// usage.
 ///
-/// Thread safety: lookups (Find/Scan) go through the thread-safe
-/// BufferPool and copy node contents out before unpinning, so concurrent
-/// readers are safe. Insert/Delete restructure nodes and update the inline
-/// counters and must hold the Database statement lock exclusively
-/// (DESIGN.md section 10).
+/// Thread safety: lookups (Find/FindRange) hold each node through a
+/// PageRef guard from the (fully thread-safe) BufferPool and copy node
+/// contents out before releasing it, so concurrent readers are safe.
+/// Insert/Delete restructure nodes and update the inline counters and must
+/// hold the Database statement lock exclusively (DESIGN.md section 10).
+/// Every page access goes through a PageRef (DESIGN.md section 11): error
+/// paths release pins via the guard's destructor, so no fault can leak a
+/// pin and wedge eviction.
 class BPlusTree {
  public:
   /// Creates an empty tree (allocates the root leaf).

@@ -1,5 +1,6 @@
 #include "ordb/buffer_pool.h"
 
+#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -11,6 +12,16 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
   frames_.resize(capacity_);
 }
 
+BufferPool::~BufferPool() {
+  // Quiescence sentinel: every pin is owned by a PageRef, so a non-zero
+  // count here means a guard outlived the pool — a lifetime bug the
+  // typestate cannot see (it tracks release order, not relative
+  // lifetimes). Debug builds fail loudly instead of letting the guard's
+  // destructor touch a dead pool.
+  assert(PinnedFrameCount() == 0 &&
+         "BufferPool destroyed while PageRef guards still hold pins");
+}
+
 void BufferPool::set_wal(Wal* wal) {
   xo::MutexLock lock(&mu_);
   wal_ = wal;
@@ -19,6 +30,15 @@ void BufferPool::set_wal(Wal* wal) {
 BufferPoolStats BufferPool::stats() const {
   xo::MutexLock lock(&mu_);
   return stats_;
+}
+
+size_t BufferPool::PinnedFrameCount() const {
+  xo::MutexLock lock(&mu_);
+  size_t pinned = 0;
+  for (const Frame& f : frames_) {
+    if (f.pin_count > 0) ++pinned;
+  }
+  return pinned;
 }
 
 namespace {

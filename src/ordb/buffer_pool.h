@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "common/typestate.h"
 #include "ordb/page.h"
 #include "ordb/pager.h"
 #include "ordb/wal.h"
@@ -28,21 +29,118 @@ struct BufferPoolStats {
   uint64_t checksum_failures = 0;
 };
 
+class BufferPool;
+
+/// A move-only guard over one pin on one buffer-pool frame, returned by
+/// BufferPool::Fetch / BufferPool::Create. Holding the guard keeps the
+/// frame resident and its bytes (data()) valid; destruction releases the
+/// pin, carrying the dirty bit recorded via MarkDirty(). Call Release()
+/// instead of relying on the destructor where the unpin Status should
+/// propagate.
+///
+/// The pin protocol is a compile-checked typestate (DESIGN.md section 11):
+/// the class is XO_CONSUMABLE, so under Clang's `-Wconsumed` (an error on
+/// every Clang build) touching a guard after Release() or after it was
+/// moved from, and releasing it twice, fail the build. The page bytes may
+/// be borrowed once (`char* p = ref.data()`) for tight loops, but the raw
+/// pointer must not outlive the guard.
+///
+/// Guards must not outlive their BufferPool; at pool destruction (and at
+/// every checkpoint) a debug sentinel asserts PinnedFrameCount() == 0.
+class XO_CONSUMABLE(unconsumed) PageRef {
+ public:
+  /// An empty guard: holds no pin and starts life in the released
+  /// (consumed) state, so the only legal next step is to move-assign a
+  /// live guard into it.
+  PageRef() XO_RETURN_TYPESTATE(consumed) {}
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  /// Transfers the pin; `other` is left released (consumed, enforced by
+  /// the analysis' built-in move tracking — deliberately un-annotated,
+  /// see common/typestate.h).
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_),
+        id_(other.id_),
+        data_(other.data_),
+        dirty_(other.dirty_) {
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+
+  /// Releases any pin this guard still holds, then adopts `other`'s.
+  PageRef& operator=(PageRef&& other) noexcept;
+
+  /// Releases the pin if it was never released explicitly. The unpin
+  /// Status is discarded here (it can only fail on a protocol violation
+  /// the typestate already rules out); use Release() to surface it.
+  ~PageRef();
+
+  /// The pinned page's id.
+  [[nodiscard]] PageId id() const XO_CALLABLE_WHEN("unconsumed") {
+    return id_;
+  }
+
+  /// The pinned page's bytes; valid until the pin is released.
+  [[nodiscard]] char* data() XO_CALLABLE_WHEN("unconsumed") { return data_; }
+  [[nodiscard]] const char* data() const XO_CALLABLE_WHEN("unconsumed") {
+    return data_;
+  }
+
+  /// Records that the page bytes were modified: the frame will be marked
+  /// dirty (scheduled for write-back) when the pin is released. Pages from
+  /// Create() start dirty; fetched pages start clean.
+  void MarkDirty() XO_CALLABLE_WHEN("unconsumed") { dirty_ = true; }
+
+  /// Releases the pin now and surfaces the Unpin Status. After this the
+  /// guard is consumed: any further data()/MarkDirty()/Release() is a
+  /// compile error under Clang and a no-op destructor at runtime.
+  [[nodiscard]] Status Release() XO_CALLABLE_WHEN("unconsumed")
+      XO_SET_TYPESTATE(consumed);
+
+  /// True while the guard still holds its pin. Branching on it refines
+  /// the static state: the taken branch is treated as unconsumed.
+  [[nodiscard]] bool holds() const XO_TEST_TYPESTATE(unconsumed) {
+    return pool_ != nullptr;
+  }
+
+ private:
+  friend class BufferPool;
+
+  PageRef(BufferPool* pool, PageId id, char* data, bool dirty)
+      XO_RETURN_TYPESTATE(unconsumed)
+      : pool_(pool), id_(id), data_(data), dirty_(dirty) {}
+
+  /// Unpins and deliberately drops the Status (destructor / move-assign
+  /// paths, which have nowhere to put it).
+  void ReleaseQuietly();
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
 /// A fixed-capacity LRU buffer pool over a Pager.
 ///
-/// Usage: FetchPage/NewPage pin a frame; callers must Unpin with the dirty
-/// flag once done.
+/// Usage: Fetch/Create return a PageRef guard holding one pin; the frame
+/// stays resident until the guard is released (destructor or Release()),
+/// and MarkDirty() on the guard schedules write-back. The raw
+/// FetchPage/NewPage/Unpin protocol is private — PageRef is the only
+/// caller (enforced by the `raw-pin` lint rule, tools/lint), so a leaked
+/// or doubled pin is a compile error, not an eviction stall.
 ///
 /// Thread safety: fully thread-safe. An internal mutex (`mu_`, statically
 /// checked via Clang Thread Safety Analysis) guards the frame table, LRU
 /// clock, pin counts and counters, and is held across the underlying pager
-/// I/O, so the Pager itself needs no locking of its own. The `char*`
-/// returned by FetchPage/NewPage is valid — and its frame immune to
-/// eviction — until the matching Unpin; the pin count, not the mutex, is
-/// what protects the page bytes. Writers of page contents must still be
-/// mutually excluded from readers of the same page by a higher-level lock
-/// (the Database statement lock: statements that mutate pages run
-/// exclusively; see DESIGN.md section 10 for the lock hierarchy).
+/// I/O, so the Pager itself needs no locking of its own. The bytes behind
+/// a PageRef are valid — and the frame immune to eviction — until the
+/// guard releases its pin; the pin count, not the mutex, is what protects
+/// the page bytes. Writers of page contents must still be mutually
+/// excluded from readers of the same page by a higher-level lock (the
+/// Database statement lock: statements that mutate pages run exclusively;
+/// see DESIGN.md section 10 for the lock hierarchy).
 ///
 /// Durability duties (see DESIGN.md "Durability & fault tolerance"):
 /// - every fetched page is checksum-verified (kCorruption on mismatch);
@@ -56,24 +154,29 @@ class BufferPool {
   /// `capacity` is in pages.
   BufferPool(Pager* pager, size_t capacity);
 
+  /// Debug sentinel: asserts no pin outlived the pool (a leaked pin would
+  /// have wedged eviction; with PageRef it means a guard outlived us).
+  ~BufferPool();
+
   /// Attaches the write-ahead log consulted before write-backs. Pass
   /// nullptr to detach (memory-backed databases run without one).
   void set_wal(Wal* wal) XO_EXCLUDES(mu_);
 
-  /// Returns a pinned pointer to the page contents.
-  [[nodiscard]] Result<char*> FetchPage(PageId id) XO_EXCLUDES(mu_);
+  /// Pins `id` and returns its guard. The page starts clean: call
+  /// MarkDirty() on the guard after modifying the bytes.
+  [[nodiscard]] Result<PageRef> Fetch(PageId id) XO_EXCLUDES(mu_);
 
-  /// Allocates a new page and returns it pinned (already zeroed).
-  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage() XO_EXCLUDES(mu_);
-
-  /// Releases one pin on `id`, marking the frame dirty if `dirty`. Fails
-  /// with kInvalidArgument on an unbalanced unpin (page not resident or
-  /// not pinned) — always a caller bug, so propagate or discard with an
-  /// annotation stating the invariant.
-  [[nodiscard]] Status Unpin(PageId id, bool dirty) XO_EXCLUDES(mu_);
+  /// Allocates a new page (already zeroed) and returns its guard. The
+  /// page starts dirty — it must reach disk even if never written to.
+  [[nodiscard]] Result<PageRef> Create() XO_EXCLUDES(mu_);
 
   /// Writes back all dirty frames.
   [[nodiscard]] Status FlushAll() XO_EXCLUDES(mu_);
+
+  /// Number of frames currently holding at least one pin. Zero at every
+  /// quiescent point (checkpoints, pool destruction); the fault-injection
+  /// suite asserts this after each failed operation.
+  [[nodiscard]] size_t PinnedFrameCount() const XO_EXCLUDES(mu_);
 
   /// Snapshot of the counters (copied under the pool mutex).
   [[nodiscard]] BufferPoolStats stats() const XO_EXCLUDES(mu_);
@@ -84,6 +187,8 @@ class BufferPool {
   static constexpr int kMaxIoRetries = 4;
 
  private:
+  friend class PageRef;
+
   struct Frame {
     PageId page_id = kInvalidPageId;
     std::unique_ptr<char[]> data;
@@ -91,6 +196,13 @@ class BufferPool {
     int pin_count = 0;
     uint64_t last_used = 0;
   };
+
+  // The raw pin protocol. Private on purpose: every external pin flows
+  // through a PageRef guard, so balance is structural. Only PageRef and
+  // the Fetch/Create wrappers below may call these.
+  [[nodiscard]] Result<char*> FetchPage(PageId id) XO_EXCLUDES(mu_);
+  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage() XO_EXCLUDES(mu_);
+  [[nodiscard]] Status Unpin(PageId id, bool dirty) XO_EXCLUDES(mu_);
 
   [[nodiscard]] Result<size_t> GetVictimFrame() XO_REQUIRES(mu_);
   /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
@@ -111,6 +223,63 @@ class BufferPool {
   uint64_t clock_ XO_GUARDED_BY(mu_) = 0;
   BufferPoolStats stats_ XO_GUARDED_BY(mu_);
 };
+
+// PageRef members that touch the pool (and the guard-returning wrappers)
+// need BufferPool complete, so they are defined here, below the class —
+// but kept in the header: guard construction and release sit on every
+// page-access hot path, and inlining keeps the guard API at cost parity
+// with the raw FetchPage/Unpin protocol it replaced (see the before/after
+// numbers in bench/bench_engine_micro.cc).
+
+inline void PageRef::ReleaseQuietly() {
+  if (pool_ == nullptr) return;
+  XO_DISCARD_STATUS(
+      pool_->Unpin(id_, dirty_),
+      "a PageRef is constructed pinned and released exactly once (the "
+      "typestate and this null-out enforce it), so the unpin cannot be "
+      "unbalanced; a destructor has nowhere to put a Status anyway");
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+inline PageRef::~PageRef() { ReleaseQuietly(); }
+
+inline PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    ReleaseQuietly();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+inline Status PageRef::Release() {
+  if (pool_ == nullptr) {
+    // Unreachable under Clang (-Werror=consumed rejects the call); kept as
+    // a runtime backstop for GCC builds.
+    return Status::InvalidArgument("Release() of an empty PageRef");
+  }
+  Status s = pool_->Unpin(id_, dirty_);
+  pool_ = nullptr;
+  data_ = nullptr;
+  return s;
+}
+
+inline Result<PageRef> BufferPool::Fetch(PageId id) {
+  XO_ASSIGN_OR_RETURN(char* data, FetchPage(id));
+  return PageRef(this, id, data, /*dirty=*/false);
+}
+
+inline Result<PageRef> BufferPool::Create() {
+  XO_ASSIGN_OR_RETURN(auto page, NewPage());
+  // A fresh page starts dirty: its zeroed image must reach disk even if
+  // the caller never writes a byte (NewPage already marked the frame).
+  return PageRef(this, page.first, page.second, /*dirty=*/true);
+}
 
 }  // namespace xorator::ordb
 

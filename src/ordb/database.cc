@@ -1,5 +1,6 @@
 #include "ordb/database.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -113,12 +114,12 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
     if (db->pager_->page_count() == 0) {
       // Fresh database: claim page 0 as the meta page and commit the
       // empty catalog so even a never-used file reopens cleanly.
-      XO_ASSIGN_OR_RETURN(auto meta, db->pool_->NewPage());
-      if (meta.first != 0) {
+      XO_ASSIGN_OR_RETURN(PageRef meta, db->pool_->Create());
+      if (meta.id() != 0) {
         return Status::Internal("meta page allocated as page " +
-                                std::to_string(meta.first) + ", not 0");
+                                std::to_string(meta.id()) + ", not 0");
       }
-      XO_RETURN_NOT_OK(db->pool_->Unpin(meta.first, /*dirty=*/true));
+      XO_RETURN_NOT_OK(meta.Release());
       XO_RETURN_NOT_OK(db->CheckpointLocked());
     } else {
       XO_RETURN_NOT_OK(db->LoadCatalog());
@@ -146,6 +147,11 @@ Status Database::Checkpoint() {
 
 Status Database::CheckpointLocked() {
   if (pool_ == nullptr) return Status::OK();
+  // Quiescence sentinel: a checkpoint runs under the exclusive statement
+  // lock, so every PageRef guard must have been released by now. A live
+  // pin here is a leak that would wedge eviction (debug builds only).
+  assert(pool_->PinnedFrameCount() == 0 &&
+         "checkpoint reached with PageRef guards still holding pins");
   if (wal_ == nullptr) return pool_->FlushAll();  // memory-backed
   XO_RETURN_NOT_OK(SaveCatalog());
   XO_RETURN_NOT_OK(pool_->FlushAll());
@@ -201,18 +207,21 @@ Status Database::SaveCatalog() {
     return Status::Internal("catalog (" + std::to_string(blob.size()) +
                             " bytes) overflows the 8 KB meta page");
   }
-  XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
+  XO_ASSIGN_OR_RETURN(PageRef meta, pool_->Fetch(0));
+  char* page = meta.data();
   std::memset(page + kPageHeaderBytes, 0, kPageSize - kPageHeaderBytes);
   std::memcpy(page + kPageHeaderBytes, blob.data(), blob.size());
-  return pool_->Unpin(0, /*dirty=*/true);
+  meta.MarkDirty();
+  return meta.Release();
 }
 
 Status Database::LoadCatalog() {
   std::string payload;
   {
-    XO_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(0));
-    payload.assign(page + kPageHeaderBytes, kPageSize - kPageHeaderBytes);
-    XO_RETURN_NOT_OK(pool_->Unpin(0, /*dirty=*/false));
+    XO_ASSIGN_OR_RETURN(PageRef meta, pool_->Fetch(0));
+    payload.assign(meta.data() + kPageHeaderBytes,
+                   kPageSize - kPageHeaderBytes);
+    XO_RETURN_NOT_OK(meta.Release());
   }
   const std::string_view view(payload);
   const PageId pages = pager_->page_count();

@@ -15,10 +15,11 @@ constexpr size_t kMaxInline = kPageSize - 64;
 }  // namespace
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
-  XO_ASSIGN_OR_RETURN(auto page, pool->NewPage());
-  SlottedPage(page.second).Init();
-  RETURN_IF_ERROR(pool->Unpin(page.first, /*dirty=*/true));
-  return HeapFile(pool, page.first, page.first, 0, 1);
+  XO_ASSIGN_OR_RETURN(PageRef page, pool->Create());
+  SlottedPage(page.data()).Init();
+  const PageId first = page.id();
+  RETURN_IF_ERROR(page.Release());
+  return HeapFile(pool, first, first, 0, 1);
 }
 
 HeapFile::HeapFile(BufferPool* pool, PageId first_page, PageId last_page,
@@ -43,23 +44,26 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
   size_t pos = 0;
   while (pos < record.size()) {
     size_t chunk = std::min(kOverflowCapacity, record.size() - pos);
-    XO_ASSIGN_OR_RETURN(auto page, pool_->NewPage());
+    XO_ASSIGN_OR_RETURN(PageRef page, pool_->Create());
     ++page_count_;
     uint32_t next = kInvalidPageId;
     uint32_t len = static_cast<uint32_t>(chunk);
-    std::memcpy(page.second + kOverflowBase, &next, 4);
-    std::memcpy(page.second + kOverflowBase + 4, &len, 4);
-    std::memcpy(page.second + kOverflowHeader, record.data() + pos, chunk);
-    RETURN_IF_ERROR(pool_->Unpin(page.first, /*dirty=*/true));
+    char* data = page.data();
+    std::memcpy(data + kOverflowBase, &next, 4);
+    std::memcpy(data + kOverflowBase + 4, &len, 4);
+    std::memcpy(data + kOverflowHeader, record.data() + pos, chunk);
+    const PageId cur = page.id();
+    RETURN_IF_ERROR(page.Release());
     if (prev != kInvalidPageId) {
-      XO_ASSIGN_OR_RETURN(char* prev_data, pool_->FetchPage(prev));
-      uint32_t link = page.first;
-      std::memcpy(prev_data + kOverflowBase, &link, 4);
-      RETURN_IF_ERROR(pool_->Unpin(prev, /*dirty=*/true));
+      XO_ASSIGN_OR_RETURN(PageRef prev_ref, pool_->Fetch(prev));
+      uint32_t link = cur;
+      std::memcpy(prev_ref.data() + kOverflowBase, &link, 4);
+      prev_ref.MarkDirty();
+      RETURN_IF_ERROR(prev_ref.Release());
     } else {
-      head = page.first;
+      head = cur;
     }
-    prev = page.first;
+    prev = cur;
     pos += chunk;
   }
   payload.push_back(kOverflowMarker);
@@ -71,36 +75,30 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
 }
 
 Result<Rid> HeapFile::InsertEncoded(std::string_view payload) {
-  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(last_page_));
-  SlottedPage page(data);
+  XO_ASSIGN_OR_RETURN(PageRef last_ref, pool_->Fetch(last_page_));
+  SlottedPage page(last_ref.data());
   if (page.Fits(payload.size())) {
-    auto slot = page.Insert(payload);
-    Status unpin = pool_->Unpin(last_page_, /*dirty=*/true);
-    if (!slot.ok()) {
-      XO_DISCARD_STATUS(unpin, "the slot-insert failure is the primary error");
-      return slot.status();
-    }
-    RETURN_IF_ERROR(unpin);
+    // Dirty even if the insert fails: Insert may have compacted the page
+    // before running out of contiguous space.
+    last_ref.MarkDirty();
+    XO_ASSIGN_OR_RETURN(const uint16_t slot, page.Insert(payload));
+    RETURN_IF_ERROR(last_ref.Release());
     ++record_count_;
-    return Rid{last_page_, *slot};
+    return Rid{last_page_, slot};
   }
   // Chain a fresh page.
-  XO_ASSIGN_OR_RETURN(auto fresh, pool_->NewPage());
+  XO_ASSIGN_OR_RETURN(PageRef fresh_ref, pool_->Create());
   ++page_count_;
-  SlottedPage fresh_page(fresh.second);
+  SlottedPage fresh_page(fresh_ref.data());
   fresh_page.Init();
-  auto slot = fresh_page.Insert(payload);
-  Status unpin = pool_->Unpin(fresh.first, /*dirty=*/true);
-  page.set_next_page(fresh.first);
-  unpin.Update(pool_->Unpin(last_page_, /*dirty=*/true));
-  last_page_ = fresh.first;
-  if (!slot.ok()) {
-    XO_DISCARD_STATUS(unpin, "the slot-insert failure is the primary error");
-    return slot.status();
-  }
-  RETURN_IF_ERROR(unpin);
+  page.set_next_page(fresh_ref.id());
+  last_ref.MarkDirty();
+  last_page_ = fresh_ref.id();
+  XO_ASSIGN_OR_RETURN(const uint16_t slot, fresh_page.Insert(payload));
+  RETURN_IF_ERROR(fresh_ref.Release());
+  RETURN_IF_ERROR(last_ref.Release());
   ++record_count_;
-  return Rid{last_page_, *slot};
+  return Rid{last_page_, slot};
 }
 
 Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
@@ -112,18 +110,17 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
   std::string out;
   out.reserve(total);
   while (page_id != kInvalidPageId && out.size() < total) {
-    XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(page_id));
+    XO_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(page_id));
+    const char* data = ref.data();
     uint32_t next, len;
     std::memcpy(&next, data + kOverflowBase, 4);
     std::memcpy(&len, data + kOverflowBase + 4, 4);
     if (len > kPageSize - kOverflowHeader) {
-      XO_DISCARD_STATUS(pool_->Unpin(page_id, /*dirty=*/false),
-                        "the corruption below is the primary error");
       return Status::Corruption("overflow page " + std::to_string(page_id) +
                                 " has a bad chunk length");
     }
     out.append(data + kOverflowHeader, len);
-    RETURN_IF_ERROR(pool_->Unpin(page_id, /*dirty=*/false));
+    RETURN_IF_ERROR(ref.Release());
     page_id = next;
   }
   if (out.size() != total) {
@@ -133,43 +130,32 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
 }
 
 Result<std::string> HeapFile::Get(const Rid& rid) const {
-  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(rid.page_id));
-  SlottedPage page(data);
-  auto record = page.Get(rid.slot);
-  if (!record.ok()) {
-    XO_DISCARD_STATUS(pool_->Unpin(rid.page_id, /*dirty=*/false),
-                      "the record-lookup failure is the primary error");
-    return record.status();
-  }
-  std::string_view bytes = *record;
+  XO_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(rid.page_id));
+  SlottedPage page(ref.data());
+  XO_ASSIGN_OR_RETURN(std::string_view bytes, page.Get(rid.slot));
   if (bytes.empty()) {
-    XO_DISCARD_STATUS(pool_->Unpin(rid.page_id, /*dirty=*/false),
-                      "the empty-payload error is the primary error");
     return Status::Internal("empty record payload");
   }
   if (bytes[0] == kInlineMarker) {
     std::string out(bytes.substr(1));
-    RETURN_IF_ERROR(pool_->Unpin(rid.page_id, /*dirty=*/false));
+    RETURN_IF_ERROR(ref.Release());
     return out;
   }
   std::string stub(bytes.substr(1));
-  RETURN_IF_ERROR(pool_->Unpin(rid.page_id, /*dirty=*/false));
+  RETURN_IF_ERROR(ref.Release());
   return ReadOverflow(stub);
 }
 
 Status HeapFile::Delete(const Rid& rid) {
-  XO_ASSIGN_OR_RETURN(char* data, pool_->FetchPage(rid.page_id));
-  SlottedPage page(data);
-  Status s = page.Delete(rid.slot);
-  const bool deleted = s.ok();
-  Status unpin = pool_->Unpin(rid.page_id, /*dirty=*/deleted);
-  if (!deleted) {
-    XO_DISCARD_STATUS(unpin, "the delete failure is the primary error");
-    return s;
-  }
-  RETURN_IF_ERROR(unpin);
+  XO_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(rid.page_id));
+  SlottedPage page(ref.data());
+  // On failure the guard's destructor releases the pin clean — the page
+  // was not modified.
+  RETURN_IF_ERROR(page.Delete(rid.slot));
+  ref.MarkDirty();
+  RETURN_IF_ERROR(ref.Release());
   if (record_count_ > 0) --record_count_;
-  return s;
+  return Status::OK();
 }
 
 HeapFile::Scanner::Scanner(const HeapFile* file)
@@ -177,13 +163,11 @@ HeapFile::Scanner::Scanner(const HeapFile* file)
 
 Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
   while (page_ != kInvalidPageId) {
-    XO_ASSIGN_OR_RETURN(char* data, file_->pool_->FetchPage(page_));
-    SlottedPage page(data);
+    XO_ASSIGN_OR_RETURN(PageRef ref, file_->pool_->Fetch(page_));
+    SlottedPage page(ref.data());
     if (!page.initialized()) {
       // A chained page whose initialization never reached disk (crash
       // without recovery): surface it rather than scanning garbage.
-      XO_DISCARD_STATUS(file_->pool_->Unpin(page_, /*dirty=*/false),
-                        "the corruption below is the primary error");
       return Status::Corruption("heap chain reaches uninitialized page " +
                                 std::to_string(page_));
     }
@@ -198,17 +182,17 @@ Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
         record->assign(payload.substr(1));
       } else {
         std::string stub(payload.substr(1));
-        RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
+        RETURN_IF_ERROR(ref.Release());
         XO_ASSIGN_OR_RETURN(*record, file_->ReadOverflow(stub));
         *rid = Rid{page_, s};
         return true;
       }
       *rid = Rid{page_, s};
-      RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
+      RETURN_IF_ERROR(ref.Release());
       return true;
     }
     PageId next = page.next_page();
-    RETURN_IF_ERROR(file_->pool_->Unpin(page_, /*dirty=*/false));
+    RETURN_IF_ERROR(ref.Release());
     if (next == page_) {
       return Status::Corruption("heap chain cycle at page " +
                                 std::to_string(page_));

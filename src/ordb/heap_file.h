@@ -15,12 +15,15 @@ namespace xorator::ordb {
 /// pages (an in-page stub points at the overflow chain), which is how large
 /// XADT fragments are stored.
 ///
-/// Thread safety: the underlying pages are accessed through the (fully
-/// thread-safe) BufferPool and every read path copies record bytes out
-/// before unpinning, so any number of concurrent readers (Get/Scan) are
-/// safe. Insert/Delete mutate the page chain and the inline counters and
-/// must hold the Database statement lock exclusively — which the engine's
-/// statement dispatch guarantees (DESIGN.md section 10).
+/// Thread safety: every page is held through a PageRef guard from the
+/// (fully thread-safe) BufferPool, and every read path copies record bytes
+/// out before the guard releases its pin, so any number of concurrent
+/// readers (Get/Scan) are safe. Insert/Delete mutate the page chain and
+/// the inline counters and must hold the Database statement lock
+/// exclusively — which the engine's statement dispatch guarantees
+/// (DESIGN.md section 10). Error paths release pins via the guard's
+/// destructor (DESIGN.md section 11), so a failed operation cannot leak a
+/// pin.
 class HeapFile {
  public:
   /// Creates an empty heap file (allocates its first page).

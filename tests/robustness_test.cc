@@ -6,9 +6,11 @@
 #include "benchutil/fixture.h"
 #include "datagen/dtds.h"
 #include "datagen/generators.h"
+#include "ordb/bptree.h"
 #include "ordb/buffer_pool.h"
 #include "ordb/database.h"
 #include "ordb/fault_pager.h"
+#include "ordb/heap_file.h"
 #include "ordb/page.h"
 #include "xadt/functions.h"
 #include "xadt/xadt.h"
@@ -311,6 +313,9 @@ TEST(FaultInjectionTest, PermanentFaultsFailCleanlyNotCrash) {
           << s.ToString();
       ++failures;
     }
+    // However the operation died, every PageRef guard it created must have
+    // released its pin on the way out.
+    EXPECT_EQ((*db)->buffer_pool()->PinnedFrameCount(), 0u);
     Status q = (*db)->Query("SELECT COUNT(*) AS n FROM t").status();
     if (!q.ok()) {
       EXPECT_TRUE(q.code() == StatusCode::kIOError ||
@@ -318,6 +323,7 @@ TEST(FaultInjectionTest, PermanentFaultsFailCleanlyNotCrash) {
           << q.ToString();
       ++failures;
     }
+    EXPECT_EQ((*db)->buffer_pool()->PinnedFrameCount(), 0u);
   }
   EXPECT_GT(failures, 0);
   EXPECT_GT((*db)->fault_pager()->stats().permanents, 0u);
@@ -333,18 +339,65 @@ TEST(FaultInjectionTest, SilentBitFlipsAreCaughtByChecksum) {
   auto base = std::make_unique<ordb::MemoryPager>();
   ordb::FaultInjectingPager pager(std::move(base), fault);
   ordb::BufferPool pool(&pager, 1);  // capacity 1 forces eviction + re-read
-  auto p0 = pool.NewPage();
+  auto p0 = pool.Create();
   ASSERT_TRUE(p0.ok());
-  p0->second[300] = 'd';
-  ASSERT_TRUE(pool.Unpin(p0->first, true).ok());
-  auto p1 = pool.NewPage();  // evicts (and silently corrupts) p0
+  const ordb::PageId id0 = p0->id();
+  p0->data()[300] = 'd';
+  ASSERT_TRUE(p0->Release().ok());
+  auto p1 = pool.Create();  // evicts (and silently corrupts) p0
   ASSERT_TRUE(p1.ok());
-  ASSERT_TRUE(pool.Unpin(p1->first, false).ok());
-  auto fetched = pool.FetchPage(p0->first);
+  ASSERT_TRUE(p1->Release().ok());
+  auto fetched = pool.Fetch(id0);
   ASSERT_FALSE(fetched.ok());
   EXPECT_EQ(fetched.status().code(), StatusCode::kCorruption);
   EXPECT_GT(pager.stats().bit_flips, 0u);
   EXPECT_GT(pool.stats().checksum_failures, 0u);
+  EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+}
+
+TEST(FaultInjectionTest, FailedOpsLeakNoPins) {
+  // Drive the heap and the B+-tree straight over a faulty pager: whatever
+  // each operation returns, the pool must be quiescent afterwards. A leaked
+  // pin would not fail the operation itself — it would wedge eviction for
+  // some later, unrelated one, which is exactly why the PageRef guards own
+  // every pin on the error paths.
+  for (uint64_t seed : {101u, 202u, 303u, 404u}) {
+    ordb::FaultOptions fault;
+    fault.seed = seed;
+    fault.transient_rate = 0.2;
+    fault.permanent_rate = 0.08;
+    ordb::FaultInjectingPager pager(std::make_unique<ordb::MemoryPager>(),
+                                    fault);
+    ordb::BufferPool pool(&pager, 4);
+    auto heap = ordb::HeapFile::Create(&pool);
+    EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+    auto tree = ordb::BPlusTree::Create(&pool);
+    EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+    const std::string record(600, 'r');
+    const std::string big(3 * ordb::kPageSize, 'B');  // overflow chain
+    for (int i = 0; i < 120; ++i) {
+      if (heap.ok()) {
+        auto rid = heap->Insert(i % 10 == 0 ? big : record);
+        EXPECT_EQ(pool.PinnedFrameCount(), 0u)
+            << "heap insert leaked a pin, seed " << seed;
+        if (rid.ok()) {
+          XO_DISCARD_STATUS(heap->Get(*rid), "faults expected");
+          EXPECT_EQ(pool.PinnedFrameCount(), 0u)
+              << "heap get leaked a pin, seed " << seed;
+        }
+      }
+      if (tree.ok()) {
+        XO_DISCARD_STATUS(tree->Insert(static_cast<uint64_t>(i) * 37, i),
+                          "faults expected");
+        EXPECT_EQ(pool.PinnedFrameCount(), 0u)
+            << "tree insert leaked a pin, seed " << seed;
+        XO_DISCARD_STATUS(tree->Find(static_cast<uint64_t>(i) * 37),
+                          "faults expected");
+        EXPECT_EQ(pool.PinnedFrameCount(), 0u)
+            << "tree find leaked a pin, seed " << seed;
+      }
+    }
+  }
 }
 
 TEST(FaultInjectionTest, TornWritesFailCleanlyAndAreDetectable) {

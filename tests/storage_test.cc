@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <random>
 
 #include "ordb/buffer_pool.h"
@@ -143,25 +144,26 @@ TEST(FilePagerTest, PersistsAcrossReopen) {
 TEST(BufferPoolTest, HitsAndEvictions) {
   MemoryPager pager;
   BufferPool pool(&pager, 2);
-  auto p0 = pool.NewPage();
+  auto p0 = pool.Create();
   ASSERT_TRUE(p0.ok());
+  const PageId id0 = p0->id();
   // Poke a payload byte; the first kPageHeaderBytes belong to the checksum
-  // header and are overwritten on write-back.
-  p0->second[100] = 'x';
-  ASSERT_TRUE(pool.Unpin(p0->first, true).ok());
-  auto p1 = pool.NewPage();
+  // header and are overwritten on write-back. Create() guards start dirty.
+  p0->data()[100] = 'x';
+  ASSERT_TRUE(p0->Release().ok());
+  auto p1 = pool.Create();
   ASSERT_TRUE(p1.ok());
-  ASSERT_TRUE(pool.Unpin(p1->first, false).ok());
-  auto p2 = pool.NewPage();  // evicts p0 (LRU), which is dirty
+  ASSERT_TRUE(p1->Release().ok());
+  auto p2 = pool.Create();  // evicts p0 (LRU), which is dirty
   ASSERT_TRUE(p2.ok());
-  ASSERT_TRUE(pool.Unpin(p2->first, false).ok());
+  ASSERT_TRUE(p2->Release().ok());
   EXPECT_GE(pool.stats().evictions, 1u);
   EXPECT_GE(pool.stats().writebacks, 1u);
   // Fetching p0 again reads the written-back content.
-  auto fetched = pool.FetchPage(p0->first);
+  auto fetched = pool.Fetch(id0);
   ASSERT_TRUE(fetched.ok());
-  EXPECT_EQ((*fetched)[100], 'x');
-  ASSERT_TRUE(pool.Unpin(p0->first, false).ok());
+  EXPECT_EQ(fetched->data()[100], 'x');
+  ASSERT_TRUE(fetched->Release().ok());
   EXPECT_GE(pool.stats().misses, 1u);
 }
 
@@ -183,23 +185,24 @@ TEST(PageChecksumTest, StampVerifyAndDetectFlip) {
 TEST(BufferPoolTest, ChecksumFailureOnFetchIsCorruption) {
   MemoryPager pager;
   BufferPool pool(&pager, 2);
-  auto p0 = pool.NewPage();
+  auto p0 = pool.Create();
   ASSERT_TRUE(p0.ok());
-  p0->second[500] = 'v';
-  ASSERT_TRUE(pool.Unpin(p0->first, true).ok());
+  const PageId id0 = p0->id();
+  p0->data()[500] = 'v';
+  ASSERT_TRUE(p0->Release().ok());
   ASSERT_TRUE(pool.FlushAll().ok());
   // Corrupt the stored page behind the pool's back, then force a re-read.
   char raw[kPageSize];
-  ASSERT_TRUE(pager.Read(p0->first, raw).ok());
+  ASSERT_TRUE(pager.Read(id0, raw).ok());
   raw[500] ^= 0x01;
-  ASSERT_TRUE(pager.Write(p0->first, raw).ok());
-  auto p1 = pool.NewPage();
+  ASSERT_TRUE(pager.Write(id0, raw).ok());
+  auto p1 = pool.Create();
   ASSERT_TRUE(p1.ok());
-  ASSERT_TRUE(pool.Unpin(p1->first, false).ok());
-  auto p2 = pool.NewPage();  // evicts p0's frame
+  ASSERT_TRUE(p1->Release().ok());
+  auto p2 = pool.Create();  // evicts p0's frame
   ASSERT_TRUE(p2.ok());
-  ASSERT_TRUE(pool.Unpin(p2->first, false).ok());
-  auto fetched = pool.FetchPage(p0->first);
+  ASSERT_TRUE(p2->Release().ok());
+  auto fetched = pool.Fetch(id0);
   ASSERT_FALSE(fetched.ok());
   EXPECT_EQ(fetched.status().code(), StatusCode::kCorruption);
   EXPECT_GE(pool.stats().checksum_failures, 1u);
@@ -242,26 +245,124 @@ TEST(FilePagerTest, ShortReadNamesThePage) {
 TEST(BufferPoolTest, AllPinnedFails) {
   MemoryPager pager;
   BufferPool pool(&pager, 1);
-  auto p0 = pool.NewPage();
+  auto p0 = pool.Create();
   ASSERT_TRUE(p0.ok());
-  // p0 still pinned; no frame available.
-  EXPECT_FALSE(pool.NewPage().ok());
-  ASSERT_TRUE(pool.Unpin(p0->first, false).ok());
-  EXPECT_TRUE(pool.NewPage().ok());
+  // p0's guard still holds its pin; no frame available.
+  EXPECT_FALSE(pool.Create().ok());
+  ASSERT_TRUE(p0->Release().ok());
+  EXPECT_TRUE(pool.Create().ok());
 }
 
 TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
   MemoryPager pager;
   BufferPool pool(&pager, 4);
-  auto p = pool.NewPage();
+  auto p = pool.Create();
   ASSERT_TRUE(p.ok());
-  p->second[7] = 'q';
-  ASSERT_TRUE(pool.Unpin(p->first, true).ok());
+  const PageId id = p->id();
+  p->data()[7] = 'q';
+  ASSERT_TRUE(p->Release().ok());
   ASSERT_TRUE(pool.FlushAll().ok());
   char buf[kPageSize];
-  ASSERT_TRUE(pager.Read(p->first, buf).ok());
+  ASSERT_TRUE(pager.Read(id, buf).ok());
   EXPECT_EQ(buf[7], 'q');
 }
+
+TEST(PageRefTest, MoveTransfersOwnershipWithoutTouchingThePin) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 4);
+  auto created = pool.Create();
+  ASSERT_TRUE(created.ok());
+  PageRef a = std::move(*created);
+  ASSERT_TRUE(a.holds());
+  const PageId id = a.id();
+  EXPECT_EQ(pool.PinnedFrameCount(), 1u);
+  PageRef b = std::move(a);
+  // Still exactly one pin, now owned by b alone.
+  EXPECT_EQ(pool.PinnedFrameCount(), 1u);
+  ASSERT_TRUE(b.holds());
+  EXPECT_EQ(b.id(), id);
+  ASSERT_TRUE(b.Release().ok());
+  EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+}
+
+TEST(PageRefTest, MoveAssignmentReleasesTheOverwrittenPin) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 4);
+  auto first = pool.Create();
+  ASSERT_TRUE(first.ok());
+  auto second = pool.Create();
+  ASSERT_TRUE(second.ok());
+  PageRef a = std::move(*first);
+  PageRef b = std::move(*second);
+  const PageId kept = b.id();
+  EXPECT_EQ(pool.PinnedFrameCount(), 2u);
+  a = std::move(b);
+  // a's old pin was dropped by the assignment; b's pin moved into a.
+  EXPECT_EQ(pool.PinnedFrameCount(), 1u);
+  EXPECT_EQ(a.id(), kept);
+  ASSERT_TRUE(a.Release().ok());
+  EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+}
+
+TEST(PageRefTest, DirtyBitPropagation) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 4);
+  auto created = pool.Create();
+  ASSERT_TRUE(created.ok());
+  const PageId id = created->id();
+  ASSERT_TRUE(created->Release().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  // Released clean (no MarkDirty): the in-memory poke must not reach the
+  // pager on the next flush.
+  auto clean = pool.Fetch(id);
+  ASSERT_TRUE(clean.ok());
+  clean->data()[64] = 'c';
+  ASSERT_TRUE(clean->Release().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(pager.Read(id, buf).ok());
+  EXPECT_EQ(buf[64], 0);
+
+  // Released after MarkDirty: the write-back happens.
+  auto dirty = pool.Fetch(id);
+  ASSERT_TRUE(dirty.ok());
+  dirty->data()[64] = 'd';
+  dirty->MarkDirty();
+  ASSERT_TRUE(dirty->Release().ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pager.Read(id, buf).ok());
+  EXPECT_EQ(buf[64], 'd');
+}
+
+TEST(PageRefTest, ReleaseSurfacesTheUnpinStatusAndInertsTheGuard) {
+  MemoryPager pager;
+  BufferPool pool(&pager, 4);
+  auto created = pool.Create();
+  ASSERT_TRUE(created.ok());
+  PageRef ref = std::move(*created);
+  EXPECT_TRUE(ref.Release().ok());
+  // The guard holds nothing now; its destructor must not unpin again (a
+  // second Unpin would underflow the frame's pin count).
+  EXPECT_FALSE(ref.holds());
+  EXPECT_EQ(pool.PinnedFrameCount(), 0u);
+}
+
+#ifndef NDEBUG
+TEST(BufferPoolDeathTest, LeakedPinTripsTheSentinel) {
+  // `leaked` is declared before the pool so the guard outlives it — the
+  // lifetime bug the destructor sentinel exists to catch.
+  EXPECT_DEATH(
+      {
+        std::optional<PageRef> leaked;
+        MemoryPager pager;
+        BufferPool pool(&pager, 4);
+        auto created = pool.Create();
+        if (created.ok()) leaked.emplace(std::move(*created));
+      },
+      "PinnedFrameCount");
+}
+#endif
 
 class HeapFileTest : public ::testing::Test {
  protected:

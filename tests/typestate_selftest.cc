@@ -1,0 +1,89 @@
+/// Compile-time self-test for the page-pin typestate layer
+/// (src/common/typestate.h, ordb::PageRef in src/ordb/buffer_pool.h).
+///
+/// This file is never linked into a test binary; CMake compiles it with
+/// `-fsyntax-only` in two configurations (see tests/CMakeLists.txt):
+///
+///  * Without XO_TYPESTATE_SELFTEST it must compile cleanly on every
+///    compiler — proving the annotation macros expand to valid attributes
+///    (or to nothing, on GCC) and the guard is usable through its intended
+///    protocol.
+///
+///  * With XO_TYPESTATE_SELFTEST defined, the block at the bottom adds
+///    deliberate pin-protocol violations. Under Clang with -Werror=consumed
+///    the compilation MUST fail; the ctest entry is registered WILL_FAIL so
+///    a pass here means the analysis actually rejects use-after-release.
+///    If this test ever "succeeds", the -Wconsumed wiring has silently
+///    rotted.
+
+#include <utility>
+
+#include "common/typestate.h"
+#include "ordb/buffer_pool.h"
+
+namespace xorator {
+
+/// Produces a live guard for the analysis to track. Never defined — this
+/// translation unit is only ever syntax-checked — but the annotation tells
+/// the analysis the returned guard holds a pin, exactly like
+/// BufferPool::Fetch does for its internal PageRef construction.
+ordb::PageRef AcquireForTest() XO_RETURN_TYPESTATE(unconsumed);
+
+namespace {
+
+/// The intended protocol: use the page, mark it, release exactly once.
+[[maybe_unused]] Status LegalUse() {
+  ordb::PageRef ref = AcquireForTest();
+  char* bytes = ref.data();
+  bytes[0] = 'x';
+  ref.MarkDirty();
+  return ref.Release();
+}
+
+/// Moves transfer the pin; the survivor is the one that releases.
+[[maybe_unused]] Status LegalMove() {
+  ordb::PageRef a = AcquireForTest();
+  ordb::PageRef b = std::move(a);
+  if (b.holds()) {
+    b.MarkDirty();
+  }
+  return b.Release();
+}
+
+/// Relying on the destructor instead of Release() is also legal.
+[[maybe_unused]] void LegalDestructorRelease() {
+  ordb::PageRef ref = AcquireForTest();
+  ref.MarkDirty();
+}
+
+#ifdef XO_TYPESTATE_SELFTEST
+
+/// Deliberate violation: touching the guard after Release(). The page
+/// bytes may already belong to another page — Clang must reject this.
+[[maybe_unused]] void BrokenUseAfterRelease() {
+  ordb::PageRef ref = AcquireForTest();
+  XO_DISCARD_STATUS(ref.Release(), "selftest exercises the violation");
+  ref.MarkDirty();
+}
+
+/// Deliberate violation: releasing the same pin twice would underflow the
+/// frame's pin count.
+[[maybe_unused]] void BrokenDoubleRelease() {
+  ordb::PageRef ref = AcquireForTest();
+  XO_DISCARD_STATUS(ref.Release(), "selftest exercises the violation");
+  XO_DISCARD_STATUS(ref.Release(), "selftest exercises the violation");
+}
+
+/// Deliberate violation: the pin moved into `b`, so `a` no longer guards
+/// anything.
+[[maybe_unused]] void BrokenUseAfterMove() {
+  ordb::PageRef a = AcquireForTest();
+  ordb::PageRef b = std::move(a);
+  XO_DISCARD_STATUS(b.Release(), "selftest exercises the violation");
+  a.MarkDirty();
+}
+
+#endif  // XO_TYPESTATE_SELFTEST
+
+}  // namespace
+}  // namespace xorator

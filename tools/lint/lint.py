@@ -24,6 +24,11 @@ Checks, in order of appearance in DESIGN.md:
              Safety Analysis. Use the annotated xo::Mutex / xo::SharedMutex
              and their guards from common/mutex.h (DESIGN.md section 10) —
              that header is the single allowlisted wrapper site.
+  raw-pin    The raw buffer-pool pin protocol (FetchPage/NewPage/Unpin) is
+             banned everywhere outside src/ordb/buffer_pool.{h,cc}: pins
+             are owned by the typestate-checked PageRef guard returned by
+             BufferPool::Fetch/Create (DESIGN.md section 11), so balance
+             is structural instead of manual.
 
 Usage:
   lint.py --root <repo-root>      lint the tree, exit 1 on findings
@@ -64,6 +69,12 @@ RAW_MUTEX_RE = re.compile(
 # The annotated wrapper layer itself — the one file allowed to touch the
 # raw primitives (everything else goes through xo::Mutex & friends).
 RAW_MUTEX_ALLOWLIST = ("src/common/mutex.h",)
+
+# The raw pin protocol, banned outside the buffer pool itself: every other
+# pin is owned by a PageRef guard (BufferPool::Fetch/Create), whose
+# typestate makes leak/double-release a compile error under Clang.
+RAW_PIN_RE = re.compile(r"\b(?:FetchPage|NewPage|Unpin)\s*\(")
+RAW_PIN_ALLOWLIST = ("src/ordb/buffer_pool.h", "src/ordb/buffer_pool.cc")
 
 DECL_RE = re.compile(
     r"^(?:template\s*<.*>\s*)?"
@@ -176,6 +187,19 @@ def check_raw_mutex(root, path, stripped_lines, findings):
                                     "guards (common/mutex.h)"))
 
 
+def check_raw_pin(root, path, stripped_lines, findings):
+    rel = path.relative_to(root).as_posix()
+    if rel in RAW_PIN_ALLOWLIST:
+        return
+    for no, line in enumerate(stripped_lines, 1):
+        if RAW_PIN_RE.search(line):
+            findings.append(Finding(path, no, "raw-pin",
+                                    "raw FetchPage/NewPage/Unpin outside "
+                                    "src/ordb/buffer_pool.{h,cc}; hold the "
+                                    "pin through a PageRef guard from "
+                                    "BufferPool::Fetch/Create instead"))
+
+
 def check_discard(path, stripped_lines, findings):
     for no, line in enumerate(stripped_lines, 1):
         if DISCARD_RE.search(line):
@@ -241,6 +265,9 @@ def lint_file(root, path, findings, lib):
         check_throw(path, stripped, findings)
         check_banned(path, stripped, findings)
         check_raw_mutex(root, path, stripped, findings)
+    # The pin protocol is global: tests and benches hold pins through
+    # PageRef guards too.
+    check_raw_pin(root, path, stripped, findings)
     check_discard(path, stripped, findings)
 
 
@@ -270,6 +297,7 @@ def self_test(script_dir):
         "bad_banned.cc": {"banned"},
         "bad_discard.cc": {"discard"},
         "bad_raw_mutex.cc": {"raw-mutex"},
+        "bad_raw_pin.cc": {"raw-pin"},
         "clean.h": set(),
     }
     failures = []

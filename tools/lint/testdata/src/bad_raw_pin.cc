@@ -1,0 +1,21 @@
+// Fixture: raw buffer-pool pin-protocol calls outside the allowlisted
+// src/ordb/buffer_pool.{h,cc} — all three banned spellings.
+namespace fixture {
+
+class Pool {
+ public:
+  char* FetchPage(unsigned id);
+  char* NewPage();
+  void Unpin(unsigned id, bool dirty);
+};
+
+char ReadByte(Pool* pool, unsigned id) {
+  char* data = pool->FetchPage(id);
+  char out = data[0];
+  pool->Unpin(id, false);
+  return out;
+}
+
+char* Grow(Pool* pool) { return pool->NewPage(); }
+
+}  // namespace fixture

@@ -43,6 +43,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

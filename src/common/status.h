@@ -43,6 +43,17 @@ enum class StatusCode {
   /// A transient I/O failure; the operation may succeed if retried (the
   /// buffer pool retries these with bounded backoff).
   kUnavailable,
+  /// The query's deadline (QueryOptions::deadline_millis) elapsed before it
+  /// finished. The statement unwound cleanly; re-running with a longer
+  /// deadline may succeed.
+  kDeadlineExceeded,
+  /// The query was cooperatively cancelled (Database::Cancel or
+  /// QueryGuard::Cancel) and unwound at its next guard checkpoint.
+  kCancelled,
+  /// The query exceeded its tracked-memory byte budget
+  /// (QueryOptions::max_memory_bytes). Deterministic, not retryable at the
+  /// same budget.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -166,6 +177,9 @@ class [[nodiscard]] Status {
   XORATOR_STATUS_FACTORY_(Internal, kInternal)
   XORATOR_STATUS_FACTORY_(Corruption, kCorruption)
   XORATOR_STATUS_FACTORY_(Unavailable, kUnavailable)
+  XORATOR_STATUS_FACTORY_(DeadlineExceeded, kDeadlineExceeded)
+  XORATOR_STATUS_FACTORY_(Cancelled, kCancelled)
+  XORATOR_STATUS_FACTORY_(ResourceExhausted, kResourceExhausted)
 #undef XORATOR_STATUS_FACTORY_
 
   bool ok() const {

@@ -294,51 +294,104 @@ Status Database::LoadCatalog() {
   return Status::OK();
 }
 
+Database::GuardRegistration::GuardRegistration(Database* db, uint64_t query_id,
+                                               QueryGuard* guard)
+    : db_(db), query_id_(guard != nullptr ? query_id : 0) {
+  if (query_id_ == 0) return;
+  xo::MutexLock lock(&db_->guards_mu_);
+  db_->guards_[query_id_] = guard;
+}
+
+Database::GuardRegistration::~GuardRegistration() {
+  if (query_id_ == 0) return;
+  xo::MutexLock lock(&db_->guards_mu_);
+  db_->guards_.erase(query_id_);
+}
+
+Status Database::Cancel(uint64_t query_id) {
+  xo::MutexLock lock(&guards_mu_);
+  auto it = guards_.find(query_id);
+  if (it == guards_.end()) {
+    return Status::NotFound("no in-flight statement registered as query id " +
+                            std::to_string(query_id));
+  }
+  it->second->Cancel();
+  return Status::OK();
+}
+
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
-                                        bool explain_only) {
+                                        bool explain_only, QueryGuard* guard) {
   Planner planner(&catalog_, &functions_, options_.planner);
   XO_ASSIGN_OR_RETURN(OperatorPtr plan, planner.PlanSelect(stmt));
   QueryResult result;
   result.plan = plan->Explain();
   for (const ColumnMeta& c : plan->columns()) result.columns.push_back(c.name);
-  if (explain_only) return result;
+  if (explain_only) {
+    if (guard != nullptr) result.plan += "\n" + guard->StatsLine();
+    return result;
+  }
 
   ExecContext ctx;
   ctx.functions = &functions_;
   ctx.pool = pool_.get();
   ctx.catalog = &catalog_;
-  XO_RETURN_NOT_OK(plan->Open(&ctx));
-  Tuple row;
-  while (true) {
-    auto ok = plan->Next(&row);
-    XO_RETURN_NOT_OK(ok.status());
-    if (!*ok) break;
-    result.rows.push_back(row);
-    if (stmt.limit >= 0 &&
-        result.rows.size() >= static_cast<size_t>(stmt.limit)) {
-      break;
+  ctx.guard = guard;
+  // The marshaled-UDF ABI carries no context, so UDF bodies and the XADT
+  // fragment scanner reach the guard thread-locally (DESIGN.md §12).
+  ScopedGuardBind bind(guard);
+  // Close() must run on the error path too: a query stopped by its guard
+  // (or by any mid-scan failure) has to release every pin and every
+  // tracked-arena charge before the error reaches the caller.
+  Status exec = plan->Open(&ctx);
+  if (exec.ok()) {
+    Tuple row;
+    while (true) {
+      auto ok = plan->Next(&row);
+      if (!ok.ok()) {
+        exec = ok.status();
+        break;
+      }
+      if (!*ok) break;
+      result.rows.push_back(row);
+      if (stmt.limit >= 0 &&
+          result.rows.size() >= static_cast<size_t>(stmt.limit)) {
+        break;
+      }
     }
   }
   plan->Close();
+  XO_RETURN_NOT_OK(exec);
   result.udf_stats = ctx.udf_stats;
+  if (guard != nullptr) result.plan += "\n" + guard->StatsLine();
   return result;
 }
 
 Result<QueryResult> Database::Query(const std::string& sql_text) {
+  return Query(sql_text, QueryOptions{});
+}
+
+Result<QueryResult> Database::Query(const std::string& sql_text,
+                                    const QueryOptions& options) {
   // Parsing is stateless, so it runs before any lock; the statement kind
   // then picks the side of the statement lock. SELECT/EXPLAIN take it
   // shared and run in parallel with other readers; everything else is
   // exclusive.
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
+  // The guard's clock starts here, so the deadline covers time spent
+  // queued on the statement lock; registration also happens before the
+  // lock, so a statement stuck behind a writer is already cancellable.
+  QueryGuard guard(options.deadline_millis, options.max_memory_bytes);
+  QueryGuard* g = options.guarded() ? &guard : nullptr;
+  GuardRegistration registration(this, options.query_id, g);
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect: {
       xo::ReaderLock lock(&mu_);
-      return RunSelect(stmt.select, /*explain_only=*/false);
+      return RunSelect(stmt.select, /*explain_only=*/false, g);
     }
     case sql::Statement::Kind::kExplain: {
       xo::ReaderLock lock(&mu_);
       XO_ASSIGN_OR_RETURN(QueryResult r,
-                          RunSelect(stmt.select, /*explain_only=*/true));
+                          RunSelect(stmt.select, /*explain_only=*/true, g));
       QueryResult out;
       out.columns = {"plan"};
       out.plan = r.plan;
@@ -347,6 +400,9 @@ Result<QueryResult> Database::Query(const std::string& sql_text) {
     }
     default: {
       xo::WriterLock lock(&mu_);
+      // Write statements poll the thread-local binding (BulkInsertLocked,
+      // RunDelete) rather than an ExecContext.
+      ScopedGuardBind bind(g);
       return ExecuteStmtLocked(stmt);
     }
   }
@@ -423,6 +479,11 @@ Status Database::Execute(const std::string& sql_text) {
   return Query(sql_text).status();
 }
 
+Status Database::Execute(const std::string& sql_text,
+                         const QueryOptions& options) {
+  return Query(sql_text, options).status();
+}
+
 Result<std::string> Database::Explain(const std::string& sql_text) {
   XO_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(sql_text));
   if (stmt.kind != sql::Statement::Kind::kSelect &&
@@ -486,8 +547,14 @@ Status Database::BulkInsertLocked(const std::string& table,
                                   const std::vector<Tuple>& rows) {
   TableInfo* t = catalog_.FindTable(table);
   if (t == nullptr) return Status::NotFound("unknown table '" + table + "'");
+  // Between-row cancellation point. Every row is inserted atomically with
+  // its index entries, so aborting here leaves the table consistent: the
+  // rows already inserted stay, the rest never happen (the loader reports
+  // the split; see shred::LoadReport).
+  QueryGuard* guard = CurrentGuard();
   std::string record;
   for (const Tuple& row : rows) {
+    if (guard != nullptr) XO_RETURN_NOT_OK(guard->CheckPoint());
     if (row.size() != t->schema.size()) {
       return Status::InvalidArgument("row arity mismatch for '" + table + "'");
     }
@@ -647,10 +714,16 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
   }
   UdfStats stats;
   std::vector<std::pair<Rid, Tuple>> doomed;
+  // Guard polls and charges cover only the scan phase: once the apply loop
+  // below starts mutating the heap, finishing is cheaper and cleaner than
+  // stopping with half the matches deleted.
+  QueryGuard* guard = CurrentGuard();
+  TrackedArena doomed_arena(guard);
   HeapFile::Scanner scanner = t->heap->Scan();
   Rid rid;
   std::string record;
   while (true) {
+    if (guard != nullptr) XO_RETURN_NOT_OK(guard->CheckPoint());
     XO_ASSIGN_OR_RETURN(bool ok, scanner.Next(&rid, &record));
     if (!ok) break;
     XO_ASSIGN_OR_RETURN(Tuple row, DecodeTuple(t->schema, record));
@@ -660,7 +733,10 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
                                            row, functions_, &stats));
       match = !v.is_null() && v.AsBool();
     }
-    if (match) doomed.emplace_back(rid, std::move(row));
+    if (match) {
+      XO_RETURN_NOT_OK(doomed_arena.Charge(record.size() + sizeof(Rid)));
+      doomed.emplace_back(rid, std::move(row));
+    }
   }
   for (auto& [doomed_rid, row] : doomed) {
     XO_RETURN_NOT_OK(t->heap->Delete(doomed_rid));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <optional>
@@ -17,6 +18,7 @@
 #include "ordb/functions.h"
 #include "ordb/pager.h"
 #include "ordb/planner.h"
+#include "ordb/query_guard.h"
 #include "ordb/wal.h"
 
 namespace xorator::ordb {
@@ -31,6 +33,31 @@ struct DbOptions {
   /// When set, the pager is wrapped in a FaultInjectingPager driving the
   /// given deterministic fault schedule (testing only).
   std::optional<FaultOptions> fault;
+};
+
+/// Per-statement resource limits and cancellation identity (DESIGN.md
+/// §12). All fields default to "off"; a default-constructed QueryOptions
+/// runs the statement unguarded with zero overhead.
+struct QueryOptions {
+  /// Wall-clock budget in milliseconds from the moment Query() is called
+  /// (steady clock). 0 means no deadline. A statement past its deadline
+  /// unwinds at its next guard checkpoint with kDeadlineExceeded.
+  uint64_t deadline_millis = 0;
+  /// Byte budget for tracked materializations (join/sort/aggregate state,
+  /// decoded XADT fragments). 0 means no budget. Tripping it returns
+  /// kResourceExhausted.
+  uint64_t max_memory_bytes = 0;
+  /// Caller-chosen identity for Database::Cancel(). 0 means "not
+  /// cancellable by id" (the statement still honors the other limits).
+  /// The id is registered before the statement lock is taken, so even a
+  /// query waiting behind a writer is already cancellable.
+  uint64_t query_id = 0;
+
+  /// True when any limit or the cancel identity is set — i.e. the
+  /// statement needs a QueryGuard at all.
+  bool guarded() const {
+    return deadline_millis != 0 || max_memory_bytes != 0 || query_id != 0;
+  }
 };
 
 /// Materialized result of a query.
@@ -68,6 +95,13 @@ struct QueryResult {
 /// internally synchronized objects, but orchestrating multi-step work
 /// through them (as the loader does) must happen on one thread or under
 /// application-level exclusion — they bypass the statement lock.
+///
+/// Guardrails: the Query/Execute overloads taking QueryOptions run the
+/// statement under a QueryGuard (deadline, cancel token, memory budget —
+/// DESIGN.md section 12). Cancel(query_id) stops a registered in-flight
+/// statement from any thread; it synchronizes only on the guard registry
+/// (guards_mu_, a leaf lock), so a reader holding the statement lock
+/// shared — or still queued behind a writer — remains cancellable.
 class Database {
  public:
   /// Opens (creating or recovering) a database. For file-backed databases
@@ -108,8 +142,31 @@ class Database {
   [[nodiscard]] Result<QueryResult> Query(const std::string& sql)
       XO_EXCLUDES(mu_);
 
+  /// Like Query(sql), but governed by `options` (DESIGN.md §12): the
+  /// statement runs under a QueryGuard enforcing the deadline and memory
+  /// budget, and — when options.query_id is set — is registered for
+  /// Cancel() before the statement lock is taken. Guarded SELECTs append a
+  /// "guard:" stats line (checkpoints, peak tracked bytes, why-stopped) to
+  /// QueryResult::plan. Readers stay cancellable while holding the
+  /// statement lock shared: Cancel() only touches guards_mu_, never mu_.
+  [[nodiscard]] Result<QueryResult> Query(const std::string& sql,
+                                          const QueryOptions& options)
+      XO_EXCLUDES(mu_);
+
   /// Runs a statement for effect only.
   [[nodiscard]] Status Execute(const std::string& sql) XO_EXCLUDES(mu_);
+
+  /// Execute() with guardrails; see Query(sql, options).
+  [[nodiscard]] Status Execute(const std::string& sql,
+                               const QueryOptions& options) XO_EXCLUDES(mu_);
+
+  /// Requests cooperative cancellation of the in-flight statement that was
+  /// started with QueryOptions::query_id == `query_id`. Returns NotFound
+  /// when no such statement is currently registered (it may have finished,
+  /// or not started yet — callers racing a startup can retry). Safe from
+  /// any thread; never blocks on the statement lock, so it works while the
+  /// target holds mu_ shared (or is still queued behind a writer).
+  [[nodiscard]] Status Cancel(uint64_t query_id) XO_EXCLUDES(guards_mu_);
 
   /// Returns the EXPLAIN plan of a SELECT without running it.
   [[nodiscard]] Result<std::string> Explain(const std::string& sql)
@@ -168,11 +225,32 @@ class Database {
                                         const std::vector<Tuple>& rows)
       XO_REQUIRES(mu_);
 
+  /// `guard` may be null (unguarded). Guarded runs bind the guard to the
+  /// executing thread (ScopedGuardBind) so UDFs and XADT scans can poll it,
+  /// close the plan on the error path too (releasing every pin before the
+  /// error propagates), and append the guard stats line to the plan text.
   [[nodiscard]] Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
-                                              bool explain_only)
+                                              bool explain_only,
+                                              QueryGuard* guard = nullptr)
       XO_REQUIRES_SHARED(mu_);
   [[nodiscard]] Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt)
       XO_REQUIRES(mu_);
+
+  /// RAII registration of a guard under a caller-chosen id in guards_,
+  /// keyed for Database::Cancel(). Registration happens in the constructor
+  /// — before the statement lock is taken — and is removed on destruction.
+  /// A query_id of 0 (or a null guard) registers nothing.
+  class GuardRegistration {
+   public:
+    GuardRegistration(Database* db, uint64_t query_id, QueryGuard* guard);
+    GuardRegistration(const GuardRegistration&) = delete;
+    GuardRegistration& operator=(const GuardRegistration&) = delete;
+    ~GuardRegistration();
+
+   private:
+    Database* db_;
+    uint64_t query_id_;
+  };
 
   /// Serializes the catalog into the meta page (page 0 of file-backed
   /// databases).
@@ -202,6 +280,16 @@ class Database {
   bool opened_ XO_GUARDED_BY(mu_) = false;
   bool closed_ XO_GUARDED_BY(mu_) = false;
   std::atomic<bool> killed_{false};
+
+  /// Registry lock for guards_. A leaf in the hierarchy, independent of
+  /// mu_: Cancel() takes only guards_mu_, and registration happens before
+  /// mu_ is acquired — so cancellation can never deadlock against (or wait
+  /// on) the statement lock (DESIGN.md sections 10 and 12).
+  mutable xo::Mutex guards_mu_;
+  /// In-flight guarded statements by caller-chosen query id. Values point
+  /// at stack-allocated guards owned by Query(); GuardRegistration
+  /// guarantees removal before the guard dies.
+  std::unordered_map<uint64_t, QueryGuard*> guards_ XO_GUARDED_BY(guards_mu_);
 };
 
 }  // namespace xorator::ordb

@@ -53,6 +53,19 @@ void AppendRow(const Tuple& left, const Tuple& right, Tuple* out) {
   out->insert(out->end(), right.begin(), right.end());
 }
 
+// Cheap size estimate used to charge materialized tuples against the
+// query's memory budget (ExecContext::guard). Counts the inline Value slots
+// plus out-of-line string payloads; deliberately ignores allocator slack.
+uint64_t ApproxTupleBytes(const Tuple& row) {
+  uint64_t bytes = sizeof(Tuple) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == TypeId::kVarchar || v.type() == TypeId::kXadt) {
+      bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
 std::string RowFingerprint(const Tuple& row) {
   std::string key;
   for (const Value& v : row) {
@@ -108,12 +121,14 @@ SeqScanOp::SeqScanOp(const TableInfo* table, const std::string& alias)
   columns_ = QualifiedColumns(*table, alias);
 }
 
-Status SeqScanOp::Open(ExecContext*) {
+Status SeqScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
   scanner_ = std::make_unique<HeapFile::Scanner>(table_->heap->Scan());
   return Status::OK();
 }
 
 Result<bool> SeqScanOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(ctx_->CheckPoint());
   Rid rid;
   std::string record;
   XO_ASSIGN_OR_RETURN(bool ok, scanner_->Next(&rid, &record));
@@ -132,7 +147,8 @@ IndexScanOp::IndexScanOp(const TableInfo* table, const IndexInfo* index,
   columns_ = QualifiedColumns(*table, alias);
 }
 
-Status IndexScanOp::Open(ExecContext*) {
+Status IndexScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
   uint64_t k = index_->key_type == TypeId::kInteger
                    ? IntIndexKey(key_.AsInt())
                    : Hash64(key_.AsString());
@@ -143,6 +159,7 @@ Status IndexScanOp::Open(ExecContext*) {
 
 Result<bool> IndexScanOp::Next(Tuple* out) {
   while (pos_ < rids_.size()) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     Rid rid = Rid::Decode(rids_[pos_++]);
     XO_ASSIGN_OR_RETURN(std::string record, table_->heap->Get(rid));
     XO_ASSIGN_OR_RETURN(*out, DecodeTuple(table_->schema, record));
@@ -172,6 +189,7 @@ Status FilterOp::Open(ExecContext* ctx) {
 
 Result<bool> FilterOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     XO_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
     if (!ok) return false;
     XO_ASSIGN_OR_RETURN(bool pass, EvalPredicate(predicate_.get(), *out, ctx_));
@@ -197,6 +215,7 @@ Status ProjectOp::Open(ExecContext* ctx) {
 }
 
 Result<bool> ProjectOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(ctx_->CheckPoint());
   Tuple row;
   XO_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
   if (!ok) return false;
@@ -231,14 +250,17 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
 
 Status NestedLoopJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   XO_RETURN_NOT_OK(left_->Open(ctx));
   XO_RETURN_NOT_OK(right_->Open(ctx));
   right_rows_.clear();
   Tuple row;
   while (true) {
+    RETURN_IF_ERROR(ctx->CheckPoint());
     auto ok = right_->Next(&row);
     XO_RETURN_NOT_OK(ok.status());
     if (!*ok) break;
+    RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(row)));
     right_rows_.push_back(row);
   }
   right_->Close();
@@ -249,6 +271,7 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
 
 Result<bool> NestedLoopJoinOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     if (!left_valid_) {
       XO_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
       if (!ok) return false;
@@ -269,6 +292,7 @@ Result<bool> NestedLoopJoinOp::Next(Tuple* out) {
 void NestedLoopJoinOp::Close() {
   left_->Close();
   right_rows_.clear();
+  arena_.Release();
 }
 
 std::string NestedLoopJoinOp::Label() const {
@@ -290,15 +314,18 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   XO_RETURN_NOT_OK(left_->Open(ctx));
   table_.clear();
   Tuple row;
   while (true) {
+    RETURN_IF_ERROR(ctx->CheckPoint());
     auto ok = left_->Next(&row);
     XO_RETURN_NOT_OK(ok.status());
     if (!*ok) break;
     auto keys = EvalKeys(left_keys_, row, ctx);
     XO_RETURN_NOT_OK(keys.status());
+    RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(row)));
     table_[HashValues(*keys)].push_back(row);
   }
   left_->Close();
@@ -310,6 +337,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
 
 Result<bool> HashJoinOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     if (matches_ != nullptr) {
       while (match_pos_ < matches_->size()) {
         const Tuple& l = (*matches_)[match_pos_++];
@@ -338,6 +366,7 @@ Result<bool> HashJoinOp::Next(Tuple* out) {
 void HashJoinOp::Close() {
   right_->Close();
   table_.clear();
+  arena_.Release();
 }
 
 std::string HashJoinOp::Label() const {
@@ -364,17 +393,20 @@ SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
 
 Status SortMergeJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   auto load = [&](Operator* input, const std::vector<ExprPtr>& keys,
                   std::vector<std::pair<std::vector<Value>, Tuple>>* rows)
       -> Status {
     XO_RETURN_NOT_OK(input->Open(ctx));
     Tuple row;
     while (true) {
+      RETURN_IF_ERROR(ctx->CheckPoint());
       auto ok = input->Next(&row);
       XO_RETURN_NOT_OK(ok.status());
       if (!*ok) break;
       auto k = EvalKeys(keys, row, ctx);
       XO_RETURN_NOT_OK(k.status());
+      RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(row)));
       rows->emplace_back(std::move(*k), row);
     }
     input->Close();
@@ -424,6 +456,7 @@ Result<bool> SortMergeJoinOp::AdvanceRuns() {
 
 Result<bool> SortMergeJoinOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     if (!in_run_) {
       XO_ASSIGN_OR_RETURN(bool ok, AdvanceRuns());
       if (!ok) return false;
@@ -449,6 +482,7 @@ Result<bool> SortMergeJoinOp::Next(Tuple* out) {
 void SortMergeJoinOp::Close() {
   left_rows_.clear();
   right_rows_.clear();
+  arena_.Release();
 }
 
 std::string SortMergeJoinOp::Label() const {
@@ -485,6 +519,7 @@ Status IndexNestedLoopJoinOp::Open(ExecContext* ctx) {
 
 Result<bool> IndexNestedLoopJoinOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     if (!left_valid_) {
       XO_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
       if (!ok) return false;
@@ -536,16 +571,20 @@ SortOp::SortOp(OperatorPtr child, std::vector<ExprPtr> keys,
 }
 
 Status SortOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   XO_RETURN_NOT_OK(child_->Open(ctx));
   rows_.clear();
   std::vector<std::pair<std::vector<Value>, Tuple>> keyed;
   Tuple row;
   while (true) {
+    RETURN_IF_ERROR(ctx->CheckPoint());
     auto ok = child_->Next(&row);
     XO_RETURN_NOT_OK(ok.status());
     if (!*ok) break;
     auto k = EvalKeys(keys_, row, ctx);
     XO_RETURN_NOT_OK(k.status());
+    RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(row)));
     keyed.emplace_back(std::move(*k), row);
   }
   child_->Close();
@@ -564,12 +603,16 @@ Status SortOp::Open(ExecContext* ctx) {
 }
 
 Result<bool> SortOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(ctx_->CheckPoint());
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-void SortOp::Close() { rows_.clear(); }
+void SortOp::Close() {
+  rows_.clear();
+  arena_.Release();
+}
 
 std::string SortOp::Label() const {
   std::string out = "Sort(";
@@ -587,21 +630,29 @@ DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {
 
 Status DistinctOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   seen_.clear();
   return child_->Open(ctx);
 }
 
 Result<bool> DistinctOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     XO_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
     if (!ok) return false;
-    if (seen_.insert(RowFingerprint(*out)).second) return true;
+    std::string fp = RowFingerprint(*out);
+    if (!seen_.contains(fp)) {
+      RETURN_IF_ERROR(arena_.Charge(fp.size() + sizeof(std::string)));
+      seen_.insert(std::move(fp));
+      return true;
+    }
   }
 }
 
 void DistinctOp::Close() {
   child_->Close();
   seen_.clear();
+  arena_.Release();
 }
 
 std::string DistinctOp::Label() const { return "Distinct"; }
@@ -628,6 +679,8 @@ AggregateOp::AggregateOp(OperatorPtr child, std::vector<ExprPtr> group_keys,
 }
 
 Status AggregateOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   XO_RETURN_NOT_OK(child_->Open(ctx));
   struct GroupState {
     std::vector<Value> keys;
@@ -638,6 +691,7 @@ Status AggregateOp::Open(ExecContext* ctx) {
   std::vector<std::string> order;  // first-seen group order
   Tuple row;
   while (true) {
+    RETURN_IF_ERROR(ctx->CheckPoint());
     auto ok = child_->Next(&row);
     XO_RETURN_NOT_OK(ok.status());
     if (!*ok) break;
@@ -652,6 +706,9 @@ Status AggregateOp::Open(ExecContext* ctx) {
       g.accumulators.resize(aggs_.size());
       g.counts.assign(aggs_.size(), 0);
       order.push_back(fp);
+      RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(key_tuple) + fp.size() +
+                                    aggs_.size() *
+                                        (sizeof(Value) + sizeof(int64_t))));
     }
     for (size_t i = 0; i < aggs_.size(); ++i) {
       const AggregateSpec& a = aggs_[i];
@@ -724,12 +781,16 @@ Status AggregateOp::Open(ExecContext* ctx) {
 }
 
 Result<bool> AggregateOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(ctx_->CheckPoint());
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   return true;
 }
 
-void AggregateOp::Close() { results_.clear(); }
+void AggregateOp::Close() {
+  results_.clear();
+  arena_.Release();
+}
 
 std::string AggregateOp::Label() const {
   std::string out = "Aggregate(groups=";
@@ -753,6 +814,7 @@ LateralTableFuncOp::LateralTableFuncOp(OperatorPtr child,
 
 Status LateralTableFuncOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  arena_.Rebind(ctx->guard);
   input_valid_ = false;
   emitted_single_ = false;
   fn_rows_.clear();
@@ -763,6 +825,7 @@ Status LateralTableFuncOp::Open(ExecContext* ctx) {
 
 Result<bool> LateralTableFuncOp::Next(Tuple* out) {
   while (true) {
+    RETURN_IF_ERROR(ctx_->CheckPoint());
     if (!input_valid_) {
       if (child_ == nullptr) {
         if (emitted_single_) return false;
@@ -774,7 +837,13 @@ Result<bool> LateralTableFuncOp::Next(Tuple* out) {
       }
       input_valid_ = true;
       XO_ASSIGN_OR_RETURN(auto args, EvalKeys(args_, input_row_, ctx_));
+      // Each input row's function results replace the previous row's:
+      // re-account the batch rather than accumulating charges forever.
+      arena_.Release();
       XO_ASSIGN_OR_RETURN(fn_rows_, InvokeTable(*fn_, args, &ctx_->udf_stats));
+      for (const Tuple& r : fn_rows_) {
+        RETURN_IF_ERROR(arena_.Charge(ApproxTupleBytes(r)));
+      }
       fn_pos_ = 0;
     }
     if (fn_pos_ < fn_rows_.size()) {
@@ -788,6 +857,7 @@ Result<bool> LateralTableFuncOp::Next(Tuple* out) {
 void LateralTableFuncOp::Close() {
   if (child_ != nullptr) child_->Close();
   fn_rows_.clear();
+  arena_.Release();
 }
 
 std::string LateralTableFuncOp::Label() const {

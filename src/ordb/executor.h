@@ -21,6 +21,14 @@ struct ColumnMeta {
 };
 
 /// Volcano-style physical operator. Usage: Open, Next until false, Close.
+///
+/// Guard contract (DESIGN.md §12): every Next() implementation and every
+/// loop that materializes child rows inside Open() polls
+/// `ctx->CheckPoint()` once per row, so deadlines, cancellation and the
+/// memory budget are honored mid-operator; materialized state (hash
+/// tables, sort buffers, ...) is charged to the guard via a TrackedArena
+/// that Close() — and the destructor — releases. tools/lint enforces the
+/// CheckPoint-in-Next half of the contract.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -57,6 +65,7 @@ class SeqScanOp : public Operator {
  private:
   const TableInfo* table_;
   std::string alias_;
+  ExecContext* ctx_ = nullptr;
   std::unique_ptr<HeapFile::Scanner> scanner_;
 };
 
@@ -76,6 +85,7 @@ class IndexScanOp : public Operator {
   const IndexInfo* index_;
   Value key_;
   std::string alias_;
+  ExecContext* ctx_ = nullptr;
   std::vector<uint64_t> rids_;
   size_t pos_ = 0;
 };
@@ -137,6 +147,7 @@ class NestedLoopJoinOp : public Operator {
   OperatorPtr right_;
   ExprPtr predicate_;  // may be null (cross product)
   ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the materialized right side
   std::vector<Tuple> right_rows_;
   Tuple left_row_;
   bool left_valid_ = false;
@@ -165,6 +176,7 @@ class HashJoinOp : public Operator {
   std::vector<ExprPtr> right_keys_;
   ExprPtr residual_;  // may be null
   ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the build-side hash table
   std::unordered_map<uint64_t, std::vector<Tuple>> table_;
   Tuple probe_row_;
   const std::vector<Tuple>* matches_ = nullptr;
@@ -197,6 +209,7 @@ class SortMergeJoinOp : public Operator {
   std::vector<ExprPtr> right_keys_;
   ExprPtr residual_;
   ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts both materialized, sorted inputs
   std::vector<std::pair<std::vector<Value>, Tuple>> left_rows_;
   std::vector<std::pair<std::vector<Value>, Tuple>> right_rows_;
   size_t li_ = 0, ri_ = 0;
@@ -252,6 +265,8 @@ class SortOp : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> keys_;
   std::vector<bool> ascending_;
+  ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the materialized sort input
   std::vector<Tuple> rows_;
   size_t pos_ = 0;
 };
@@ -272,6 +287,7 @@ class DistinctOp : public Operator {
  private:
   OperatorPtr child_;
   ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the seen-row fingerprint set
   std::unordered_set<std::string> seen_;
 };
 
@@ -304,6 +320,8 @@ class AggregateOp : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> group_keys_;
   std::vector<AggregateSpec> aggs_;
+  ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the group hash table / result rows
   std::vector<Tuple> results_;
   size_t pos_ = 0;
 };
@@ -331,6 +349,7 @@ class LateralTableFuncOp : public Operator {
   const TableFunction* fn_;
   std::vector<ExprPtr> args_;
   ExecContext* ctx_ = nullptr;
+  TrackedArena arena_;  // accounts the per-input-row function results
   Tuple input_row_;
   bool input_valid_ = false;
   bool emitted_single_ = false;

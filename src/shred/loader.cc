@@ -68,6 +68,10 @@ Result<LoadReport> Loader::Load(const std::vector<const xml::Node*>& documents,
   report.used_compression = compress;
 
   Timer timer;
+  // Bind the batch guard thread-locally so the per-row checkpoints inside
+  // Database::BulkInsert (and any XADT scans during shredding) poll it;
+  // the between-document poll below is the loader's own cadence.
+  ordb::ScopedGuardBind bind(options.guard);
   Shredder shredder(schema_, compress, options.use_directory);
   for (size_t d = 0; d < documents.size(); ++d) {
     // Per-document fault isolation: one bad document (malformed structure,
@@ -75,9 +79,11 @@ Result<LoadReport> Loader::Load(const std::vector<const xml::Node*>& documents,
     // rather than sinking the whole batch. Rows of the failed document
     // already inserted into earlier tables stay — the engine has no
     // transactions below Checkpoint() granularity.
+    Timer doc_timer;
     Status doc_status;
+    if (options.guard != nullptr) doc_status = options.guard->CheckPoint();
     RowBatch batch;
-    doc_status = shredder.Shred(*documents[d], &batch);
+    if (doc_status.ok()) doc_status = shredder.Shred(*documents[d], &batch);
     if (doc_status.ok()) {
       for (auto& [table, rows] : batch) {
         doc_status = db_->BulkInsert(table, rows);
@@ -85,7 +91,16 @@ Result<LoadReport> Loader::Load(const std::vector<const xml::Node*>& documents,
         report.tuples += rows.size();
       }
     }
+    report.doc_millis.push_back(doc_timer.ElapsedMillis());
     if (!doc_status.ok()) {
+      if (ordb::QueryGuard::IsStopCode(doc_status.code())) {
+        // A guard stop is latched — every later document would fail the
+        // same way — so it ends the batch, counted apart from skips.
+        report.stopped_code = doc_status.code();
+        report.stopped_message = doc_status.message();
+        ++report.cancelled;
+        break;
+      }
       if (options.stop_on_error) return doc_status;
       ++report.skipped;
       report.errors.push_back({d, std::move(doc_status)});

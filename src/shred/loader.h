@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "mapping/schema.h"
 #include "ordb/database.h"
+#include "ordb/query_guard.h"
 #include "xml/dom.h"
 
 namespace xorator::shred {
@@ -27,6 +28,12 @@ struct LoadOptions {
   /// Abort the batch on the first failed document instead of isolating the
   /// error and continuing with the rest (see LoadReport::errors).
   bool stop_on_error = false;
+  /// Optional resource governor for the whole batch (DESIGN.md §12). The
+  /// loader polls it between documents and binds it thread-locally so the
+  /// per-row checkpoints inside Database::BulkInsert see it too. A guard
+  /// stop is reported distinctly from per-document errors: it ends the
+  /// batch and fills LoadReport::stopped_code, it is not a "skip".
+  ordb::QueryGuard* guard = nullptr;
 };
 
 /// One document that failed to load (when LoadOptions::stop_on_error is
@@ -42,11 +49,26 @@ struct LoadReport {
   bool used_compression = false;
   uint64_t documents = 0;
   uint64_t tuples = 0;
-  /// Documents that failed to shred or insert and were skipped.
+  /// Documents that failed to shred or insert and were skipped. Counts only
+  /// genuine per-document faults (malformed structure, storage errors) —
+  /// never guard stops, which end the batch and land in `cancelled`.
   uint64_t skipped = 0;
   std::vector<LoadError> errors;
+  /// Documents abandoned because the batch guard tripped (0 or 1: a guard
+  /// stop is latched, so the batch ends at the first one). Documents after
+  /// the stop were never attempted and appear in no counter.
+  uint64_t cancelled = 0;
+  /// Why the guard stopped the batch (kCancelled, kDeadlineExceeded or
+  /// kResourceExhausted), or kOk when it ran to completion. Kept as raw
+  /// code + message rather than a Status so an unread report never trips
+  /// the unchecked-Status tracker.
+  StatusCode stopped_code = StatusCode::kOk;
+  std::string stopped_message;
   /// Wall-clock milliseconds spent shredding + inserting.
   double load_millis = 0;
+  /// Per-document elapsed milliseconds (shred + insert), parallel to the
+  /// batch order; documents never attempted have no entry.
+  std::vector<double> doc_millis;
 };
 
 /// Creates the tables of `schema` in `db` and loads `documents` through the

@@ -1,5 +1,6 @@
 #include "xadt/functions.h"
 
+#include "ordb/query_guard.h"
 #include "xadt/xadt.h"
 
 namespace xorator::xadt {
@@ -12,6 +13,16 @@ using ordb::Tuple;
 using ordb::TypeId;
 using ordb::Value;
 
+// Entry-point cancellation poll. UDF implementations receive only their
+// marshaled arguments (no ExecContext — the UDF ABI, ordb/functions.h), so
+// they consult the statement guard the Database layer binds thread-locally
+// around execution (DESIGN.md §12); the fragment scanner then polls the
+// same guard once per event for the duration of the scan.
+Status GuardEntry() {
+  ordb::QueryGuard* guard = ordb::CurrentGuard();
+  return guard == nullptr ? Status::OK() : guard->CheckPoint();
+}
+
 Status ExpectXadt(const Value& v, std::string_view fn) {
   if (v.type() != TypeId::kXadt && v.type() != TypeId::kVarchar &&
       !v.is_null()) {
@@ -22,6 +33,7 @@ Status ExpectXadt(const Value& v, std::string_view fn) {
 }
 
 Result<Value> GetElmImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   if (args.size() != 4 && args.size() != 5) {
     return Status::InvalidArgument("getElm expects 4 or 5 arguments");
   }
@@ -39,6 +51,7 @@ Result<Value> GetElmImpl(const std::vector<Value>& args) {
 }
 
 Result<Value> FindKeyInElmImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   XO_RETURN_NOT_OK(ExpectXadt(args[0], "findKeyInElm"));
   if (args[0].is_null()) return Value::Int(0);
   XO_ASSIGN_OR_RETURN(int64_t found,
@@ -48,6 +61,7 @@ Result<Value> FindKeyInElmImpl(const std::vector<Value>& args) {
 }
 
 Result<Value> GetElmIndexImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   XO_RETURN_NOT_OK(ExpectXadt(args[0], "getElmIndex"));
   if (args[0].is_null()) return Value::Null();
   XO_ASSIGN_OR_RETURN(
@@ -59,18 +73,21 @@ Result<Value> GetElmIndexImpl(const std::vector<Value>& args) {
 }
 
 Result<Value> ToXmlImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   if (args[0].is_null()) return Value::Null();
   XO_ASSIGN_OR_RETURN(std::string xml, ToXmlString(args[0].AsString()));
   return Value::Varchar(std::move(xml));
 }
 
 Result<Value> TextImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   if (args[0].is_null()) return Value::Null();
   XO_ASSIGN_OR_RETURN(std::string text, TextContent(args[0].AsString()));
   return Value::Varchar(std::move(text));
 }
 
 Result<std::vector<Tuple>> UnnestImpl(const std::vector<Value>& args) {
+  XO_RETURN_NOT_OK(GuardEntry());
   std::vector<Tuple> out;
   if (args[0].is_null()) return out;
   XO_ASSIGN_OR_RETURN(auto fragments,

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "common/varint.h"
+#include "ordb/query_guard.h"
 #include "xml/parser.h"
 
 namespace xorator::xadt {
@@ -116,6 +117,13 @@ Status FragmentScanner::ParseDictionary(size_t dict_begin) {
 }
 
 Result<FragmentScanner::Event> FragmentScanner::Next() {
+  // Per-fragment-step guard poll (DESIGN.md §12): every event produced
+  // while a statement guard is bound thread-locally counts as a
+  // cancellation point, so long XADT scans inside ctx-less UDFs stay
+  // responsive to deadlines and Cancel().
+  if (ordb::QueryGuard* guard = ordb::CurrentGuard(); guard != nullptr) {
+    RETURN_IF_ERROR(guard->CheckPoint());
+  }
   if (pending_self_close_) {
     pending_self_close_ = false;
     Event event;
@@ -154,16 +162,17 @@ Result<FragmentScanner::Event> FragmentScanner::NextRaw() {
     }
     return event;
   }
-  // Markup.
-  size_t start = pos_;
-  if (bytes_.compare(pos_, 4, "<!--") == 0) {
+  // Markup. Comments are skipped iteratively: a value packed with
+  // back-to-back comments must not recurse once per comment.
+  while (bytes_.compare(pos_, 4, "<!--") == 0) {
     size_t end = bytes_.find("-->", pos_);
     if (end == std::string_view::npos) {
       return Status::ParseError("unterminated comment in XADT value");
     }
     pos_ = end + 3;
-    return Next();
+    if (pos_ >= bytes_.size() || bytes_[pos_] != '<') return Next();
   }
+  size_t start = pos_;
   if (bytes_.compare(pos_, 9, "<![CDATA[") == 0) {
     size_t end = bytes_.find("]]>", pos_);
     if (end == std::string_view::npos) {

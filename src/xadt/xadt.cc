@@ -7,12 +7,27 @@
 
 #include "common/str_util.h"
 #include "common/varint.h"
+#include "ordb/query_guard.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace xorator::xadt {
 
 namespace {
+
+// Charges one XADT method call's result expansion against the statement's
+// thread-locally bound guard (ordb::CurrentGuard(), null in direct library
+// use). The charge is released when the call returns — the caller accounts
+// the value it receives — so this caps *peak* decoded-fragment expansion
+// during evaluation (DESIGN.md §12).
+class ExpansionBudget {
+ public:
+  ExpansionBudget() : arena_(ordb::CurrentGuard()) {}
+  [[nodiscard]] Status Charge(size_t bytes) { return arena_.Charge(bytes); }
+
+ private:
+  ordb::TrackedArena arena_;
+};
 
 constexpr char kRawMarker = 'R';
 constexpr char kCompressedMarker = 'C';
@@ -75,7 +90,16 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
   }
   auto root = xml::Node::Element("#fragment");
   std::vector<xml::Node*> stack = {root.get()};
+  // This loop bypasses FragmentScanner, so it polls the statement guard
+  // and charges DOM expansion itself: a small compressed value can decode
+  // to a much larger tree, and hostile token streams must stay both
+  // cancellable and budget-bounded.
+  ordb::QueryGuard* guard = ordb::CurrentGuard();
+  ExpansionBudget budget;
   while (pos < bytes.size()) {
+    if (guard != nullptr) {
+      RETURN_IF_ERROR(guard->CheckPoint());
+    }
     uint8_t op = static_cast<uint8_t>(bytes[pos++]);
     switch (op) {
       case kTokStart: {
@@ -91,10 +115,12 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
           if (name_id >= names.size() || pos + len > bytes.size()) {
             return Status::ParseError("bad XADT attribute token");
           }
+          RETURN_IF_ERROR(budget.Charge(names[name_id].size() + len));
           elem->AddAttribute(names[name_id],
                              std::string(bytes.substr(pos, len)));
           pos += len;
         }
+        RETURN_IF_ERROR(budget.Charge(sizeof(xml::Node) + names[tag].size()));
         xml::Node* raw = stack.back()->AddChild(std::move(elem));
         stack.push_back(raw);
         break;
@@ -110,6 +136,7 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
         if (pos + len > bytes.size()) {
           return Status::ParseError("truncated XADT text token");
         }
+        RETURN_IF_ERROR(budget.Charge(sizeof(xml::Node) + len));
         stack.back()->AddChild(
             xml::Node::Text(std::string(bytes.substr(pos, len))));
         pos += len;
@@ -240,11 +267,13 @@ Result<std::string> ToXmlString(std::string_view bytes) {
 
 Result<std::string> TextContent(std::string_view bytes) {
   XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(bytes));
+  ExpansionBudget budget;
   std::string out;
   while (true) {
     XO_ASSIGN_OR_RETURN(auto event, scanner.Next());
     if (event.kind == FragmentScanner::EventKind::kEof) return out;
     if (event.kind == FragmentScanner::EventKind::kText) {
+      RETURN_IF_ERROR(budget.Charge(event.text.size()));
       out.append(event.text);
     }
   }
@@ -270,6 +299,7 @@ Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
     return Status::InvalidArgument("getElm: rootElm must not be empty");
   }
   XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  ExpansionBudget budget;
   std::string out(scanner.header());
   if (out.empty()) out.push_back(kRawMarker);
 
@@ -325,6 +355,7 @@ Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
           Candidate c = candidates.back();
           candidates.pop_back();
           if (c.matched) {
+            RETURN_IF_ERROR(budget.Charge(event.end_offset - c.start_offset));
             out.append(in.substr(c.start_offset,
                                  event.end_offset - c.start_offset));
           }
@@ -361,6 +392,7 @@ Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
     size_t depth;
     std::string text;
   };
+  ExpansionBudget budget;
   std::vector<SearchFrame> searches;
   size_t depth = 0;
   while (true) {
@@ -376,6 +408,7 @@ Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
         ++depth;
         break;
       case FragmentScanner::EventKind::kText:
+        RETURN_IF_ERROR(budget.Charge(event.text.size() * searches.size()));
         for (SearchFrame& f : searches) {
           f.text.append(event.text);
           // Early exit as soon as any tracked element matches.
@@ -400,6 +433,7 @@ Result<std::string> GetElmIndex(std::string_view in,
     return Status::InvalidArgument("getElmIndex: childElm must not be empty");
   }
   XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  ExpansionBudget budget;
   std::string out(scanner.header());
   if (out.empty()) out.push_back(kRawMarker);
 
@@ -412,6 +446,7 @@ Result<std::string> GetElmIndex(std::string_view in,
       if (name != child_elm) continue;
       ++count;
       if (count >= start_pos && count <= end_pos) {
+        RETURN_IF_ERROR(budget.Charge(end - start));
         out.append(in.substr(start, end - start));
       }
       if (count >= end_pos) break;
@@ -461,6 +496,7 @@ Result<std::string> GetElmIndex(std::string_view in,
         if (!captures.empty() && captures.back().depth == depth) {
           Capture c = captures.back();
           captures.pop_back();
+          RETURN_IF_ERROR(budget.Charge(event.end_offset - c.start_offset));
           out.append(
               in.substr(c.start_offset, event.end_offset - c.start_offset));
         }
@@ -472,6 +508,7 @@ Result<std::string> GetElmIndex(std::string_view in,
 Result<std::vector<std::string>> Unnest(std::string_view in,
                                         std::string_view tag) {
   XO_ASSIGN_OR_RETURN(FragmentScanner scanner, FragmentScanner::Create(in));
+  ExpansionBudget budget;
   std::string_view header = scanner.header();
   std::string prefix =
       header.empty() ? std::string(1, kRawMarker) : std::string(header);
@@ -479,6 +516,7 @@ Result<std::vector<std::string>> Unnest(std::string_view in,
   if (tag.empty() && scanner.has_directory()) {
     // Directory fast path: slice the indexed fragment roots directly.
     for (const auto& [start, end] : scanner.top_ranges()) {
+      RETURN_IF_ERROR(budget.Charge(prefix.size() + (end - start)));
       std::string value = prefix;
       value.append(in.substr(start, end - start));
       out.push_back(std::move(value));
@@ -509,6 +547,8 @@ Result<std::vector<std::string>> Unnest(std::string_view in,
         if (!captures.empty() && captures.back().depth == depth) {
           Capture c = captures.back();
           captures.pop_back();
+          RETURN_IF_ERROR(budget.Charge(
+              prefix.size() + (event.end_offset - c.start_offset)));
           std::string value = prefix;
           value.append(
               in.substr(c.start_offset, event.end_offset - c.start_offset));

@@ -25,6 +25,7 @@ class Parser {
       : input_(input), options_(options) {}
 
   Result<Document> ParseDocument() {
+    XO_RETURN_NOT_OK(CheckInputSize());
     Document doc;
     XO_RETURN_NOT_OK(SkipProlog(&doc));
     if (AtEnd() || Peek() != '<') {
@@ -37,6 +38,7 @@ class Parser {
   }
 
   Result<std::unique_ptr<Node>> ParseFragmentNodes() {
+    XO_RETURN_NOT_OK(CheckInputSize());
     auto root = Node::Element("#fragment");
     XO_RETURN_NOT_OK(ParseContentInto(root.get(), /*close_tag=*/""));
     if (!AtEnd()) return Error("unexpected '</' in fragment");
@@ -76,10 +78,31 @@ class Parser {
                               ", column " + std::to_string(col_));
   }
 
+  Status CheckInputSize() const {
+    const ParserLimits& limits = options_.limits;
+    if (limits.max_input_bytes != 0 && input_.size() > limits.max_input_bytes) {
+      return Status::ParseError(
+          "input of " + std::to_string(input_.size()) +
+          " bytes exceeds the parser limit of " +
+          std::to_string(limits.max_input_bytes) + " bytes");
+    }
+    return Status::OK();
+  }
+
+  Status CheckTokenBytes(size_t bytes, std::string_view what) const {
+    const ParserLimits& limits = options_.limits;
+    if (limits.max_token_bytes != 0 && bytes > limits.max_token_bytes) {
+      return Error(std::string(what) + " longer than the parser limit of " +
+                   std::to_string(limits.max_token_bytes) + " bytes");
+    }
+    return Status::OK();
+  }
+
   Result<std::string> ParseName() {
     if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected name");
     size_t start = pos_;
     while (!AtEnd() && IsNameChar(Peek())) Advance();
+    XO_RETURN_NOT_OK(CheckTokenBytes(pos_ - start, "name"));
     return std::string(input_.substr(start, pos_ - start));
   }
 
@@ -153,6 +176,20 @@ class Parser {
   }
 
   Result<std::unique_ptr<Node>> ParseElement() {
+    // Depth bound: one recursion level per open element, so a
+    // deeply-nested bomb fails here instead of exhausting the stack.
+    if (options_.limits.max_depth != 0 &&
+        depth_ >= options_.limits.max_depth) {
+      return Error("element nesting deeper than the parser limit of " +
+                   std::to_string(options_.limits.max_depth));
+    }
+    ++depth_;
+    auto result = ParseElementAtDepth();
+    --depth_;
+    return result;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElementAtDepth() {
     if (!ConsumeIf("<")) return Error("expected '<'");
     XO_ASSIGN_OR_RETURN(std::string name, ParseName());
     auto elem = Node::Element(name);
@@ -184,6 +221,7 @@ class Parser {
     size_t start = pos_;
     while (!AtEnd() && Peek() != quote) Advance();
     if (AtEnd()) return Error("unterminated quoted value");
+    XO_RETURN_NOT_OK(CheckTokenBytes(pos_ - start, "attribute value"));
     std::string_view raw = input_.substr(start, pos_ - start);
     Advance();
     return DecodeEntities(raw);
@@ -242,6 +280,7 @@ class Parser {
           if (found == std::string_view::npos) {
             return Error("unterminated CDATA section");
           }
+          XO_RETURN_NOT_OK(CheckTokenBytes(found - pos_, "CDATA section"));
           XO_RETURN_NOT_OK(flush_text());
           std::string cdata(input_.substr(pos_, found - pos_));
           elem->AddChild(Node::Text(std::move(cdata)));
@@ -258,6 +297,7 @@ class Parser {
         continue;
       }
       pending_text.push_back(Peek());
+      XO_RETURN_NOT_OK(CheckTokenBytes(pending_text.size(), "text run"));
       Advance();
     }
   }
@@ -265,6 +305,7 @@ class Parser {
   std::string_view input_;
   ParseOptions options_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
   int line_ = 1;
   int col_ = 1;
 };

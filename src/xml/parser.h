@@ -8,11 +8,30 @@
 
 namespace xorator::xml {
 
+/// Hard limits protecting the parser against hostile ("XML bomb") inputs.
+/// Exceeding any limit is an ordinary ParseError — never unbounded
+/// recursion (stack exhaustion) or unbounded allocation. A limit of 0
+/// disables that particular check.
+struct ParserLimits {
+  /// Maximum element nesting depth. The parser recurses once per level, so
+  /// this bounds stack use; 256 is far beyond data-oriented documents
+  /// (Shakespeare nests 5 deep) while keeping frames comfortably small.
+  size_t max_depth = 256;
+  /// Maximum bytes in one token: an element/attribute name, one attribute
+  /// value, or one contiguous text run.
+  size_t max_token_bytes = 1u << 20;
+  /// Maximum total input size in bytes, checked before scanning starts.
+  size_t max_input_bytes = 1u << 30;
+};
+
 /// Options controlling document parsing.
 struct ParseOptions {
   /// When true, text nodes consisting solely of whitespace between elements
   /// are dropped (the usual choice for data-oriented XML).
   bool strip_whitespace_text = true;
+  /// Hostile-input bounds (see ParserLimits). Defaults are generous for
+  /// real documents and strict enough to stop bombs.
+  ParserLimits limits;
 };
 
 /// Parses an XML 1.0 document (the subset used by data-oriented XML):

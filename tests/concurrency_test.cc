@@ -53,9 +53,21 @@ class ConcurrencyTest : public ::testing::Test {
     auto built = BuildExperimentDb(datagen::kShakespeareDtd, docs, options);
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     db_ = new ExperimentDb(std::move(*built));
+
+    // The XADT-mapping twin, used by the cancellation tests: its speech
+    // table keeps LINE content as XADT values, so queries spend their time
+    // inside findKeyInElm fragment scans.
+    ExperimentOptions xadt_options;
+    xadt_options.mapping = Mapping::kXorator;
+    auto xbuilt = BuildExperimentDb(datagen::kShakespeareDtd, docs,
+                                    xadt_options);
+    ASSERT_TRUE(xbuilt.ok()) << xbuilt.status().ToString();
+    xadt_db_ = new ExperimentDb(std::move(*xbuilt));
   }
 
   static void TearDownTestSuite() {
+    delete xadt_db_;
+    xadt_db_ = nullptr;
     delete db_;
     db_ = nullptr;
     delete corpus_;
@@ -64,10 +76,12 @@ class ConcurrencyTest : public ::testing::Test {
 
   static std::vector<std::unique_ptr<xml::Node>>* corpus_;
   static ExperimentDb* db_;
+  static ExperimentDb* xadt_db_;
 };
 
 std::vector<std::unique_ptr<xml::Node>>* ConcurrencyTest::corpus_ = nullptr;
 ExperimentDb* ConcurrencyTest::db_ = nullptr;
+ExperimentDb* ConcurrencyTest::xadt_db_ = nullptr;
 
 TEST_F(ConcurrencyTest, ParallelReadersSeeConsistentResults) {
   // Reference answers, computed single-threaded.
@@ -175,6 +189,89 @@ TEST(SharedStatementLockTest, ReadersRunInParallel) {
   auto after = db->Query("SELECT a FROM rv");
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_EQ(after->rows.size(), 1u);
+}
+
+TEST_F(ConcurrencyTest, CrossThreadCancelStopsALongSelect) {
+  // A reader holding the statement lock shared must stay cancellable from
+  // another thread: Database::Cancel() synchronizes only on the guard
+  // registry, never on the statement lock (DESIGN.md section 12). The
+  // query projects findKeyInElm over a three-way self cross product —
+  // ~370k XADT fragment scans, far too slow to finish before the
+  // canceller lands. (The UDF sits in the SELECT list on purpose: a
+  // single-table WHERE predicate would be pushed down to one scan and
+  // evaluated only once per base row.)
+  constexpr uint64_t kQueryId = 77;
+  std::atomic<bool> cancelled{false};
+  std::thread canceller([&] {
+    // Spin until the statement has registered itself, then cancel it. The
+    // registration happens before Query() queues on the statement lock, so
+    // this terminates quickly; the time bound is a safety valve only.
+    auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (xadt_db_->db->Cancel(kQueryId).ok()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  ordb::QueryOptions options;
+  options.query_id = kQueryId;
+  auto r = xadt_db_->db->Query(
+      "SELECT findKeyInElm(s1.speech_line, 'LINE', 'zzznotthere') AS k "
+      "FROM speech s1, speech s2, speech s3",
+      options);
+  canceller.join();
+  EXPECT_TRUE(cancelled.load());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status().ToString();
+  // Graceful degradation: every pin released, and the database is fully
+  // usable afterwards.
+  EXPECT_EQ(xadt_db_->db->buffer_pool()->PinnedFrameCount(), 0u);
+  auto again = xadt_db_->db->Query("SELECT COUNT(*) AS n FROM speech");
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(ConcurrencyTest, CancelRacesManyGuardedReaders) {
+  // Several guarded readers run while a canceller sprays Cancel() at every
+  // id, registered or not. Every query must end in exactly one of two
+  // clean states (finished or kCancelled), with no pins left behind.
+  constexpr int kReaders = 4;
+  std::atomic<int> bad{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        ordb::QueryOptions options;
+        options.query_id = 100 + t;
+        auto r = xadt_db_->db->Query(
+            "SELECT findKeyInElm(s1.speech_line, 'LINE', 'zzznotthere') AS k "
+            "FROM speech s1, speech s2",
+            options);
+        if (!r.ok() && r.status().code() != StatusCode::kCancelled) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int t = 0; t < kReaders; ++t) {
+        // NotFound (nothing registered under the id right now) is fine.
+        Status s = xadt_db_->db->Cancel(100 + t);
+        if (!s.ok() && s.code() != StatusCode::kNotFound) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < kReaders; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(xadt_db_->db->buffer_pool()->PinnedFrameCount(), 0u);
 }
 
 TEST_F(ConcurrencyTest, ReadersRaceCheckpointAndStats) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <random>
+#include <thread>
 
 #include "benchutil/fixture.h"
 #include "datagen/dtds.h"
@@ -12,6 +14,8 @@
 #include "ordb/fault_pager.h"
 #include "ordb/heap_file.h"
 #include "ordb/page.h"
+#include "ordb/query_guard.h"
+#include "shred/loader.h"
 #include "xadt/functions.h"
 #include "xadt/xadt.h"
 #include "xml/parser.h"
@@ -455,6 +459,10 @@ TEST(LoaderRobustnessTest, FailedDocumentsAreIsolated) {
   ASSERT_FALSE(report->errors.empty());
   EXPECT_EQ(report->documents + report->skipped, docs.size());
   EXPECT_EQ(report->skipped, report->errors.size());
+  // Storage casualties are skips, never guard stops.
+  EXPECT_EQ(report->cancelled, 0u);
+  EXPECT_EQ(report->stopped_code, StatusCode::kOk);
+  EXPECT_EQ(report->doc_millis.size(), docs.size());
   for (const auto& e : report->errors) {
     EXPECT_FALSE(e.status.ok());
     EXPECT_LT(e.document, docs.size());
@@ -472,6 +480,179 @@ TEST(LoaderRobustnessTest, FailedDocumentsAreIsolated) {
   EXPECT_FALSE(report2.ok());
   (*db)->Kill();
   (*db2)->Kill();
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+}
+
+TEST(LoaderRobustnessTest, GuardStopsEndTheBatchDistinctFromSkips) {
+  // A guard stop mid-bulk-load latches, so the loader ends the batch and
+  // reports it under `cancelled` / `stopped_code` — NOT as a per-document
+  // skip, which is reserved for casualties that later documents can
+  // survive (LoadReport docs in src/shred/loader.h).
+  auto schema = benchutil::MapDtd(datagen::kPlaysDtd,
+                                  benchutil::Mapping::kXorator);
+  ASSERT_TRUE(schema.ok());
+  datagen::ShakespeareOptions opts;
+  opts.plays = 6;
+  opts.acts_per_play = 1;
+  opts.scenes_per_act = 2;
+  auto corpus = datagen::ShakespeareGenerator(opts).GenerateCorpus();
+  std::vector<const xml::Node*> docs;
+  for (const auto& d : corpus) docs.push_back(d.get());
+
+  // Part 1: a guard cancelled before the load begins trips at the first
+  // between-document checkpoint. The report is still well formed: the
+  // cancelled document got a timing entry, nothing was "skipped".
+  {
+    auto db = OpenDb();
+    shred::Loader loader(db.get(), &*schema);
+    ASSERT_TRUE(loader.CreateTables().ok());
+    ordb::QueryGuard guard(0, 0);
+    guard.Cancel();
+    shred::LoadOptions options;
+    options.guard = &guard;
+    auto report = loader.Load(docs, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->documents, 0u);
+    EXPECT_EQ(report->skipped, 0u);
+    EXPECT_EQ(report->cancelled, 1u);
+    EXPECT_EQ(report->stopped_code, StatusCode::kCancelled);
+    EXPECT_FALSE(report->stopped_message.empty());
+    EXPECT_EQ(report->doc_millis.size(), 1u);
+    EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+    // The database stays usable for a clean re-run without the guard.
+    auto retry = loader.Load(docs);
+    ASSERT_TRUE(retry.ok());
+    EXPECT_EQ(retry->documents, docs.size());
+    EXPECT_EQ(retry->cancelled, 0u);
+    EXPECT_EQ(retry->stopped_code, StatusCode::kOk);
+    EXPECT_EQ(retry->doc_millis.size(), docs.size());
+  }
+
+  // Part 2: an already-expired deadline trips the same way but reports
+  // kDeadlineExceeded — the two stop reasons stay distinguishable.
+  {
+    auto db = OpenDb();
+    shred::Loader loader(db.get(), &*schema);
+    ASSERT_TRUE(loader.CreateTables().ok());
+    ordb::QueryGuard guard(/*deadline_millis=*/1, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    shred::LoadOptions options;
+    options.guard = &guard;
+    auto report = loader.Load(docs, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->cancelled, 1u);
+    EXPECT_EQ(report->skipped, 0u);
+    EXPECT_LT(report->documents, docs.size());
+    EXPECT_EQ(report->stopped_code, StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(report->doc_millis.size(), report->documents + 1);
+    EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+  }
+
+  // Part 3: cancellation arriving from another thread while the bulk load
+  // is in flight. The corpus here is much larger, and the canceller fires
+  // as soon as the loader has polled the guard once — so the cancel lands
+  // with nearly the whole batch still ahead of it.
+  {
+    datagen::ShakespeareOptions big;
+    big.plays = 30;
+    big.acts_per_play = 2;
+    big.scenes_per_act = 3;
+    auto big_corpus = datagen::ShakespeareGenerator(big).GenerateCorpus();
+    std::vector<const xml::Node*> big_docs;
+    for (const auto& d : big_corpus) big_docs.push_back(d.get());
+    auto db = OpenDb();
+    shred::Loader loader(db.get(), &*schema);
+    ASSERT_TRUE(loader.CreateTables().ok());
+    ordb::QueryGuard guard(0, 0);
+    std::thread canceller([&guard] {
+      while (guard.Stats().checkpoints == 0) std::this_thread::yield();
+      guard.Cancel();
+    });
+    shred::LoadOptions options;
+    options.guard = &guard;
+    auto report = loader.Load(big_docs, options);
+    canceller.join();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->cancelled, 1u);
+    EXPECT_EQ(report->skipped, 0u);
+    EXPECT_EQ(report->stopped_code, StatusCode::kCancelled);
+    EXPECT_EQ(report->doc_millis.size(), report->documents + 1);
+    EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+    // Whatever was committed before the stop is still queryable.
+    auto r = db->Query("SELECT COUNT(*) AS n FROM speech");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, FaultsAndGuardsInterleaveCleanly) {
+  // Injected storage faults and query guardrails race each other: every
+  // operation must end in exactly one clean status (a fault code OR a
+  // guard stop code OR success), with zero pins and a consistent WAL
+  // afterwards — the two failure machineries must not corrupt each other.
+  DbOptions options;
+  options.path = ::testing::TempDir() + "/xorator_fault_guard.db";
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  options.buffer_pool_pages = 8;
+  ordb::FaultOptions fault;
+  fault.seed = 17;
+  fault.transient_rate = 0.15;
+  fault.permanent_rate = 0.03;
+  options.fault = fault;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  // A raw pointer shared with the canceller thread: re-inspecting the
+  // Result from two threads would race on the debug inspected flag.
+  Database* db = opened->get();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+
+  auto clean_code = [](StatusCode c) {
+    return c == StatusCode::kOk || c == StatusCode::kIOError ||
+           c == StatusCode::kCorruption ||
+           ordb::QueryGuard::IsStopCode(c);
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (uint64_t id = 500; id < 504; ++id) {
+        Status s = db->Cancel(id);
+        // NotFound just means nothing is registered under the id.
+        if (!s.ok() && s.code() != StatusCode::kNotFound) ADD_FAILURE();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Tuple> rows;
+    for (int r = 0; r < 50; ++r) {
+      rows.push_back({Value::Int(i * 50 + r),
+                      Value::Varchar(std::string(60, 'g'))});
+    }
+    Status ins = db->BulkInsert("t", rows);
+    EXPECT_TRUE(clean_code(ins.code())) << ins.ToString();
+    EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+
+    ordb::QueryOptions qopts;
+    qopts.query_id = 500 + static_cast<uint64_t>(i % 4);
+    if (i % 3 == 0) qopts.deadline_millis = 1;
+    if (i % 5 == 0) qopts.max_memory_bytes = 4096;
+    auto q = db->Query(
+        "SELECT COUNT(*) AS n FROM t t1, t t2 WHERE t1.a < 5", qopts);
+    EXPECT_TRUE(clean_code(q.status().code())) << q.status().ToString();
+    EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  canceller.join();
+
+  // WAL consistency: a checkpoint either succeeds or dies on a storage
+  // fault — never on anything the guards left behind.
+  Status ckpt = db->Checkpoint();
+  EXPECT_TRUE(clean_code(ckpt.code())) << ckpt.ToString();
+  EXPECT_EQ(db->buffer_pool()->PinnedFrameCount(), 0u);
+  db->Kill();  // a destructor checkpoint could just fail again
   std::remove(options.path.c_str());
   std::remove((options.path + ".wal").c_str());
 }

@@ -168,5 +168,81 @@ TEST(DecodeEntitiesTest, Basics) {
   EXPECT_FALSE(DecodeEntities("&amp").ok());
 }
 
+// Hostile-input hardening (ParserLimits): every bomb below must come back
+// as a clean kParseError — never a crash, stack overflow, or runaway
+// allocation.
+
+TEST(ParserLimitsTest, DeepNestingBombRejected) {
+  // 100k open tags; without the depth bound this recurses once per level
+  // and smashes the stack long before the input runs out.
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "<a>";
+  auto doc = ParseDocument(bomb);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("nesting deeper"), std::string::npos);
+}
+
+TEST(ParserLimitsTest, NestingAtTheLimitStillParses) {
+  ParseOptions options;
+  options.limits.max_depth = 64;
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 64; ++i) deep += "</a>";
+  EXPECT_TRUE(ParseDocument(deep, options).ok());
+  EXPECT_FALSE(ParseDocument("<r>" + deep + "</r>", options).ok());
+}
+
+TEST(ParserLimitsTest, OversizedAttributeRejected) {
+  ParseOptions options;
+  options.limits.max_token_bytes = 1024;
+  std::string doc = "<a v=\"" + std::string(2048, 'x') + "\"/>";
+  auto parsed = ParseDocument(doc, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserLimitsTest, OversizedNameAndTextRejected) {
+  ParseOptions options;
+  options.limits.max_token_bytes = 256;
+  std::string long_name = "<" + std::string(512, 'n') + "/>";
+  EXPECT_FALSE(ParseDocument(long_name, options).ok());
+  std::string long_text = "<a>" + std::string(512, 't') + "</a>";
+  EXPECT_FALSE(ParseDocument(long_text, options).ok());
+  std::string long_cdata =
+      "<a><![CDATA[" + std::string(512, 'c') + "]]></a>";
+  EXPECT_FALSE(ParseDocument(long_cdata, options).ok());
+}
+
+TEST(ParserLimitsTest, OversizedInputRejectedUpFront) {
+  ParseOptions options;
+  options.limits.max_input_bytes = 100;
+  std::string doc = "<a>" + std::string(200, 'x') + "</a>";
+  auto parsed = ParseDocument(doc, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("exceeds the parser limit"),
+            std::string::npos);
+  EXPECT_FALSE(ParseFragment(doc, options).ok());
+}
+
+TEST(ParserLimitsTest, ZeroDisablesALimit) {
+  ParseOptions options;
+  options.limits.max_depth = 0;
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 500; ++i) deep += "</a>";
+  EXPECT_TRUE(ParseDocument(deep, options).ok());
+}
+
+TEST(ParserLimitsTest, FragmentsHonorTheDepthBound) {
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "<a>";
+  auto frag = ParseFragment(bomb);
+  ASSERT_FALSE(frag.ok());
+  EXPECT_EQ(frag.status().code(), StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace xorator::xml

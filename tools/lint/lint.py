@@ -29,6 +29,11 @@ Checks, in order of appearance in DESIGN.md:
              are owned by the typestate-checked PageRef guard returned by
              BufferPool::Fetch/Create (DESIGN.md section 11), so balance
              is structural instead of manual.
+  guard-loop Every operator `::Next(...)` definition in src/ordb/executor.cc
+             must poll the query guard (a CheckPoint() call somewhere in its
+             body), so that deadlines, cancellation, and memory budgets stay
+             responsive no matter which operators a plan composes
+             (DESIGN.md section 12).
 
 Usage:
   lint.py --root <repo-root>      lint the tree, exit 1 on findings
@@ -75,6 +80,12 @@ RAW_MUTEX_ALLOWLIST = ("src/common/mutex.h",)
 # typestate makes leak/double-release a compile error under Clang.
 RAW_PIN_RE = re.compile(r"\b(?:FetchPage|NewPage|Unpin)\s*\(")
 RAW_PIN_ALLOWLIST = ("src/ordb/buffer_pool.h", "src/ordb/buffer_pool.cc")
+
+# Files whose `::Next(...)` definitions are executor operator loops and must
+# poll the query guard (DESIGN.md section 12). Matched by path suffix so the
+# self-test fixture under testdata/src/ordb/ exercises the same rule.
+GUARD_LOOP_SUFFIXES = ("ordb/executor.cc",)
+GUARD_LOOP_RE = re.compile(r"::\s*Next\s*\(")
 
 DECL_RE = re.compile(
     r"^(?:template\s*<.*>\s*)?"
@@ -200,6 +211,53 @@ def check_raw_pin(root, path, stripped_lines, findings):
                                     "BufferPool::Fetch/Create instead"))
 
 
+def check_guard_loop(root, path, stripped_text, findings):
+    """Every `::Next(...)` definition body must contain a CheckPoint call.
+
+    Operator Next loops are the engine's cancellation points: an operator
+    that never polls the guard makes whole plans immune to deadlines,
+    Cancel(), and memory budgets. The check brace-matches each definition
+    body (a `{` after the parameter list; calls and declarations end with
+    `;` and are skipped) and looks for the token inside it."""
+    rel = path.relative_to(root).as_posix()
+    if not rel.endswith(GUARD_LOOP_SUFFIXES):
+        return
+    n = len(stripped_text)
+    for m in GUARD_LOOP_RE.finditer(stripped_text):
+        # Match the parameter list's parentheses.
+        i = stripped_text.find("(", m.start())
+        depth, j = 1, i + 1
+        while j < n and depth:
+            if stripped_text[j] == "(":
+                depth += 1
+            elif stripped_text[j] == ")":
+                depth -= 1
+            j += 1
+        # Skip qualifiers (const, noexcept, override, whitespace) up to the
+        # body's opening brace; anything else means this was a call.
+        k = j
+        while k < n and (stripped_text[k].isspace() or
+                         stripped_text[k].isalnum() or
+                         stripped_text[k] == "_"):
+            k += 1
+        if k >= n or stripped_text[k] != "{":
+            continue
+        depth, b = 1, k + 1
+        while b < n and depth:
+            if stripped_text[b] == "{":
+                depth += 1
+            elif stripped_text[b] == "}":
+                depth -= 1
+            b += 1
+        if "CheckPoint" not in stripped_text[k:b]:
+            line = stripped_text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(path, line, "guard-loop",
+                                    "operator Next() never polls the query "
+                                    "guard; add a CheckPoint() call so "
+                                    "deadlines/cancel/budgets stay "
+                                    "responsive (DESIGN.md section 12)"))
+
+
 def check_discard(path, stripped_lines, findings):
     for no, line in enumerate(stripped_lines, 1):
         if DISCARD_RE.search(line):
@@ -254,7 +312,8 @@ def lint_file(root, path, findings, lib):
         findings.append(Finding(path, 1, "encoding", "file is not UTF-8"))
         return
     lines = text.splitlines()
-    stripped = strip_comments_and_strings(text).splitlines()
+    stripped_text = strip_comments_and_strings(text)
+    stripped = stripped_text.splitlines()
     # Pad in case the file does not end with a newline symmetry.
     while len(stripped) < len(lines):
         stripped.append("")
@@ -268,6 +327,7 @@ def lint_file(root, path, findings, lib):
     # The pin protocol is global: tests and benches hold pins through
     # PageRef guards too.
     check_raw_pin(root, path, stripped, findings)
+    check_guard_loop(root, path, stripped_text, findings)
     check_discard(path, stripped, findings)
 
 
@@ -298,6 +358,7 @@ def self_test(script_dir):
         "bad_discard.cc": {"discard"},
         "bad_raw_mutex.cc": {"raw-mutex"},
         "bad_raw_pin.cc": {"raw-pin"},
+        "ordb/executor.cc": {"guard-loop"},
         "clean.h": set(),
     }
     failures = []

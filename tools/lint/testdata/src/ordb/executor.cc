@@ -1,0 +1,16 @@
+// guard-loop fixture: one conforming operator and one that never polls
+// the query guard. Exactly the second definition must be flagged; the
+// qualified base call inside it must not be mistaken for a definition.
+
+namespace xorator::ordb {
+
+Result<bool> GoodScanOp::Next(Tuple* out) {
+  XO_RETURN_NOT_OK(ctx_->CheckPoint());
+  return Fill(out);
+}
+
+Result<bool> BadScanOp::Next(Tuple* out) {
+  return BaseOp::Next(out);
+}
+
+}  // namespace xorator::ordb

@@ -9,7 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <random>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "ordb/bptree.h"
 #include "ordb/buffer_pool.h"
@@ -314,4 +316,42 @@ BENCHMARK(BM_XmlParse);
 }  // namespace
 }  // namespace xorator::ordb
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN with one extra convenience flag:
+//
+//   --json[=path]   emit results as google-benchmark JSON (default path
+//                   BENCH_engine_micro.json in the current directory) while
+//                   keeping the human-readable console table on stdout.
+//
+// The flag is sugar for --benchmark_out=<path> --benchmark_out_format=json,
+// so the emitted file is the standard benchmark schema and any explicit
+// --benchmark_* flags still work alongside it.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  bool json = false;
+  std::string json_path = "BENCH_engine_micro.json";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::string("--json=").size());
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (json) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

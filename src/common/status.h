@@ -27,6 +27,19 @@
 namespace xorator {
 
 /// Machine-readable category of a `Status`.
+///
+/// Failure taxonomy (DESIGN.md §13): every code falls into one of three
+/// classes that the resilience layer keys off.
+///   * Retryable — the same operation may succeed if simply re-issued
+///     (`kUnavailable` only). `BufferPool` absorbs these with bounded
+///     backoff via `Status::IsRetryable()`.
+///   * Degradable — the storage underneath the engine misbehaved in a way
+///     retrying will not fix (`kIOError`, `kCorruption`). These feed the
+///     `EngineHealth` state machine: corruption quarantines the page,
+///     WAL-append / checkpoint failures latch read-only mode
+///     (`Status::IsDegradable()`).
+///   * Caller errors and governed stops — everything else (bad SQL, guard
+///     trips, logic errors). The engine itself stays healthy.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -34,14 +47,20 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kOutOfRange,
+  /// A non-transient I/O failure (disk gone, short write, sync failure).
+  /// Not retryable, but degradable: the engine can often keep serving
+  /// reads from intact pages after latching read-only mode.
   kIOError,
   kNotImplemented,
   kInternal,
   /// Stored data failed an integrity check (checksum mismatch, torn page,
-  /// malformed on-disk structure). Never retryable.
+  /// malformed on-disk structure). Never retryable; degradable — the
+  /// offending page is quarantined and scans may elect to skip it.
   kCorruption,
   /// A transient I/O failure; the operation may succeed if retried (the
-  /// buffer pool retries these with bounded backoff).
+  /// buffer pool retries these with bounded backoff). Also returned by
+  /// mutation entry points of an engine latched read-only — retryable in
+  /// the wider sense that TryRecover() may re-arm the engine.
   kUnavailable,
   /// The query's deadline (QueryOptions::deadline_millis) elapsed before it
   /// finished. The statement unwound cleanly; re-running with a longer
@@ -185,6 +204,26 @@ class [[nodiscard]] Status {
   bool ok() const {
     MarkChecked();
     return code_ == StatusCode::kOk;
+  }
+
+  /// True for failures worth re-issuing unchanged: transient I/O faults
+  /// (`kUnavailable`). The buffer pool's retry loop is keyed on this, not
+  /// on the raw code, so the retry policy and the taxonomy stay in one
+  /// place (see the StatusCode comment). Inspecting the class counts as
+  /// checking the status.
+  bool IsRetryable() const {
+    MarkChecked();
+    return code_ == StatusCode::kUnavailable;
+  }
+
+  /// True for storage failures the engine should degrade on rather than
+  /// retry: permanent I/O errors and integrity-check failures
+  /// (`kIOError`, `kCorruption`). These feed EngineHealth (page
+  /// quarantine, read-only latching — DESIGN.md §13). Inspecting the
+  /// class counts as checking the status.
+  bool IsDegradable() const {
+    MarkChecked();
+    return code_ == StatusCode::kIOError || code_ == StatusCode::kCorruption;
   }
   StatusCode code() const {
     MarkChecked();

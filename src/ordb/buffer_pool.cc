@@ -5,6 +5,9 @@
 #include <cstring>
 #include <thread>
 
+#include "ordb/health.h"
+#include "ordb/query_guard.h"
+
 namespace xorator::ordb {
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
@@ -27,9 +30,39 @@ void BufferPool::set_wal(Wal* wal) {
   wal_ = wal;
 }
 
+void BufferPool::set_health(EngineHealth* health) {
+  xo::MutexLock lock(&mu_);
+  health_ = health;
+}
+
 BufferPoolStats BufferPool::stats() const {
   xo::MutexLock lock(&mu_);
-  return stats_;
+  BufferPoolStats out = stats_;
+  out.quarantined_pages = quarantined_.size();
+  return out;
+}
+
+bool BufferPool::IsQuarantined(PageId id) const {
+  xo::MutexLock lock(&mu_);
+  return quarantined_.count(id) > 0;
+}
+
+std::vector<PageId> BufferPool::QuarantinedPages() const {
+  xo::MutexLock lock(&mu_);
+  return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
+}
+
+void BufferPool::ClearQuarantine() {
+  xo::MutexLock lock(&mu_);
+  quarantined_.clear();
+}
+
+void BufferPool::QuarantineLocked(PageId id) {
+  if (!quarantined_.insert(id).second) return;
+  if (health_ != nullptr) {
+    health_->ReportDegraded("page " + std::to_string(id) +
+                            " quarantined after a checksum failure");
+  }
 }
 
 size_t BufferPool::PinnedFrameCount() const {
@@ -43,9 +76,12 @@ size_t BufferPool::PinnedFrameCount() const {
 
 namespace {
 
-/// Runs `op`, retrying transient (kUnavailable) failures with exponential
-/// backoff. Any other status — including kUnavailable once the attempts
-/// are exhausted — is returned as-is.
+/// Runs `op`, retrying retryable (Status::IsRetryable — transient
+/// kUnavailable) failures with exponential backoff. Any other status —
+/// including a retryable one once the attempts are exhausted — is returned
+/// as-is; degradable failures (IOError/Corruption) are for the caller and
+/// the health machine, not the retry loop (see the taxonomy in
+/// common/status.h).
 template <typename Op>
 Status WithRetry(Op&& op, uint64_t* retries) {
   Status s;
@@ -55,7 +91,7 @@ Status WithRetry(Op&& op, uint64_t* retries) {
       std::this_thread::sleep_for(std::chrono::microseconds(1u << attempt));
     }
     s = op();
-    if (s.code() != StatusCode::kUnavailable) return s;
+    if (!s.IsRetryable()) return s;
   }
   return s;
 }
@@ -70,7 +106,25 @@ Status BufferPool::WriteRetry(PageId id, const char* buf) {
   return WithRetry([&] { return pager_->Write(id, buf); }, &stats_.retries);
 }
 
+bool BufferPool::WritebackFrozen() const {
+  // Once the engine latches kReadOnly (or worse) on a journaled database,
+  // the pre-image log is no longer trustworthy — the latch fired precisely
+  // because a WAL append, sync, or checkpoint commit failed. Overwriting
+  // any more on-disk pages could strand state that no rollback can undo,
+  // so dirty frames stay resident until TryRecover() rebuilds the stack
+  // (DESIGN.md §13). Memory-backed pools have no journal and no rollback
+  // contract, so they are never frozen.
+  if (wal_ == nullptr || health_ == nullptr) return false;
+  const HealthState hs = health_->state();
+  return hs == HealthState::kReadOnly || hs == HealthState::kFailed;
+}
+
 Status BufferPool::WriteBack(Frame& f) {
+  if (WritebackFrozen()) {
+    return Status::Unavailable(
+        "engine is not writable; dirty page write-back is disabled until "
+        "TryRecover()");
+  }
   SetPageChecksum(f.data.get());
   if (wal_ != nullptr && f.page_id < wal_->checkpoint_page_count() &&
       !wal_->Logged(f.page_id)) {
@@ -78,25 +132,50 @@ Status BufferPool::WriteBack(Frame& f) {
     // in the log before this epoch's first overwrite of it.
     if (scratch_ == nullptr) scratch_ = std::make_unique<char[]>(kPageSize);
     XO_RETURN_NOT_OK(ReadRetry(f.page_id, scratch_.get()));
-    XO_RETURN_NOT_OK(wal_->LogPageImage(f.page_id, scratch_.get()));
+    Status logged = wal_->LogPageImage(f.page_id, scratch_.get());
+    if (!logged.ok()) {
+      // Durability is gone: without the pre-image the engine cannot
+      // guarantee rollback to the last checkpoint, so writes must stop
+      // (DESIGN.md §13). Reads stay safe — nothing was overwritten.
+      if (health_ != nullptr) {
+        health_->ReportReadOnly("WAL append failed: " + logged.message());
+      }
+      return logged;
+    }
   }
-  XO_RETURN_NOT_OK(WriteRetry(f.page_id, f.data.get()));
+  Status wrote = WriteRetry(f.page_id, f.data.get());
+  if (!wrote.ok()) {
+    if (health_ != nullptr && wrote.IsDegradable()) {
+      health_->ReportDegraded("write-back of page " +
+                              std::to_string(f.page_id) +
+                              " failed: " + wrote.message());
+    }
+    return wrote;
+  }
   ++stats_.writebacks;
   return Status::OK();
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
+  // While write-back is frozen (read-only engine), dirty frames are as
+  // unevictable as pinned ones: reads keep flowing through clean frames.
+  const bool frozen = WritebackFrozen();
   size_t victim = frames_.size();
   uint64_t oldest = UINT64_MAX;
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.page_id == kInvalidPageId && f.pin_count == 0) return i;
-    if (f.pin_count == 0 && f.last_used < oldest) {
+    if (f.pin_count == 0 && (!frozen || !f.dirty) && f.last_used < oldest) {
       oldest = f.last_used;
       victim = i;
     }
   }
   if (victim == frames_.size()) {
+    if (frozen) {
+      return Status::Unavailable(
+          "buffer pool exhausted: every unpinned frame is dirty and the "
+          "engine is read-only; TryRecover() may re-arm it");
+    }
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
   Frame& f = frames_[victim];
@@ -112,6 +191,13 @@ Result<size_t> BufferPool::GetVictimFrame() {
 
 Result<char*> BufferPool::FetchPage(PageId id) {
   xo::MutexLock lock(&mu_);
+  if (quarantined_.count(id) > 0) {
+    // Containment: the page already failed verification once; repeated
+    // fetches fail fast without touching the disk (DESIGN.md §13).
+    ++stats_.quarantine_hits;
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is quarantined (earlier checksum failure)");
+  }
   auto it = frame_of_page_.find(id);
   if (it != frame_of_page_.end()) {
     Frame& f = frames_[it->second];
@@ -127,6 +213,7 @@ Result<char*> BufferPool::FetchPage(PageId id) {
   XO_RETURN_NOT_OK(ReadRetry(id, f.data.get()));
   if (!VerifyPageChecksum(f.data.get())) {
     ++stats_.checksum_failures;
+    QuarantineLocked(id);
     return Status::Corruption("page " + std::to_string(id) +
                               " failed its checksum (torn write or bit rot)");
   }
@@ -141,9 +228,8 @@ Result<char*> BufferPool::FetchPage(PageId id) {
 Result<std::pair<PageId, char*>> BufferPool::NewPage() {
   xo::MutexLock lock(&mu_);
   Result<PageId> alloc = pager_->Allocate();
-  for (int attempt = 1; attempt <= kMaxIoRetries &&
-                        alloc.status().code() == StatusCode::kUnavailable;
-       ++attempt) {
+  for (int attempt = 1;
+       attempt <= kMaxIoRetries && alloc.status().IsRetryable(); ++attempt) {
     ++stats_.retries;
     std::this_thread::sleep_for(std::chrono::microseconds(1u << attempt));
     alloc = pager_->Allocate();
@@ -187,6 +273,72 @@ Status BufferPool::FlushAll() {
     }
   }
   return Status::OK();
+}
+
+Result<ScrubReport> BufferPool::ScrubSlice(uint64_t max_pages) {
+  xo::MutexLock lock(&mu_);
+  ScrubReport report;
+  const PageId total = pager_->page_count();
+  if (total == 0 || max_pages == 0) {
+    report.cursor = scrub_cursor_;
+    report.wrapped = total == 0;
+    return report;
+  }
+  if (scrub_cursor_ >= total) scrub_cursor_ = 0;
+  if (scratch_ == nullptr) scratch_ = std::make_unique<char[]>(kPageSize);
+  // Guard pacing: a PRAGMA scrub issued with a deadline or cancel token
+  // unwinds between pages like any other scan (DESIGN.md §12/§13).
+  QueryGuard* guard = CurrentGuard();
+  for (uint64_t i = 0; i < max_pages; ++i) {
+    if (guard != nullptr) RETURN_IF_ERROR(guard->CheckPoint());
+    const PageId id = scrub_cursor_;
+    ++report.pages_scanned;
+    ++stats_.scrub_pages_scanned;
+    if (quarantined_.count(id) > 0) {
+      // Already contained; no point re-reading until recovery clears it.
+      ++report.pages_bad;
+    } else if (frame_of_page_.count(id) > 0) {
+      ++report.pages_resident;
+    } else {
+      Status read = ReadRetry(id, scratch_.get());
+      if (read.IsRetryable()) {
+        // A transient-fault storm outlasted the bounded retries; surface
+        // it so the caller can re-issue the slice later — the cursor has
+        // not moved past this page.
+        return read;
+      }
+      if (!read.ok() || !VerifyPageChecksum(scratch_.get())) {
+        // A non-OK read (degradable IOError) and a bad checksum get the
+        // same response: contain the page and keep scrubbing.
+        QuarantineLocked(id);
+        ++report.pages_bad;
+        ++stats_.scrub_pages_bad;
+      } else {
+        ++report.pages_verified;
+      }
+    }
+    ++scrub_cursor_;
+    if (scrub_cursor_ >= total) {
+      scrub_cursor_ = 0;
+      report.wrapped = true;
+      ++stats_.scrub_passes;
+      break;  // a slice ends at the file boundary — one pass at a time
+    }
+  }
+  report.cursor = scrub_cursor_;
+  return report;
+}
+
+Status BufferPool::ReadForSalvage(PageId id, char* buf) {
+  xo::MutexLock lock(&mu_);
+  auto it = frame_of_page_.find(id);
+  if (it != frame_of_page_.end()) {
+    // Unreachable for quarantined pages (they are never resident), but a
+    // salvage of a healthy page should still see the canonical bytes.
+    std::memcpy(buf, frames_[it->second].data.get(), kPageSize);
+    return Status::OK();
+  }
+  return ReadRetry(id, buf);
 }
 
 }  // namespace xorator::ordb

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/mutex.h"
@@ -16,8 +17,10 @@
 
 namespace xorator::ordb {
 
-/// Counters for buffer-pool behaviour, surfaced by benchmarks and the
-/// fault-injection tests.
+class EngineHealth;
+
+/// Counters for buffer-pool behaviour, surfaced by benchmarks, the
+/// fault-injection tests, PRAGMA health and the resilience stats line.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -27,6 +30,34 @@ struct BufferPoolStats {
   uint64_t retries = 0;
   /// Pages rejected on fetch because their checksum did not verify.
   uint64_t checksum_failures = 0;
+  /// Pages currently quarantined (fetches fail fast; DESIGN.md §13).
+  uint64_t quarantined_pages = 0;
+  /// Fetches rejected without disk I/O because the page was quarantined.
+  uint64_t quarantine_hits = 0;
+  /// Pages the scrubber has examined (cumulative across slices).
+  uint64_t scrub_pages_scanned = 0;
+  /// Pages the scrubber found bad and quarantined.
+  uint64_t scrub_pages_bad = 0;
+  /// Completed full passes of the scrub cursor over the file.
+  uint64_t scrub_passes = 0;
+};
+
+/// What one BufferPool::ScrubSlice call did (PRAGMA scrub's result row).
+struct ScrubReport {
+  /// Pages examined in this slice (including resident/quarantined skips).
+  uint64_t pages_scanned = 0;
+  /// Non-resident pages whose on-disk checksum verified clean.
+  uint64_t pages_verified = 0;
+  /// Pages skipped because their canonical bytes are resident in the pool
+  /// (the disk image may legitimately lag under WAL protection).
+  uint64_t pages_resident = 0;
+  /// Pages that failed verification in this slice; now quarantined.
+  uint64_t pages_bad = 0;
+  /// Where the incremental cursor stopped (the next slice resumes here).
+  PageId cursor = 0;
+  /// True when this slice reached the end of the file (a full pass
+  /// completed since the cursor last wrapped).
+  bool wrapped = false;
 };
 
 class BufferPool;
@@ -147,8 +178,16 @@ class XO_CONSUMABLE(unconsumed) PageRef {
 /// - every written-back page is checksum-stamped first;
 /// - when a Wal is attached, a page's on-disk pre-image is logged before
 ///   its first write-back of the checkpoint epoch (write-ahead rule);
-/// - pager operations failing with kUnavailable (transient faults) are
-///   retried up to kMaxIoRetries times with exponential backoff.
+/// - pager operations failing retryably (Status::IsRetryable, i.e.
+///   transient kUnavailable faults) are retried up to kMaxIoRetries times
+///   with exponential backoff.
+///
+/// Failure containment (DESIGN.md §13): a page that fails its checksum is
+/// quarantined — later fetches fail fast with kCorruption and no disk I/O
+/// — and reported to the attached EngineHealth (set_health) as degraded
+/// operation; a WAL-append failure during write-back latches read-only
+/// mode. ScrubSlice() proactively checksum-verifies the file in budgeted
+/// increments, feeding the same quarantine set.
 class BufferPool {
  public:
   /// `capacity` is in pages.
@@ -161,6 +200,11 @@ class BufferPool {
   /// Attaches the write-ahead log consulted before write-backs. Pass
   /// nullptr to detach (memory-backed databases run without one).
   void set_wal(Wal* wal) XO_EXCLUDES(mu_);
+
+  /// Attaches the engine health machine that checksum failures and WAL
+  /// write-back failures report to; nullptr detaches (tests that exercise
+  /// the pool stand-alone).
+  void set_health(EngineHealth* health) XO_EXCLUDES(mu_);
 
   /// Pins `id` and returns its guard. The page starts clean: call
   /// MarkDirty() on the guard after modifying the bytes.
@@ -180,6 +224,33 @@ class BufferPool {
 
   /// Snapshot of the counters (copied under the pool mutex).
   [[nodiscard]] BufferPoolStats stats() const XO_EXCLUDES(mu_);
+
+  /// True if `id` is currently quarantined (fetches of it fail fast).
+  [[nodiscard]] bool IsQuarantined(PageId id) const XO_EXCLUDES(mu_);
+
+  /// Snapshot of the quarantined page ids (unordered).
+  [[nodiscard]] std::vector<PageId> QuarantinedPages() const XO_EXCLUDES(mu_);
+
+  /// Empties the quarantine set. Called by Database::TryRecover after WAL
+  /// recovery restored pre-images (the pages will be re-verified on their
+  /// next fetch, and re-quarantined if still bad).
+  void ClearQuarantine() XO_EXCLUDES(mu_);
+
+  /// Checksum-verifies up to `max_pages` on-disk pages starting at the
+  /// persistent scrub cursor, quarantining failures (DESIGN.md §13). Pages
+  /// resident in the pool are skipped (their canonical bytes are in
+  /// memory); already-quarantined pages are not re-read. Paced by the
+  /// thread's bound QueryGuard, if any: the slice unwinds at the guard's
+  /// deadline/cancel like any other scan. The cursor survives between
+  /// calls, so repeated slices walk the whole file incrementally.
+  [[nodiscard]] Result<ScrubReport> ScrubSlice(uint64_t max_pages)
+      XO_EXCLUDES(mu_);
+
+  /// Best-effort raw read of `id` into `buf` (kPageSize bytes), bypassing
+  /// both the quarantine check and checksum verification, and never
+  /// caching the bytes. For salvage only: a skip-mode heap scan uses this
+  /// to extract the next-page link from a quarantined chain page.
+  [[nodiscard]] Status ReadForSalvage(PageId id, char* buf) XO_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
 
@@ -205,10 +276,15 @@ class BufferPool {
   [[nodiscard]] Status Unpin(PageId id, bool dirty) XO_EXCLUDES(mu_);
 
   [[nodiscard]] Result<size_t> GetVictimFrame() XO_REQUIRES(mu_);
+  /// True when dirty write-back must stop: the engine latched kReadOnly or
+  /// kFailed on a journaled pool, so the pre-image log cannot be trusted.
+  [[nodiscard]] bool WritebackFrozen() const XO_REQUIRES(mu_);
   /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
   [[nodiscard]] Status WriteBack(Frame& frame) XO_REQUIRES(mu_);
   [[nodiscard]] Status ReadRetry(PageId id, char* buf) XO_REQUIRES(mu_);
   [[nodiscard]] Status WriteRetry(PageId id, const char* buf) XO_REQUIRES(mu_);
+  /// Adds `id` to the quarantine set and reports degraded health once.
+  void QuarantineLocked(PageId id) XO_REQUIRES(mu_);
 
   Pager* const pager_;  // only touched under mu_ (or by Database exclusively)
   const size_t capacity_;
@@ -217,9 +293,17 @@ class BufferPool {
   /// statement lock and before Wal::mu_ (DESIGN.md section 10).
   mutable xo::Mutex mu_;
   Wal* wal_ XO_GUARDED_BY(mu_) = nullptr;
+  /// Fault sink; EngineHealth's own mutex is a leaf below mu_, so
+  /// reporting from under the pool lock cannot invert the hierarchy.
+  EngineHealth* health_ XO_GUARDED_BY(mu_) = nullptr;
   std::vector<Frame> frames_ XO_GUARDED_BY(mu_);
   std::unordered_map<PageId, size_t> frame_of_page_ XO_GUARDED_BY(mu_);
   std::unique_ptr<char[]> scratch_ XO_GUARDED_BY(mu_);  // pre-image staging
+  /// Pages whose checksum failed; fetches fail fast until recovery clears
+  /// the set (DESIGN.md §13 quarantine lifecycle).
+  std::unordered_set<PageId> quarantined_ XO_GUARDED_BY(mu_);
+  /// Next page ScrubSlice examines; wraps at the end of the file.
+  PageId scrub_cursor_ XO_GUARDED_BY(mu_) = 0;
   uint64_t clock_ XO_GUARDED_BY(mu_) = 0;
   BufferPoolStats stats_ XO_GUARDED_BY(mu_);
 };

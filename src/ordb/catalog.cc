@@ -136,4 +136,11 @@ uint64_t Catalog::IndexBytes() const {
   return bytes;
 }
 
+void Catalog::Clear() {
+  xo::WriterLock lock(&mu_);
+  table_by_name_.clear();
+  indexes_.clear();
+  tables_.clear();
+}
+
 }  // namespace xorator::ordb

@@ -92,6 +92,13 @@ class Catalog {
   /// Total pages/bytes across indexes (the paper's "index size").
   uint64_t IndexBytes() const XO_EXCLUDES(mu_);
 
+  /// Drops every table and index entry. This is the one exception to the
+  /// "entries are never removed" contract above, reserved for
+  /// Database::TryRecover(), which rebuilds the whole storage stack under
+  /// the exclusive statement lock with no statements in flight — any
+  /// TableInfo*/IndexInfo* held across a Clear() is dangling.
+  void Clear() XO_EXCLUDES(mu_);
+
  private:
   TableInfo* FindTableLocked(std::string_view name) const
       XO_REQUIRES_SHARED(mu_);

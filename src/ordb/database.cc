@@ -105,6 +105,14 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
   db->pool_ =
       std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
   db->pool_->set_wal(db->wal_.get());
+  db->pool_->set_health(&db->health_);
+  if (db->fault_pager_ != nullptr && db->wal_ != nullptr) {
+    // Per-file fault scoping: WAL-append faults are drawn from the fault
+    // pager's independent WAL stream (the WAL itself is an ofstream, not a
+    // Pager, so it cannot be wrapped).
+    db->wal_->set_fault_hook(
+        [fp = db->fault_pager_] { return fp->DrawWalAppend(); });
+  }
   db->functions_ = FunctionRegistry::WithBuiltins();
   // The database is not published yet, but the locked helpers below
   // require the statement lock; taking it here is free and lets the
@@ -147,6 +155,20 @@ Status Database::Checkpoint() {
 
 Status Database::CheckpointLocked() {
   if (pool_ == nullptr) return Status::OK();
+  // A non-writable engine must never checkpoint: truncating the WAL would
+  // destroy exactly the rollback evidence a later recovery needs, and a
+  // Degraded-but-writable engine may still checkpoint what it can.
+  XO_RETURN_NOT_OK(health_.CheckWritable());
+  Status s = DoCheckpointLocked();
+  if (!s.ok() && s.IsDegradable()) {
+    // The commit point itself failed; durability is no longer guaranteed,
+    // so mutations stop until TryRecover() re-verifies the stack.
+    health_.ReportReadOnly("checkpoint failed: " + s.message());
+  }
+  return s;
+}
+
+Status Database::DoCheckpointLocked() {
   // Quiescence sentinel: a checkpoint runs under the exclusive statement
   // lock, so every PageRef guard must have been released by now. A live
   // pin here is a leak that would wedge eviction (debug builds only).
@@ -320,7 +342,8 @@ Status Database::Cancel(uint64_t query_id) {
 }
 
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
-                                        bool explain_only, QueryGuard* guard) {
+                                        bool explain_only, QueryGuard* guard,
+                                        bool skip_quarantined) {
   Planner planner(&catalog_, &functions_, options_.planner);
   XO_ASSIGN_OR_RETURN(OperatorPtr plan, planner.PlanSelect(stmt));
   QueryResult result;
@@ -336,9 +359,14 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   ctx.pool = pool_.get();
   ctx.catalog = &catalog_;
   ctx.guard = guard;
+  ctx.skip_quarantined = skip_quarantined;
   // The marshaled-UDF ABI carries no context, so UDF bodies and the XADT
-  // fragment scanner reach the guard thread-locally (DESIGN.md §12).
+  // fragment scanner reach the guard thread-locally (DESIGN.md §12); the
+  // degraded-scan mode travels the same way (DESIGN.md §13).
   ScopedGuardBind bind(guard);
+  DegradedScan degraded;
+  degraded.skip_corrupt = skip_quarantined;
+  ScopedDegradedScanBind degraded_bind(skip_quarantined ? &degraded : nullptr);
   // Close() must run on the error path too: a query stopped by its guard
   // (or by any mid-scan failure) has to release every pin and every
   // tracked-arena charge before the error reaches the caller.
@@ -363,6 +391,20 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   XO_RETURN_NOT_OK(exec);
   result.udf_stats = ctx.udf_stats;
   if (guard != nullptr) result.plan += "\n" + guard->StatsLine();
+  // Resilience stats line (DESIGN.md §13), appended only when there is
+  // something to report so healthy-engine plan text stays byte-identical.
+  const HealthSnapshot hs = health_.Snapshot();
+  const uint64_t quarantined = pool_->stats().quarantined_pages;
+  if (skip_quarantined || hs.state != HealthState::kHealthy ||
+      quarantined > 0) {
+    result.plan += "\nresilience: health=";
+    result.plan += HealthStateName(hs.state);
+    result.plan += " quarantined=" + std::to_string(quarantined) +
+                   " skipped_pages=" + std::to_string(ctx.skipped_pages) +
+                   " skipped_records=" + std::to_string(ctx.skipped_records) +
+                   " skipped_fragments=" +
+                   std::to_string(degraded.skipped_fragments);
+  }
   return result;
 }
 
@@ -385,10 +427,13 @@ Result<QueryResult> Database::Query(const std::string& sql_text,
   GuardRegistration registration(this, options.query_id, g);
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect: {
+      XO_RETURN_NOT_OK(health_.CheckUsable());
       xo::ReaderLock lock(&mu_);
-      return RunSelect(stmt.select, /*explain_only=*/false, g);
+      return RunSelect(stmt.select, /*explain_only=*/false, g,
+                       options.skip_quarantined);
     }
     case sql::Statement::Kind::kExplain: {
+      XO_RETURN_NOT_OK(health_.CheckUsable());
       xo::ReaderLock lock(&mu_);
       XO_ASSIGN_OR_RETURN(QueryResult r,
                           RunSelect(stmt.select, /*explain_only=*/true, g));
@@ -398,7 +443,20 @@ Result<QueryResult> Database::Query(const std::string& sql_text,
       out.rows.push_back({Value::Varchar(r.plan)});
       return out;
     }
+    case sql::Statement::Kind::kPragma: {
+      // Pragmas are maintenance reads: they run on any usable engine —
+      // that is their point — and only touch internally-synchronized
+      // state, so the shared side of the lock suffices. The guard binds
+      // thread-locally so a scrub slice is deadline/cancel-paced.
+      XO_RETURN_NOT_OK(health_.CheckUsable());
+      xo::ReaderLock lock(&mu_);
+      ScopedGuardBind bind(g);
+      return RunPragma(stmt.pragma);
+    }
     default: {
+      // Fail-fast gate (DESIGN.md §13): a ReadOnly/Failed engine rejects
+      // mutations before queueing on the statement lock.
+      XO_RETURN_NOT_OK(health_.CheckWritable());
       xo::WriterLock lock(&mu_);
       // Write statements poll the thread-local binding (BulkInsertLocked,
       // RunDelete) rather than an ExecContext.
@@ -412,6 +470,7 @@ Result<QueryResult> Database::ExecuteStmtLocked(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
     case sql::Statement::Kind::kExplain:
+    case sql::Statement::Kind::kPragma:
       // Read-only kinds never reach here: Query() routes them through the
       // shared side of the lock (see the dispatch above).
       return Status::Internal("read-only statement on the write path");
@@ -497,6 +556,7 @@ Result<std::string> Database::Explain(const std::string& sql_text) {
 }
 
 Status Database::CreateTable(const std::string& name, TableSchema schema) {
+  XO_RETURN_NOT_OK(health_.CheckWritable());
   xo::WriterLock lock(&mu_);
   return CreateTableLocked(name, std::move(schema));
 }
@@ -508,6 +568,7 @@ Status Database::CreateTableLocked(const std::string& name,
 
 Status Database::CreateIndex(const std::string& table,
                              const std::string& column) {
+  XO_RETURN_NOT_OK(health_.CheckWritable());
   xo::WriterLock lock(&mu_);
   return CreateIndexLocked(table, column);
 }
@@ -539,6 +600,7 @@ Status Database::CreateIndexLocked(const std::string& table,
 
 Status Database::BulkInsert(const std::string& table,
                             const std::vector<Tuple>& rows) {
+  XO_RETURN_NOT_OK(health_.CheckWritable());
   xo::WriterLock lock(&mu_);
   return BulkInsertLocked(table, rows);
 }
@@ -574,6 +636,7 @@ Status Database::BulkInsertLocked(const std::string& table,
 }
 
 Status Database::RunStats() {
+  XO_RETURN_NOT_OK(health_.CheckWritable());
   xo::WriterLock lock(&mu_);
   for (TableInfo* t : catalog_.tables()) {
     std::vector<std::unordered_set<uint64_t>> distinct(t->schema.size());
@@ -757,6 +820,7 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
 }
 
 Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
+  XO_RETURN_NOT_OK(health_.CheckWritable());
   xo::WriterLock lock(&mu_);
   std::set<std::pair<std::string, std::string>> wanted;
   for (const std::string& q : queries) {
@@ -802,6 +866,139 @@ Status Database::AdviseIndexes(const std::vector<std::string>& queries) {
     }
   }
   return Status::OK();
+}
+
+// ----------------------------------------- failure containment (DESIGN.md §13)
+
+Status Database::RebuildStorageLocked() {
+  const std::string wal_path = options_.path + ".wal";
+  // Roll the file back to its last checkpoint first — dirty frames were
+  // just dropped, so the on-disk image may hold a partial epoch.
+  XO_RETURN_NOT_OK(RecoverFromWal(options_.path, wal_path).status());
+  XO_ASSIGN_OR_RETURN(auto file_pager, FilePager::Open(options_.path));
+  std::unique_ptr<Pager> pager = std::move(file_pager);
+  XO_ASSIGN_OR_RETURN(wal_, Wal::Open(wal_path, pager->page_count()));
+  if (options_.fault.has_value()) {
+    // Re-wrap with the *current* schedule: tests typically clear the fault
+    // options through mutable_options() before asking for recovery.
+    auto faulty =
+        std::make_unique<FaultInjectingPager>(std::move(pager),
+                                              *options_.fault);
+    fault_pager_ = faulty.get();
+    pager = std::move(faulty);
+    wal_->set_fault_hook([fp = fault_pager_] { return fp->DrawWalAppend(); });
+  }
+  pager_ = std::move(pager);
+  pool_ =
+      std::make_unique<BufferPool>(pager_.get(), options_.buffer_pool_pages);
+  pool_->set_wal(wal_.get());
+  pool_->set_health(&health_);
+  if (pager_->page_count() > 0) {
+    XO_RETURN_NOT_OK(LoadCatalog());
+  }
+  return Status::OK();
+}
+
+Status Database::TryRecover() {
+  xo::WriterLock lock(&mu_);
+  if (health_.state() == HealthState::kHealthy) return Status::OK();
+  XO_RETURN_NOT_OK(health_.CheckUsable());  // kFailed is terminal
+  if (pool_ == nullptr) {
+    return Status::Unavailable("no storage stack to recover");
+  }
+  assert(pool_->PinnedFrameCount() == 0 &&
+         "TryRecover reached with PageRef guards still holding pins");
+  pool_->ClearQuarantine();
+  if (wal_ == nullptr) {
+    // Memory-backed: there is no durable state to re-verify; flushing the
+    // pool against the memory pager proves the write path works again.
+    XO_RETURN_NOT_OK(pool_->FlushAll());
+    if (!health_.Recover()) {
+      return Status::Unavailable("engine failed while recovering");
+    }
+    return Status::OK();
+  }
+  // File-backed: tear the whole storage stack down and re-run the Open
+  // sequence. Dirty frames are dropped deliberately — the WAL rolls the
+  // file back to the last checkpoint, the only state known to be sound.
+  catalog_.Clear();
+  pool_.reset();
+  wal_.reset();
+  fault_pager_ = nullptr;
+  pager_.reset();
+  opened_ = false;
+  Status rebuilt = RebuildStorageLocked();
+  if (!rebuilt.ok()) {
+    // The stack is gone (possibly partially null); only a reopen helps.
+    // Queries fail fast via CheckUsable rather than dereferencing nulls.
+    health_.ReportFailed("recovery failed: " + rebuilt.message());
+    return rebuilt;
+  }
+  opened_ = true;
+  if (!health_.Recover()) {
+    return Status::Unavailable("engine failed while recovering");
+  }
+  return Status::OK();
+}
+
+Result<ScrubReport> Database::Scrub(uint64_t max_pages) {
+  XO_RETURN_NOT_OK(health_.CheckUsable());
+  xo::ReaderLock lock(&mu_);
+  if (pool_ == nullptr) {
+    return Status::Unavailable("no storage stack attached");
+  }
+  return pool_->ScrubSlice(max_pages);
+}
+
+Result<QueryResult> Database::RunPragma(const sql::PragmaStmt& stmt) {
+  if (EqualsIgnoreCase(stmt.name, "health")) {
+    const HealthSnapshot hs = health_.Snapshot();
+    const BufferPoolStats ps =
+        pool_ != nullptr ? pool_->stats() : BufferPoolStats{};
+    QueryResult result;
+    result.columns = {"name", "value"};
+    auto row = [&result](std::string_view name, std::string value) {
+      result.rows.push_back(
+          {Value::Varchar(std::string(name)), Value::Varchar(std::move(value))});
+    };
+    row("health", std::string(HealthStateName(hs.state)));
+    row("health_detail", hs.detail);
+    row("health_transitions", std::to_string(hs.transitions));
+    row("io_retries", std::to_string(ps.retries));
+    row("checksum_failures", std::to_string(ps.checksum_failures));
+    row("quarantined_pages", std::to_string(ps.quarantined_pages));
+    row("quarantine_hits", std::to_string(ps.quarantine_hits));
+    row("scrub_pages_scanned", std::to_string(ps.scrub_pages_scanned));
+    row("scrub_pages_bad", std::to_string(ps.scrub_pages_bad));
+    row("scrub_passes", std::to_string(ps.scrub_passes));
+    return result;
+  }
+  if (EqualsIgnoreCase(stmt.name, "scrub")) {
+    if (pool_ == nullptr) {
+      return Status::Unavailable("no storage stack attached");
+    }
+    uint64_t budget = kScrubSlicePages;
+    if (stmt.has_arg) {
+      if (stmt.arg <= 0) {
+        return Status::InvalidArgument("PRAGMA scrub(n) needs n > 0");
+      }
+      budget = static_cast<uint64_t>(stmt.arg);
+    }
+    XO_ASSIGN_OR_RETURN(ScrubReport report, pool_->ScrubSlice(budget));
+    QueryResult result;
+    result.columns = {"pages_scanned", "pages_verified", "pages_resident",
+                      "pages_bad",     "cursor",         "wrapped"};
+    result.rows.push_back(
+        {Value::Int(static_cast<int64_t>(report.pages_scanned)),
+         Value::Int(static_cast<int64_t>(report.pages_verified)),
+         Value::Int(static_cast<int64_t>(report.pages_resident)),
+         Value::Int(static_cast<int64_t>(report.pages_bad)),
+         Value::Int(static_cast<int64_t>(report.cursor)),
+         Value::Bool(report.wrapped)});
+    return result;
+  }
+  return Status::InvalidArgument("unknown pragma '" + stmt.name +
+                                 "' (try PRAGMA health or PRAGMA scrub)");
 }
 
 }  // namespace xorator::ordb

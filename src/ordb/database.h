@@ -16,6 +16,7 @@
 #include "ordb/catalog.h"
 #include "ordb/fault_pager.h"
 #include "ordb/functions.h"
+#include "ordb/health.h"
 #include "ordb/pager.h"
 #include "ordb/planner.h"
 #include "ordb/query_guard.h"
@@ -53,8 +54,15 @@ struct QueryOptions {
   /// query waiting behind a writer is already cancellable.
   uint64_t query_id = 0;
 
+  /// Degraded-scan mode (DESIGN.md §13): SELECTs skip quarantined/corrupt
+  /// heap pages and damaged overflow/XADT fragments instead of failing,
+  /// and report what they skipped on the plan's "resilience:" stats line.
+  /// Off by default: normal queries must surface corruption.
+  bool skip_quarantined = false;
+
   /// True when any limit or the cancel identity is set — i.e. the
-  /// statement needs a QueryGuard at all.
+  /// statement needs a QueryGuard at all (skip_quarantined alone does not:
+  /// it changes scan behavior, not resource governance).
   bool guarded() const {
     return deadline_millis != 0 || max_memory_bytes != 0 || query_id != 0;
   }
@@ -172,6 +180,36 @@ class Database {
   [[nodiscard]] Result<std::string> Explain(const std::string& sql)
       XO_EXCLUDES(mu_);
 
+  // -- Failure containment (DESIGN.md §13). ---------------------------------
+
+  /// The engine health state machine. Healthy engines run everything;
+  /// Degraded engines run everything but carry quarantined pages;
+  /// ReadOnly engines reject mutations (durability is compromised);
+  /// Failed engines reject everything and need a reopen.
+  EngineHealth* health() { return &health_; }
+
+  /// Attempts to re-arm a Degraded/ReadOnly engine without a process
+  /// restart: clears the page quarantine and, for file-backed databases,
+  /// tears the storage stack down and re-runs WAL recovery + catalog
+  /// reload (rolling back to the last checkpoint — uncheckpointed work is
+  /// lost, exactly as a reopen would lose it). On success the engine is
+  /// Healthy again. Failure latches kFailed: the on-disk state needs
+  /// offline repair and the handle only answers what its caches can.
+  /// Table/index pointers obtained from catalog() before TryRecover() are
+  /// invalidated. No-op on a Healthy engine; error on a Failed one.
+  [[nodiscard]] Status TryRecover() XO_EXCLUDES(mu_);
+
+  /// Runs one budgeted slice of the incremental background scrubber:
+  /// checksum-verifies up to `max_pages` pages from the persistent scrub
+  /// cursor, quarantining (and reporting Degraded for) every page that
+  /// fails. Callable from SQL as `PRAGMA scrub` / `PRAGMA scrub(n)`.
+  /// Takes the statement lock shared — scrubbing runs alongside readers.
+  [[nodiscard]] Result<ScrubReport> Scrub(uint64_t max_pages = kScrubSlicePages)
+      XO_EXCLUDES(mu_);
+
+  /// Default page budget of one scrub slice (1 MB of 8 KB pages).
+  static constexpr uint64_t kScrubSlicePages = 128;
+
   // -- Direct (non-SQL) data path, used by the bulk loader. -----------------
 
   [[nodiscard]] Status CreateTable(const std::string& name, TableSchema schema)
@@ -229,12 +267,24 @@ class Database {
   /// executing thread (ScopedGuardBind) so UDFs and XADT scans can poll it,
   /// close the plan on the error path too (releasing every pin before the
   /// error propagates), and append the guard stats line to the plan text.
+  /// `skip_quarantined` enables the degraded-scan mode (DESIGN.md §13).
   [[nodiscard]] Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
                                               bool explain_only,
-                                              QueryGuard* guard = nullptr)
+                                              QueryGuard* guard = nullptr,
+                                              bool skip_quarantined = false)
       XO_REQUIRES_SHARED(mu_);
   [[nodiscard]] Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt)
       XO_REQUIRES(mu_);
+  /// PRAGMA dispatch (health introspection, scrub slices). Shared lock:
+  /// pragmas only touch internally-synchronized components.
+  [[nodiscard]] Result<QueryResult> RunPragma(const sql::PragmaStmt& stmt)
+      XO_REQUIRES_SHARED(mu_);
+  /// The unlatched checkpoint body; CheckpointLocked wraps it with the
+  /// health gate and failure latching.
+  [[nodiscard]] Status DoCheckpointLocked() XO_REQUIRES(mu_);
+  /// Rebuilds the file-backed storage stack (recovery → pager → WAL →
+  /// buffer pool → catalog) for TryRecover().
+  [[nodiscard]] Status RebuildStorageLocked() XO_REQUIRES(mu_);
 
   /// RAII registration of a guard under a caller-chosen id in guards_,
   /// keyed for Database::Cancel(). Registration happens in the constructor
@@ -264,8 +314,13 @@ class Database {
   /// (DESIGN.md section 10).
   mutable xo::SharedMutex mu_;
   DbOptions options_;
+  /// Engine health (internally synchronized leaf). Declared before the
+  /// storage components so it outlives them: the buffer pool may report
+  /// into it up to its own destruction.
+  EngineHealth health_;
   // The component pointers below are set while Open() runs single-threaded
-  // and are immutable afterwards; the objects they point to are internally
+  // and are immutable afterwards except under TryRecover() (which holds
+  // mu_ exclusively); the objects they point to are internally
   // synchronized, so the pointers themselves need no capability.
   std::unique_ptr<Pager> pager_;  // declared before pool_/wal_: destroyed last
   std::unique_ptr<Wal> wal_;

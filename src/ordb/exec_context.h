@@ -31,6 +31,16 @@ struct ExecContext {
   /// Rows produced by the root operator (set by Database::Query).
   uint64_t rows_out = 0;
 
+  /// Degraded-scan mode (DESIGN.md §13): when true, table scans skip
+  /// quarantined/corrupt pages and corrupt overflow chains instead of
+  /// failing, and report what was skipped through the counters below.
+  /// Opt-in per query via QueryOptions::skip_quarantined.
+  bool skip_quarantined = false;
+  /// Heap pages skipped by degraded scans in this query.
+  uint64_t skipped_pages = 0;
+  /// Records (including per-page markers) skipped by degraded scans.
+  uint64_t skipped_records = 0;
+
   /// Polls the guard, if any: OK to keep running, else the guard's
   /// kCancelled / kDeadlineExceeded / kResourceExhausted error. Operators
   /// call this once per row produced or materialized.

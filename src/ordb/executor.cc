@@ -124,14 +124,27 @@ SeqScanOp::SeqScanOp(const TableInfo* table, const std::string& alias)
 Status SeqScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   scanner_ = std::make_unique<HeapFile::Scanner>(table_->heap->Scan());
+  scanner_->set_skip_corrupt(ctx->skip_quarantined);
+  synced_skipped_pages_ = 0;
+  synced_skipped_records_ = 0;
   return Status::OK();
+}
+
+void SeqScanOp::SyncSkipCounters() {
+  ctx_->skipped_pages += scanner_->skipped_pages() - synced_skipped_pages_;
+  synced_skipped_pages_ = scanner_->skipped_pages();
+  ctx_->skipped_records +=
+      scanner_->skipped_records() - synced_skipped_records_;
+  synced_skipped_records_ = scanner_->skipped_records();
 }
 
 Result<bool> SeqScanOp::Next(Tuple* out) {
   RETURN_IF_ERROR(ctx_->CheckPoint());
   Rid rid;
   std::string record;
-  XO_ASSIGN_OR_RETURN(bool ok, scanner_->Next(&rid, &record));
+  auto advanced = scanner_->Next(&rid, &record);
+  SyncSkipCounters();
+  XO_ASSIGN_OR_RETURN(bool ok, std::move(advanced));
   if (!ok) return false;
   XO_ASSIGN_OR_RETURN(*out, DecodeTuple(table_->schema, record));
   return true;

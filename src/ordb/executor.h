@@ -63,10 +63,17 @@ class SeqScanOp : public Operator {
   std::string Label() const override;
 
  private:
+  /// Flows the scanner's degraded-scan skip counters into the context
+  /// incrementally, so partially-consumed scans (LIMIT, errors) still
+  /// report what they skipped.
+  void SyncSkipCounters();
+
   const TableInfo* table_;
   std::string alias_;
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<HeapFile::Scanner> scanner_;
+  uint64_t synced_skipped_pages_ = 0;
+  uint64_t synced_skipped_records_ = 0;
 };
 
 /// Point index scan: rows of `table` whose `index` column equals `key`.

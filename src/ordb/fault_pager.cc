@@ -9,6 +9,28 @@ bool FaultInjectingPager::Chance(double rate) {
   return std::uniform_real_distribution<double>(0, 1)(rng_) < rate;
 }
 
+bool FaultInjectingPager::WalChance(double rate) {
+  if (rate <= 0) return false;
+  return std::uniform_real_distribution<double>(0, 1)(wal_rng_) < rate;
+}
+
+Status FaultInjectingPager::DrawWalAppend() {
+  ++stats_.wal_appends;
+  if (options_.wal_fail_after_appends >= 0 &&
+      static_cast<int64_t>(stats_.wal_appends) >
+          options_.wal_fail_after_appends) {
+    ++stats_.wal_failures;
+    return Status::IOError("injected WAL device failure after " +
+                           std::to_string(options_.wal_fail_after_appends) +
+                           " appends");
+  }
+  if (WalChance(options_.wal_append_fail_rate)) {
+    ++stats_.wal_failures;
+    return Status::IOError("injected WAL append failure");
+  }
+  return Status::OK();
+}
+
 Status FaultInjectingPager::Draw(bool is_write) {
   if (is_write && options_.fail_after_writes >= 0 &&
       static_cast<int64_t>(stats_.writes) >= options_.fail_after_writes) {
@@ -83,6 +105,12 @@ Status FaultInjectingPager::Write(PageId id, const char* buf) {
   return s;
 }
 
-Status FaultInjectingPager::Flush() { return base_->Flush(); }
+Status FaultInjectingPager::Flush() {
+  if (WalChance(options_.sync_fail_rate)) {
+    ++stats_.sync_failures;
+    return Status::IOError("injected sync failure");
+  }
+  return base_->Flush();
+}
 
 }  // namespace xorator::ordb

@@ -42,6 +42,24 @@ struct FaultOptions {
   /// subsequent write and allocation fails with kIOError (simulating the
   /// process losing its disk mid-run). Negative disables.
   int64_t fail_after_writes = -1;
+
+  // -- Per-file scoping: the knobs above hit the DATA file only. The WAL
+  // -- and sync knobs below are drawn from an independent PRNG stream, so
+  // -- WAL-append and checkpoint failure paths are injectable without
+  // -- perturbing the data-file fault schedule (and vice versa).
+
+  /// Rate of kIOError injected into WAL record appends (wired into
+  /// Wal::set_fault_hook by Database::Open). Exercises the engine's
+  /// read-only latch: a failed pre-image append disables mutations.
+  double wal_append_fail_rate = 0;
+
+  /// After this many WAL appends, every subsequent append fails with
+  /// kIOError (a full WAL device). Negative disables.
+  int64_t wal_fail_after_appends = -1;
+
+  /// Rate of kIOError on Flush() — the checkpoint's durability point —
+  /// independently of per-page write faults.
+  double sync_fail_rate = 0;
 };
 
 /// Counters of what was actually injected.
@@ -53,6 +71,12 @@ struct FaultStats {
   uint64_t torn_writes = 0;
   uint64_t bit_flips = 0;
   uint64_t crash_failures = 0;
+  /// WAL appends that passed through the hook (successful or not).
+  uint64_t wal_appends = 0;
+  /// WAL appends failed by wal_append_fail_rate / wal_fail_after_appends.
+  uint64_t wal_failures = 0;
+  /// Flush() calls failed by sync_fail_rate.
+  uint64_t sync_failures = 0;
 };
 
 /// A Pager decorator that injects faults according to a seeded,
@@ -61,25 +85,45 @@ struct FaultStats {
 class FaultInjectingPager : public Pager {
  public:
   FaultInjectingPager(std::unique_ptr<Pager> base, const FaultOptions& options)
-      : base_(std::move(base)), options_(options), rng_(options.seed) {}
+      : base_(std::move(base)),
+        options_(options),
+        rng_(options.seed),
+        wal_rng_(options.seed ^ kWalStreamSalt) {}
 
   [[nodiscard]] Result<PageId> Allocate() override;
   [[nodiscard]] Status Read(PageId id, char* buf) override;
   [[nodiscard]] Status Write(PageId id, const char* buf) override;
+  /// Draws the sync fault (sync_fail_rate) before delegating — the
+  /// checkpoint's pager Flush is independently injectable.
   [[nodiscard]] Status Flush() override;
   PageId page_count() const override { return base_->page_count(); }
+
+  /// Draws the WAL-append fault decision; Database::Open installs this as
+  /// the Wal's fault hook. Uses the independent WAL PRNG stream, so data
+  /// and WAL schedules do not perturb each other.
+  [[nodiscard]] Status DrawWalAppend();
+
+  /// Replaces the fault schedule mid-run (e.g. a test clearing faults
+  /// before TryRecover). Neither PRNG stream is reseeded, so determinism
+  /// per (seed, operation sequence) is preserved.
+  void set_options(const FaultOptions& options) { options_ = options; }
 
   const FaultStats& stats() const { return stats_; }
   Pager* base() { return base_.get(); }
 
  private:
+  /// Decorrelates the WAL PRNG stream from the data-file stream.
+  static constexpr uint64_t kWalStreamSalt = 0x57414C1957414C19ull;
+
   /// Draws the fault decision for one operation; OK means "pass through".
   [[nodiscard]] Status Draw(bool is_write);
   bool Chance(double rate);
+  bool WalChance(double rate);
 
   std::unique_ptr<Pager> base_;
   FaultOptions options_;
   std::mt19937_64 rng_;
+  std::mt19937_64 wal_rng_;
   FaultStats stats_;
   int consecutive_transients_ = 0;
 };

@@ -161,44 +161,116 @@ Status HeapFile::Delete(const Rid& rid) {
 HeapFile::Scanner::Scanner(const HeapFile* file)
     : file_(file), page_(file->first_page_), slot_(0) {}
 
+namespace {
+/// Longest run of consecutive corrupt pages a degraded scan will follow.
+/// Salvaged next-links are unverified, so a badly damaged chain could
+/// otherwise cycle through garbage page ids forever.
+constexpr uint64_t kMaxSkipRun = 1024;
+}  // namespace
+
+Result<PageId> HeapFile::Scanner::SalvageNextPage(PageId corrupt) const {
+  char raw[kPageSize];
+  Status read = file_->pool_->ReadForSalvage(corrupt, raw);
+  if (read.IsRetryable() || read.code() == StatusCode::kInternal) {
+    return read;  // transient storm / pool exhaustion — not a verdict
+  }
+  if (!read.ok()) return kInvalidPageId;  // unreadable: end of usable chain
+  SlottedPage page(raw);
+  if (!page.initialized()) return kInvalidPageId;  // garbage header
+  PageId next = page.next_page();
+  if (next == corrupt) return kInvalidPageId;  // self-loop
+  return next;
+}
+
 Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
   while (page_ != kInvalidPageId) {
-    XO_ASSIGN_OR_RETURN(PageRef ref, file_->pool_->Fetch(page_));
-    SlottedPage page(ref.data());
-    if (!page.initialized()) {
-      // A chained page whose initialization never reached disk (crash
-      // without recovery): surface it rather than scanning garbage.
-      return Status::Corruption("heap chain reaches uninitialized page " +
-                                std::to_string(page_));
-    }
-    uint16_t count = page.slot_count();
-    while (slot_ < count) {
-      uint16_t s = slot_++;
-      auto bytes = page.Get(s);
-      if (!bytes.ok()) continue;  // tombstone
-      std::string_view payload = *bytes;
-      if (payload.empty()) continue;
-      if (payload[0] == kInlineMarker) {
-        record->assign(payload.substr(1));
-      } else {
-        std::string stub(payload.substr(1));
-        RETURN_IF_ERROR(ref.Release());
-        XO_ASSIGN_OR_RETURN(*record, file_->ReadOverflow(stub));
-        *rid = Rid{page_, s};
-        return true;
+    // Scan the current page inside its own pin scope; overflow stubs are
+    // resolved after the pin is released (overflow reads pin other pages).
+    std::string stub;
+    bool have_stub = false;
+    uint16_t stub_slot = 0;
+    {
+      auto fetched = file_->pool_->Fetch(page_);
+      if (!fetched.ok()) {
+        if (!skip_corrupt_ ||
+            fetched.status().code() != StatusCode::kCorruption) {
+          return fetched.status();
+        }
+        // Degraded scan: count the page out, recover the chain link from
+        // the raw bytes, and keep going (DESIGN.md §13).
+        ++skipped_pages_;
+        ++skipped_records_;  // at least the page's records are gone
+        if (++skip_run_ > kMaxSkipRun) {
+          return Status::Corruption(
+              "heap chain unscannable: " + std::to_string(skip_run_) +
+              " consecutive corrupt pages from page " + std::to_string(page_));
+        }
+        XO_ASSIGN_OR_RETURN(page_, SalvageNextPage(page_));
+        slot_ = 0;
+        continue;
       }
-      *rid = Rid{page_, s};
+      skip_run_ = 0;
+      PageRef ref = std::move(*fetched);
+      SlottedPage page(ref.data());
+      if (!page.initialized()) {
+        // A chained page whose initialization never reached disk (crash
+        // without recovery): surface it rather than scanning garbage.
+        if (!skip_corrupt_) {
+          return Status::Corruption("heap chain reaches uninitialized page " +
+                                    std::to_string(page_));
+        }
+        // An uninitialized page is the chain's torn tail — end the scan.
+        ++skipped_pages_;
+        ++skipped_records_;
+        RETURN_IF_ERROR(ref.Release());
+        page_ = kInvalidPageId;
+        break;
+      }
+      uint16_t count = page.slot_count();
+      while (slot_ < count) {
+        uint16_t s = slot_++;
+        auto bytes = page.Get(s);
+        if (!bytes.ok()) continue;  // tombstone
+        std::string_view payload = *bytes;
+        if (payload.empty()) continue;
+        if (payload[0] == kInlineMarker) {
+          record->assign(payload.substr(1));
+          *rid = Rid{page_, s};
+          RETURN_IF_ERROR(ref.Release());
+          return true;
+        }
+        stub.assign(payload.substr(1));
+        have_stub = true;
+        stub_slot = s;
+        break;
+      }
+      if (!have_stub) {
+        PageId next = page.next_page();
+        RETURN_IF_ERROR(ref.Release());
+        if (next == page_) {
+          return Status::Corruption("heap chain cycle at page " +
+                                    std::to_string(page_));
+        }
+        page_ = next;
+        slot_ = 0;
+        continue;
+      }
       RETURN_IF_ERROR(ref.Release());
-      return true;
     }
-    PageId next = page.next_page();
-    RETURN_IF_ERROR(ref.Release());
-    if (next == page_) {
-      return Status::Corruption("heap chain cycle at page " +
-                                std::to_string(page_));
+    auto overflow = file_->ReadOverflow(stub);
+    if (!overflow.ok()) {
+      if (skip_corrupt_ &&
+          overflow.status().code() == StatusCode::kCorruption) {
+        // The record's overflow chain is damaged; drop the record, keep
+        // the page (slot_ already points past it).
+        ++skipped_records_;
+        continue;
+      }
+      return overflow.status();
     }
-    page_ = next;
-    slot_ = 0;
+    *record = std::move(*overflow);
+    *rid = Rid{page_, stub_slot};
+    return true;
   }
   return false;
 }

@@ -55,10 +55,34 @@ class HeapFile {
     /// Advances to the next record; false at end of file.
     [[nodiscard]] Result<bool> Next(Rid* rid, std::string* record);
 
+    /// Degraded-scan mode (DESIGN.md §13): instead of failing the scan,
+    /// a kCorruption page fetch skips the whole page (salvaging its
+    /// next-page link from the raw on-disk bytes) and a corrupt overflow
+    /// chain skips just that record; everything skipped is counted below.
+    /// Off by default — a normal scan must surface corruption.
+    void set_skip_corrupt(bool skip) { skip_corrupt_ = skip; }
+
+    /// Pages skipped because they were quarantined/corrupt (skip mode).
+    uint64_t skipped_pages() const { return skipped_pages_; }
+    /// Records skipped because their overflow chain was corrupt, plus a
+    /// conservative marker count for each skipped page (skip mode).
+    uint64_t skipped_records() const { return skipped_records_; }
+
    private:
+    /// Reads the corrupt page's raw bytes (no checksum check) to recover
+    /// its next-page link; kInvalidPageId ends the scan when the link is
+    /// unrecoverable or self-referential.
+    [[nodiscard]] Result<PageId> SalvageNextPage(PageId corrupt) const;
+
     const HeapFile* file_;
     PageId page_;
     uint16_t slot_;
+    bool skip_corrupt_ = false;
+    uint64_t skipped_pages_ = 0;
+    uint64_t skipped_records_ = 0;
+    /// Corrupt pages traversed back-to-back; bounds degraded scans over a
+    /// damaged chain whose salvaged links could otherwise loop.
+    uint64_t skip_run_ = 0;
   };
 
   Scanner Scan() const { return Scanner(this); }

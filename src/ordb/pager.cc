@@ -1,8 +1,28 @@
 #include "ordb/pager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 namespace xorator::ordb {
+
+Status SyncToDisk(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' to sync it: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of '" + path +
+                           "' failed: " + std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
 
 Result<PageId> MemoryPager::Allocate() {
   auto page = std::make_unique<char[]>(kPageSize);
@@ -43,8 +63,8 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
         " bytes, not a multiple of the " + std::to_string(kPageSize) +
         "-byte page size (torn final write? recover from the WAL)");
   }
-  return std::unique_ptr<FilePager>(
-      new FilePager(std::move(file), static_cast<PageId>(size / kPageSize)));
+  return std::unique_ptr<FilePager>(new FilePager(
+      path, std::move(file), static_cast<PageId>(size / kPageSize)));
 }
 
 FilePager::~FilePager() { file_.flush(); }
@@ -98,7 +118,10 @@ Status FilePager::Flush() {
     file_.clear();
     return Status::IOError("flush failed");
   }
-  return Status::OK();
+  // Flush() is the checkpoint's commit barrier: the WAL is truncated right
+  // after it returns, so the epoch's pages must be durable, not merely
+  // handed to the kernel.
+  return SyncToDisk(path_);
 }
 
 }  // namespace xorator::ordb

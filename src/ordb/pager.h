@@ -11,6 +11,13 @@
 
 namespace xorator::ordb {
 
+/// Forces `path`'s written data down to durable storage (open + fsync +
+/// close). A buffered flush only hands bytes to the kernel; a process
+/// killed before writeback can lose them, so every durability barrier in
+/// the engine — WAL record appends, checkpoint flushes, recovery — ends
+/// with this call.
+[[nodiscard]] Status SyncToDisk(const std::string& path);
+
 /// Abstract page-addressed storage; pages are allocated sequentially and
 /// never freed (the engine has no vacuum — see DESIGN.md non-goals).
 ///
@@ -74,9 +81,12 @@ class FilePager : public Pager {
   PageId page_count() const override { return page_count_; }
 
  private:
-  FilePager(std::fstream file, PageId page_count)
-      : file_(std::move(file)), page_count_(page_count) {}
+  FilePager(std::string path, std::fstream file, PageId page_count)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        page_count_(page_count) {}
 
+  const std::string path_;
   std::fstream file_;
   PageId page_count_;
 };

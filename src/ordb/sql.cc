@@ -196,8 +196,17 @@ class Parser {
       if (ConsumeKeyword("WHERE")) {
         XO_ASSIGN_OR_RETURN(stmt.del.where, ParseExpr());
       }
+    } else if (ConsumeKeyword("PRAGMA")) {
+      stmt.kind = Statement::Kind::kPragma;
+      XO_ASSIGN_OR_RETURN(stmt.pragma.name, ExpectIdent("pragma name"));
+      if (ConsumePunct("(")) {
+        if (Peek().kind != TokKind::kNumber) return Error("expected number");
+        stmt.pragma.arg = Advance().number;
+        stmt.pragma.has_arg = true;
+        if (!ConsumePunct(")")) return Error("expected ')'");
+      }
     } else {
-      return Error("expected SELECT, CREATE, INSERT, DELETE or EXPLAIN");
+      return Error("expected SELECT, CREATE, INSERT, DELETE, PRAGMA or EXPLAIN");
     }
     ConsumePunct(";");
     if (Peek().kind != TokKind::kEnd) {

@@ -98,6 +98,14 @@ struct DeleteStmt {
   AstExprPtr where;  // may be null (delete all rows)
 };
 
+/// A parsed PRAGMA: an engine maintenance/introspection command
+/// (`PRAGMA health`, `PRAGMA scrub`, `PRAGMA scrub(256)`).
+struct PragmaStmt {
+  std::string name;
+  int64_t arg = -1;
+  bool has_arg = false;
+};
+
 /// A parsed statement. EXPLAIN wraps a SELECT.
 struct Statement {
   enum class Kind {
@@ -107,6 +115,7 @@ struct Statement {
     kInsert,
     kDelete,
     kExplain,
+    kPragma,
   };
   Kind kind = Kind::kSelect;
   SelectStmt select;  // kSelect / kExplain
@@ -114,6 +123,7 @@ struct Statement {
   CreateIndexStmt create_index;
   InsertStmt insert;
   DeleteStmt del;
+  PragmaStmt pragma;
 };
 
 /// Parses one SQL statement (optionally ';'-terminated). Supported grammar:
@@ -130,6 +140,7 @@ struct Statement {
 ///   INSERT INTO t VALUES (lit, ...), (...)
 ///   DELETE FROM t [WHERE predicate]
 ///   EXPLAIN SELECT ...
+///   PRAGMA name [( n )]
 [[nodiscard]] Result<Statement> ParseSql(std::string_view input);
 
 }  // namespace xorator::ordb::sql

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/crc32.h"
+#include "ordb/pager.h"
 
 namespace xorator::ordb {
 
@@ -44,6 +45,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   wal->file_.open(path, std::ios::binary | std::ios::trunc);
   if (!wal->file_) return Status::IOError("cannot open WAL '" + path + "'");
   XO_RETURN_NOT_OK(WriteHeader(wal->file_, checkpoint_page_count));
+  XO_RETURN_NOT_OK(SyncToDisk(path));
   return wal;
 }
 
@@ -62,10 +64,18 @@ uint64_t Wal::records_logged() const {
   return records_logged_;
 }
 
+void Wal::set_fault_hook(FaultHook hook) {
+  xo::MutexLock lock(&mu_);
+  fault_hook_ = std::move(hook);
+}
+
 Status Wal::LogPageImage(PageId page_id, const char* page) {
   xo::MutexLock lock(&mu_);
   if (page_id >= checkpoint_page_count_ || logged_.count(page_id) > 0) {
     return Status::OK();  // truncation covers it / pre-image already logged
+  }
+  if (fault_hook_ != nullptr) {
+    XO_RETURN_NOT_OK(fault_hook_());
   }
   char header[kRecordHeaderBytes];
   uint32_t crc = RecordCrc(page_id, page);
@@ -80,6 +90,11 @@ Status Wal::LogPageImage(PageId page_id, const char* page) {
     return Status::IOError("cannot log pre-image of page " +
                            std::to_string(page_id));
   }
+  // The write-ahead contract ("a record is always durable before its
+  // data-file write begins") needs a real barrier: a flushed-but-unsynced
+  // record can vanish with the process, leaving an overwritten page with
+  // no pre-image to roll back to.
+  XO_RETURN_NOT_OK(SyncToDisk(path_));
   logged_.insert(page_id);
   ++records_logged_;
   return Status::OK();
@@ -91,6 +106,7 @@ Status Wal::Reset(PageId checkpoint_page_count) {
   file_.open(path_, std::ios::binary | std::ios::trunc);
   if (!file_) return Status::IOError("cannot reset WAL '" + path_ + "'");
   XO_RETURN_NOT_OK(WriteHeader(file_, checkpoint_page_count));
+  XO_RETURN_NOT_OK(SyncToDisk(path_));
   checkpoint_page_count_ = checkpoint_page_count;
   logged_.clear();
   records_logged_ = 0;
@@ -177,6 +193,10 @@ Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
     return Status::IOError("cannot truncate '" + db_path +
                            "' to its checkpoint size: " + ec.message());
   }
+  // Make the rollback itself durable before Wal::Open truncates the
+  // journal; a crash here must find either the journal or the restored
+  // pages, never neither.
+  XO_RETURN_NOT_OK(SyncToDisk(db_path));
   stats.recovered = true;
   stats.page_count = static_cast<PageId>(pages);
   return stats;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -23,8 +24,8 @@ namespace xorator::ordb {
 ///   records: [marker:u32][page_id:u32][crc32:u32][payload: kPageSize]
 ///
 /// Between checkpoints, the buffer pool logs the *on-disk* image of every
-/// page — flushed, then overwritten ("write-ahead") — the first time that
-/// page is written back. Recovery restores the logged images in reverse
+/// page — appended and fsynced, then overwritten ("write-ahead") — the
+/// first time that page is written back. Recovery restores the logged images in reverse
 /// order and truncates the data file to the checkpointed page count, which
 /// rolls the database back exactly to its last checkpoint: torn data-file
 /// pages are overwritten with their intact pre-images, and half-appended
@@ -45,7 +46,16 @@ class Wal {
   [[nodiscard]] static Result<std::unique_ptr<Wal>> Open(const std::string& path,
                                            PageId checkpoint_page_count);
 
-  /// Appends (and flushes) the pre-image of `page_id`, once per page per
+  /// Testing hook drawn before each real pre-image append; a non-OK
+  /// return is reported as the append's failure without touching the
+  /// file. The WAL is an ofstream, not a Pager, so this is how
+  /// FaultInjectingPager scopes faults to the log (DESIGN.md §13).
+  using FaultHook = std::function<Status()>;
+
+  /// Installs (or, with nullptr, removes) the fault hook.
+  void set_fault_hook(FaultHook hook) XO_EXCLUDES(mu_);
+
+  /// Appends (and fsyncs) the pre-image of `page_id`, once per page per
   /// checkpoint epoch; later calls for the same page are no-ops.
   [[nodiscard]] Status LogPageImage(PageId page_id, const char* page)
       XO_EXCLUDES(mu_);
@@ -79,6 +89,7 @@ class Wal {
   PageId checkpoint_page_count_ XO_GUARDED_BY(mu_) = 0;
   std::unordered_set<PageId> logged_ XO_GUARDED_BY(mu_);
   uint64_t records_logged_ XO_GUARDED_BY(mu_) = 0;
+  FaultHook fault_hook_ XO_GUARDED_BY(mu_);
 };
 
 /// What `RecoverFromWal` did.

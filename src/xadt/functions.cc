@@ -1,5 +1,6 @@
 #include "xadt/functions.h"
 
+#include "ordb/health.h"
 #include "ordb/query_guard.h"
 #include "xadt/xadt.h"
 
@@ -86,17 +87,40 @@ Result<Value> TextImpl(const std::vector<Value>& args) {
   return Value::Varchar(std::move(text));
 }
 
+/// True when a kCorruption/kParseError failure on one fragment should be
+/// skipped (and counted) rather than fail the whole unnest — the
+/// degraded-scan contract (DESIGN.md §13): a damaged XADT value loses its
+/// own fragments, not the query.
+bool SkipFragmentFailure(const Status& s) {
+  ordb::DegradedScan* scan = ordb::CurrentDegradedScan();
+  if (scan == nullptr || !scan->skip_corrupt) return false;
+  if (s.code() != StatusCode::kCorruption &&
+      s.code() != StatusCode::kParseError) {
+    return false;
+  }
+  ++scan->skipped_fragments;
+  return true;
+}
+
 Result<std::vector<Tuple>> UnnestImpl(const std::vector<Value>& args) {
   XO_RETURN_NOT_OK(GuardEntry());
   std::vector<Tuple> out;
   if (args[0].is_null()) return out;
-  XO_ASSIGN_OR_RETURN(auto fragments,
-                      Unnest(args[0].AsString(), args[1].AsString()));
+  auto unnested = Unnest(args[0].AsString(), args[1].AsString());
+  if (!unnested.ok()) {
+    if (SkipFragmentFailure(unnested.status())) return out;
+    return unnested.status();
+  }
+  auto fragments = std::move(unnested).value();
   out.reserve(fragments.size());
   for (std::string& frag : fragments) {
-    XO_ASSIGN_OR_RETURN(std::string text, TextContent(frag));
+    auto text = TextContent(frag);
+    if (!text.ok()) {
+      if (SkipFragmentFailure(text.status())) continue;
+      return text.status();
+    }
     Tuple row;
-    row.push_back(Value::Varchar(std::move(text)));
+    row.push_back(Value::Varchar(std::move(*text)));
     row.push_back(Value::Xadt(std::move(frag)));
     out.push_back(std::move(row));
   }

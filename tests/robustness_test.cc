@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <thread>
 
@@ -694,6 +695,80 @@ TEST(EngineRobustnessTest, NullHeavyData) {
   auto sorted = db->Query("SELECT a FROM t ORDER BY a");
   ASSERT_TRUE(sorted.ok());
   EXPECT_TRUE(sorted->rows[0][0].is_null());
+}
+
+// A page that failed its checksum is quarantined: the second statement to
+// touch it is rejected from the quarantine set without re-reading the disk
+// (DESIGN.md §13). The zero-rate fault injector is wrapped purely for its
+// read counter.
+TEST(FaultInjectionTest, QuarantinedPageFailsFastWithoutDiskIO) {
+  DbOptions options;
+  options.path = ::testing::TempDir() + "/xorator_quarantine.db";
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+  ordb::PageId first_page = ordb::kInvalidPageId;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Execute("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE((*db)->Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+    const ordb::TableInfo* t = (*db)->catalog()->FindTable("t");
+    ASSERT_NE(t, nullptr);
+    first_page = t->heap->first_page();
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  {  // rot the heap page's record area behind the engine's back
+    std::fstream f(options.path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(first_page) * ordb::kPageSize + 512);
+    f.put('\xEE');
+  }
+  options.fault = ordb::FaultOptions{};  // all rates zero: a pure counter
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto first = (*db)->Query("SELECT COUNT(*) AS n FROM t");
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE((*db)->buffer_pool()->IsQuarantined(first_page));
+  EXPECT_EQ((*db)->buffer_pool()->stats().quarantined_pages, 1u);
+  const uint64_t reads_after_first = (*db)->fault_pager()->stats().reads;
+
+  // Same statement again: still kCorruption, but served from the
+  // quarantine set — not one further pager read happens (every healthy
+  // page the scan needs is already resident).
+  auto second = (*db)->Query("SELECT COUNT(*) AS n FROM t");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ((*db)->fault_pager()->stats().reads, reads_after_first);
+  EXPECT_GT((*db)->buffer_pool()->stats().quarantine_hits, 0u);
+  EXPECT_EQ((*db)->buffer_pool()->PinnedFrameCount(), 0u);
+  (*db)->Kill();  // checkpointing over poisoned pages helps nobody
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".wal").c_str());
+}
+
+// Degraded-scan mode extends to XADT fragments: a value whose bytes no
+// longer decode loses its own fragments, not the whole query — strictly
+// opt-in (the strict expectations live in CorruptXadtBytesThroughSql).
+TEST(XadtRobustnessTest, DegradedScanSkipsCorruptFragments) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (x XADT)").ok());
+  std::vector<Tuple> rows;
+  rows.push_back({Value::Xadt("Zgarbage-marker")});
+  rows.push_back({Value::Xadt("R<a><unclosed>")});
+  ASSERT_TRUE(db->BulkInsert("t", rows).ok());
+  const std::string sql = "SELECT u.out FROM t, table(unnest(x, 'a')) u";
+  // Strict mode still propagates the decode error.
+  ASSERT_FALSE(db->Query(sql).ok());
+  // Skip mode drops both broken values and reports the count on the
+  // resilience stats line.
+  ordb::QueryOptions skip;
+  skip.skip_quarantined = true;
+  auto degraded = db->Query(sql, skip);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->rows.empty());
+  EXPECT_NE(degraded->plan.find("skipped_fragments=2"), std::string::npos)
+      << degraded->plan;
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#ifndef XORATOR_COMMON_LIFETIME_H_
+#define XORATOR_COMMON_LIFETIME_H_
+
+// Clang statement-local lifetime annotations (DESIGN.md section 14).
+//
+// These macros mark the functions and classes that hand out *borrowed*
+// bytes — `std::string_view`s into an encoded value, `char*` into a pinned
+// buffer-pool page, `RowView`/`ValueView` over a stored record — so that
+// the borrow outliving its owner is a compile error under Clang. The
+// top-level CMakeLists.txt promotes the three diagnostics that consume
+// these annotations (`-Wdangling`, `-Wdangling-gsl`,
+// `-Wreturn-stack-address`) to errors on every Clang build; GCC compiles
+// the macros to nothing, so on GCC they are free documentation and the
+// runtime backstop is the Sanitize build type (ASan catches the dangles
+// these rules prevent statically).
+//
+// They are macros (not attributes spelled inline) for the same reasons as
+// the annotations in common/thread_annotations.h and common/typestate.h:
+//   1. `[[clang::lifetimebound]]` / `[[gsl::Owner]]` / `[[gsl::Pointer]]`
+//      are Clang-only spellings; the tokens must vanish on other
+//      compilers.
+//   2. One macro layer isolates the repository from attribute churn.
+//   3. Grep-ability: `XO_LIFETIME_BOUND` finds every annotated borrow, and
+//      the `lifetime` lint rule (tools/lint) uses exactly that token to
+//      require the annotation on every view-returning function in src/.
+//
+// Spelling-order rule: `XO_LIFETIME_BOUND` expands to a C++11-style
+// attribute. On a member function it annotates the implicit object
+// parameter and must follow the cv-qualifier — and when combined with the
+// GNU-style analysis macros (XO_CALLABLE_WHEN, XO_EXCLUDES, ...), those
+// come first:
+//
+//   const char* data() XO_CALLABLE_WHEN("unconsumed") XO_LIFETIME_BOUND;
+//
+// Known limits, so callers are not surprised:
+//   * The analysis is statement-local: it catches a borrow initialized
+//     from a temporary owner, and a borrow of a local returned from the
+//     function, in a single full-expression. A dangle assembled across
+//     statements (store the view, destroy the owner later, then read) is
+//     invisible to it — that class is covered by the runtime sanitizers
+//     and by keeping borrow scopes small.
+//   * `XO_LIFETIME_BOUND` on a parameter means "the returned value may
+//     refer into this argument"; on the implicit object parameter it
+//     means "…into *this". Apply it to the *owning* parameter only —
+//     annotating a looked-up key would produce false positives.
+//   * `XO_GSL_POINTER` classes are assumed by Clang to dangle when
+//     constructed from a temporary `XO_GSL_OWNER` (or std:: owner, which
+//     Clang knows intrinsically); the annotation is about construction
+//     and propagation, not about every member.
+
+#if defined(__clang__) && !defined(SWIG)
+
+/// The returned reference/pointer/view may refer into the annotated
+/// parameter (or, placed after a member function's cv-qualifier, into
+/// *this); Clang then diagnoses results that outlive that owner.
+#define XO_LIFETIME_BOUND [[clang::lifetimebound]]
+
+/// Marks a class that *owns* the bytes views are taken of (PageRef, ...).
+/// `type` is the pointee the owner vends, e.g. XO_GSL_OWNER(char).
+#define XO_GSL_OWNER(type) [[gsl::Owner(type)]]
+
+/// Marks a non-owning view class (RowView, ValueView, FragmentScanner):
+/// Clang warns when an instance is initialized from a temporary owner.
+#define XO_GSL_POINTER(type) [[gsl::Pointer(type)]]
+
+#else  // no-op outside Clang
+
+#define XO_LIFETIME_BOUND
+#define XO_GSL_OWNER(type)
+#define XO_GSL_POINTER(type)
+
+#endif
+
+#endif  // XORATOR_COMMON_LIFETIME_H_

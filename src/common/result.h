@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/lifetime.h"
 #include "common/status.h"
 
 namespace xorator {
@@ -40,29 +41,33 @@ class [[nodiscard]] Result {
 
   /// Accessing the status counts as inspecting it: the caller takes over
   /// the must-check obligation (any copy it makes carries its own).
-  const Status& status() const {
+  const Status& status() const XO_LIFETIME_BOUND {
     status_.IgnoreError();
     return status_;
   }
 
-  /// Precondition: ok().
-  T& value() & {
+  /// Precondition: ok(). The returned reference is lifetime-bound to the
+  /// Result (DESIGN.md section 14): binding `Func().value()` to a
+  /// reference, or returning it from the enclosing function, is a compile
+  /// error on Clang builds. Move the value out (`std::move(r).value()`,
+  /// what ASSIGN_OR_RETURN does) or copy it before the Result dies.
+  T& value() & XO_LIFETIME_BOUND {
     assert(ok());
     return *value_;
   }
-  const T& value() const& {
+  const T& value() const& XO_LIFETIME_BOUND {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  T&& value() && XO_LIFETIME_BOUND {
     assert(ok());
     return std::move(*value_);
   }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  T& operator*() & XO_LIFETIME_BOUND { return value(); }
+  const T& operator*() const& XO_LIFETIME_BOUND { return value(); }
+  T* operator->() XO_LIFETIME_BOUND { return &value(); }
+  const T* operator->() const XO_LIFETIME_BOUND { return &value(); }
 
  private:
   /// Asserts the precondition without leaving the stored status marked as

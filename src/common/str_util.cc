@@ -56,7 +56,7 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
-std::string_view StripWhitespace(std::string_view s) {
+std::string_view StripWhitespace(std::string_view s XO_LIFETIME_BOUND) {
   size_t b = 0;
   while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   size_t e = s.size();

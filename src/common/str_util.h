@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lifetime.h"
+
 namespace xorator {
 
 /// ASCII-lowercases `s` (XML names in this codebase are ASCII).
@@ -26,8 +28,10 @@ std::vector<std::string> Split(std::string_view s, char sep);
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
-/// Strips ASCII whitespace from both ends.
-std::string_view StripWhitespace(std::string_view s);
+/// Strips ASCII whitespace from both ends. The result is a sub-view of
+/// `s`: it is lifetime-bound to the viewed characters, so Clang builds
+/// reject stripping a temporary string in a single statement.
+std::string_view StripWhitespace(std::string_view s XO_LIFETIME_BOUND);
 
 /// SQL LIKE matching with `%` (any run) and `_` (any one char) wildcards.
 bool LikeMatch(std::string_view value, std::string_view pattern);

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/lifetime.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -78,7 +79,12 @@ class BufferPool;
 ///
 /// Guards must not outlive their BufferPool; at pool destruction (and at
 /// every checkpoint) a debug sentinel asserts PinnedFrameCount() == 0.
-class XO_CONSUMABLE(unconsumed) PageRef {
+///
+/// The guard is also a gsl::Owner of its page bytes for Clang's lifetime
+/// analysis (DESIGN.md section 14): data() is lifetime-bound to the guard,
+/// so returning the bytes of a local or temporary guard is a compile error
+/// on Clang builds.
+class XO_CONSUMABLE(unconsumed) XO_GSL_OWNER(char) PageRef {
  public:
   /// An empty guard: holds no pin and starts life in the released
   /// (consumed) state, so the only legal next step is to move-assign a
@@ -113,9 +119,14 @@ class XO_CONSUMABLE(unconsumed) PageRef {
     return id_;
   }
 
-  /// The pinned page's bytes; valid until the pin is released.
-  [[nodiscard]] char* data() XO_CALLABLE_WHEN("unconsumed") { return data_; }
-  [[nodiscard]] const char* data() const XO_CALLABLE_WHEN("unconsumed") {
+  /// The pinned page's bytes; valid until the pin is released. The pointer
+  /// is lifetime-bound to this guard: escaping it past the guard (returning
+  /// it, or borrowing from a temporary guard) is a compile error on Clang.
+  [[nodiscard]] char* data() XO_CALLABLE_WHEN("unconsumed") XO_LIFETIME_BOUND {
+    return data_;
+  }
+  [[nodiscard]] const char* data() const XO_CALLABLE_WHEN("unconsumed")
+      XO_LIFETIME_BOUND {
     return data_;
   }
 

@@ -81,10 +81,13 @@ class Catalog {
   TableInfo* FindTable(std::string_view name) XO_EXCLUDES(mu_);
   const TableInfo* FindTable(std::string_view name) const XO_EXCLUDES(mu_);
 
-  /// Snapshot of the registered tables, in creation order. The pointers
-  /// stay valid for the catalog's lifetime (entries are never removed).
+  /// Snapshot of the registered tables, in creation order. The vector is
+  /// an owned copy, but the TableInfo pointers inside it are non-owning:
+  /// the Catalog owns the pointees, which stay valid until Clear() — the
+  /// TryRecover-only teardown documented there.
   [[nodiscard]] std::vector<TableInfo*> tables() const XO_EXCLUDES(mu_);
-  /// Snapshot of the registered indexes, in creation order.
+  /// Snapshot of the registered indexes, in creation order. Same lifetime
+  /// contract as tables(): Catalog-owned pointees, valid until Clear().
   [[nodiscard]] std::vector<IndexInfo*> indexes() const XO_EXCLUDES(mu_);
 
   /// Total pages/bytes across table heaps (the paper's "database size").

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "common/varint.h"
+#include "ordb/row_codec.h"
 
 namespace xorator::ordb {
 
@@ -51,6 +52,19 @@ void AppendRow(const Tuple& left, const Tuple& right, Tuple* out) {
   out->reserve(left.size() + right.size());
   out->insert(out->end(), left.begin(), left.end());
   out->insert(out->end(), right.begin(), right.end());
+}
+
+// Equality between an in-place column view and an owning key Value without
+// materializing the view: string payloads compare as views, numerics via a
+// (copy-free) Value. Used for the index-key rechecks, which are expected
+// to reject rows (hashed string keys), so a miss costs no allocation.
+bool ViewEqualsValue(const ValueView& view, const Value& key) {
+  if (view.is_null()) return false;
+  if ((view.type() == TypeId::kVarchar || view.type() == TypeId::kXadt) &&
+      (key.type() == TypeId::kVarchar || key.type() == TypeId::kXadt)) {
+    return view.bytes() == key.AsString();
+  }
+  return view.ToValue().Equals(key);
 }
 
 // Cheap size estimate used to charge materialized tuples against the
@@ -141,12 +155,16 @@ void SeqScanOp::SyncSkipCounters() {
 Result<bool> SeqScanOp::Next(Tuple* out) {
   RETURN_IF_ERROR(ctx_->CheckPoint());
   Rid rid;
-  std::string record;
-  auto advanced = scanner_->Next(&rid, &record);
+  auto advanced = scanner_->Next(&rid, &record_);
   SyncSkipCounters();
   XO_ASSIGN_OR_RETURN(bool ok, std::move(advanced));
   if (!ok) return false;
-  XO_ASSIGN_OR_RETURN(*out, DecodeTuple(table_->schema, record));
+  // In-place decode (row_codec.h): `record_` is a member, so its capacity
+  // — and, via Materialize's slot reuse, the output tuple's string
+  // capacity — is recycled across rows; the steady-state scan loop
+  // allocates nothing.
+  XO_ASSIGN_OR_RETURN(RowView row, RowView::Parse(table_->schema, record_));
+  row.Materialize(out);
   return true;
 }
 
@@ -174,11 +192,17 @@ Result<bool> IndexScanOp::Next(Tuple* out) {
   while (pos_ < rids_.size()) {
     RETURN_IF_ERROR(ctx_->CheckPoint());
     Rid rid = Rid::Decode(rids_[pos_++]);
-    XO_ASSIGN_OR_RETURN(std::string record, table_->heap->Get(rid));
-    XO_ASSIGN_OR_RETURN(*out, DecodeTuple(table_->schema, record));
-    // Recheck the key (string keys are hashed in the index).
-    const Value& actual = (*out)[index_->column_index];
-    if (!actual.is_null() && actual.Equals(key_)) return true;
+    XO_ASSIGN_OR_RETURN(record_, table_->heap->Get(rid));
+    XO_ASSIGN_OR_RETURN(RowView row, RowView::Parse(table_->schema, record_));
+    // Recheck the key in place before materializing anything (string keys
+    // are hashed in the index, so false positives are expected): a
+    // mismatched row is skipped without a single string copy.
+    if (!ViewEqualsValue(row.column(static_cast<size_t>(index_->column_index)),
+                         key_)) {
+      continue;
+    }
+    row.Materialize(out);
+    return true;
   }
   return false;
 }
@@ -550,15 +574,18 @@ Result<bool> IndexNestedLoopJoinOp::Next(Tuple* out) {
     }
     while (rid_pos_ < rids_.size()) {
       Rid rid = Rid::Decode(rids_[rid_pos_++]);
-      XO_ASSIGN_OR_RETURN(std::string record, inner_->heap->Get(rid));
-      XO_ASSIGN_OR_RETURN(Tuple inner_row,
-                          DecodeTuple(inner_->schema, record));
-      AppendRow(left_row_, inner_row, out);
-      // Recheck the join key on the heap tuple (hashed string keys), then
-      // the residual predicate.
+      XO_ASSIGN_OR_RETURN(record_, inner_->heap->Get(rid));
+      XO_ASSIGN_OR_RETURN(RowView row,
+                          RowView::Parse(inner_->schema, record_));
+      // Recheck the join key in place first (hashed string keys): a miss
+      // skips the row before any string is copied out of the record.
       XO_ASSIGN_OR_RETURN(Value key, left_key_->Eval(left_row_, ctx_));
-      const Value& actual = inner_row[index_->column_index];
-      if (actual.is_null() || !actual.Equals(key)) continue;
+      if (!ViewEqualsValue(
+              row.column(static_cast<size_t>(index_->column_index)), key)) {
+        continue;
+      }
+      row.Materialize(&inner_row_);
+      AppendRow(left_row_, inner_row_, out);
       XO_ASSIGN_OR_RETURN(bool pass, EvalPredicate(residual_.get(), *out, ctx_));
       if (pass) return true;
     }

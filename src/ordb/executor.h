@@ -72,6 +72,10 @@ class SeqScanOp : public Operator {
   std::string alias_;
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<HeapFile::Scanner> scanner_;
+  /// Reused record buffer: RowView parses it in place every Next(), so its
+  /// capacity (and the output tuple's string capacity) is recycled across
+  /// rows instead of reallocated per row (DESIGN.md section 14).
+  std::string record_;
   uint64_t synced_skipped_pages_ = 0;
   uint64_t synced_skipped_records_ = 0;
 };
@@ -94,6 +98,8 @@ class IndexScanOp : public Operator {
   std::string alias_;
   ExecContext* ctx_ = nullptr;
   std::vector<uint64_t> rids_;
+  /// Reused record buffer for in-place key rechecks (see SeqScanOp).
+  std::string record_;
   size_t pos_ = 0;
 };
 
@@ -251,6 +257,10 @@ class IndexNestedLoopJoinOp : public Operator {
   Tuple left_row_;
   bool left_valid_ = false;
   std::vector<uint64_t> rids_;
+  /// Reused record buffer / inner tuple for in-place rechecks and
+  /// capacity-recycling materialization (see SeqScanOp).
+  std::string record_;
+  Tuple inner_row_;
   size_t rid_pos_ = 0;
 };
 

@@ -42,7 +42,12 @@ class HeapFile {
 
   [[nodiscard]] Result<Rid> Insert(std::string_view record);
 
-  /// Reads the record at `rid` (follows overflow stubs).
+  /// Reads the record at `rid` (follows overflow stubs) into an owning
+  /// string — the page pin is released before returning, so the bytes are
+  /// copied out exactly once. Callers decode in place from that buffer via
+  /// RowView::Parse (row_codec.h, DESIGN.md section 14); reusing one
+  /// `std::string` across Get calls recycles its capacity (see the
+  /// executor's member record buffers).
   [[nodiscard]] Result<std::string> Get(const Rid& rid) const;
 
   [[nodiscard]] Status Delete(const Rid& rid);
@@ -52,7 +57,9 @@ class HeapFile {
    public:
     Scanner(const HeapFile* file);
 
-    /// Advances to the next record; false at end of file.
+    /// Advances to the next record; false at end of file. `*record` is
+    /// overwritten in place (its capacity is reused across calls — pass
+    /// the same string every iteration for an allocation-free scan).
     [[nodiscard]] Result<bool> Next(Rid* rid, std::string* record);
 
     /// Degraded-scan mode (DESIGN.md §13): instead of failing the scan,

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "common/lifetime.h"
 #include "common/result.h"
 
 namespace xorator::ordb {
@@ -65,9 +66,14 @@ struct Rid {
 /// Record data grows downward from the end; the slot directory grows upward.
 /// A slot offset of 0 marks a deleted record (offset 0 is inside the
 /// header, so it can never be a real record offset).
-class SlottedPage {
+///
+/// The class is a gsl::Pointer over the page buffer (DESIGN.md section 14):
+/// it never copies the bytes, and the views Get() hands out are tied to
+/// them. The buffer normally comes from a PageRef guard, whose data() is
+/// itself lifetime-bound to the pin.
+class XO_GSL_POINTER(char) SlottedPage {
  public:
-  explicit SlottedPage(char* data) : data_(data) {}
+  explicit SlottedPage(char* data XO_LIFETIME_BOUND) : data_(data) {}
 
   /// Formats an empty page.
   void Init();
@@ -90,8 +96,11 @@ class SlottedPage {
   [[nodiscard]] Result<uint16_t> Insert(std::string_view record);
 
   /// Returns the record bytes in `slot`; NotFound for deleted/bad slots,
-  /// Corruption for slots whose offset/length escape the page.
-  [[nodiscard]] Result<std::string_view> Get(uint16_t slot) const;
+  /// Corruption for slots whose offset/length escape the page. The view
+  /// points into the page buffer: it is valid only while the underlying
+  /// pin (PageRef) is held and the slot is not deleted or overwritten.
+  [[nodiscard]] Result<std::string_view> Get(uint16_t slot) const
+      XO_LIFETIME_BOUND;
 
   /// Tombstones `slot` (space is not compacted).
   [[nodiscard]] Status Delete(uint16_t slot);

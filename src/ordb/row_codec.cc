@@ -1,0 +1,212 @@
+#include "ordb/row_codec.h"
+
+#include "common/varint.h"
+
+namespace xorator::ordb {
+
+namespace {
+
+// Post-validation varint read: RowView::Parse already proved the buffer
+// holds a complete, in-range varint at `*pos`, so the hot decode path can
+// skip the bounds checks and Result plumbing of common/varint.h.
+uint64_t GetVarintUnchecked(std::string_view s, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (true) {
+    uint8_t byte = static_cast<uint8_t>(s[p++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *pos = p;
+  return value;
+}
+
+}  // namespace
+
+Value ValueView::ToValue() const {
+  if (null_) return Value::Null();
+  switch (type_) {
+    case TypeId::kBoolean:
+      return Value::Bool(int_ != 0);
+    case TypeId::kInteger:
+      return Value::Int(int_);
+    case TypeId::kDouble:
+      return Value::Double(double_);
+    case TypeId::kVarchar:
+      return Value::Varchar(std::string(bytes_));
+    case TypeId::kXadt:
+      return Value::Xadt(std::string(bytes_));
+    case TypeId::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+Result<RowView> RowView::Parse(const TableSchema& schema,
+                               std::string_view row) {
+  RowView v;
+  v.schema_ = &schema;
+  v.row_ = row;
+  v.ncols_ = schema.columns.size();
+  const size_t bitmap_bytes = (v.ncols_ + 7) / 8;
+  if (row.size() < bitmap_bytes) {
+    return Status::Internal("row shorter than its null bitmap");
+  }
+  size_t pos = bitmap_bytes;
+  for (size_t i = 0; i < v.ncols_; ++i) {
+    if (i < kInlineOffsets) v.offsets_[i] = static_cast<uint32_t>(pos);
+    if (v.IsNull(i)) continue;
+    switch (schema.columns[i].type) {
+      case TypeId::kBoolean:
+        if (row.size() - pos < 1) {
+          return Status::Internal("truncated boolean in row");
+        }
+        pos += 1;
+        break;
+      case TypeId::kInteger:
+      case TypeId::kDouble:
+        if (row.size() - pos < 8) {
+          return Status::Internal("truncated numeric in row");
+        }
+        pos += 8;
+        break;
+      case TypeId::kVarchar:
+      case TypeId::kXadt: {
+        XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(row, &pos));
+        // Phrased to dodge overflow: pos + len could wrap, size - pos not.
+        if (len > row.size() - pos) {
+          return Status::Internal("string length overflows row");
+        }
+        pos += static_cast<size_t>(len);
+        break;
+      }
+      case TypeId::kNull:
+        break;
+    }
+  }
+  if (pos != row.size()) {
+    return Status::Internal("trailing bytes after the last column");
+  }
+  return v;
+}
+
+size_t RowView::Skip(size_t pos, size_t col) const {
+  switch (schema_->columns[col].type) {
+    case TypeId::kBoolean:
+      return pos + 1;
+    case TypeId::kInteger:
+    case TypeId::kDouble:
+      return pos + 8;
+    case TypeId::kVarchar:
+    case TypeId::kXadt: {
+      uint64_t len = GetVarintUnchecked(row_, &pos);
+      return pos + static_cast<size_t>(len);
+    }
+    case TypeId::kNull:
+      break;
+  }
+  return pos;
+}
+
+size_t RowView::OffsetOf(size_t i) const {
+  if (i < kInlineOffsets) return offsets_[i];
+  size_t pos = offsets_[kInlineOffsets - 1];
+  for (size_t c = kInlineOffsets - 1; c < i; ++c) {
+    if (!IsNull(c)) pos = Skip(pos, c);
+  }
+  return pos;
+}
+
+ValueView RowView::DecodeAt(size_t pos, size_t col) const {
+  ValueView v;
+  v.type_ = schema_->columns[col].type;
+  v.null_ = false;
+  switch (v.type_) {
+    case TypeId::kBoolean:
+      v.int_ = row_[pos] != 0 ? 1 : 0;
+      break;
+    case TypeId::kInteger: {
+      int64_t raw;
+      __builtin_memcpy(&raw, row_.data() + pos, sizeof(raw));
+      v.int_ = raw;
+      break;
+    }
+    case TypeId::kDouble: {
+      double d;
+      __builtin_memcpy(&d, row_.data() + pos, sizeof(d));
+      v.double_ = d;
+      break;
+    }
+    case TypeId::kVarchar:
+    case TypeId::kXadt: {
+      uint64_t len = GetVarintUnchecked(row_, &pos);
+      v.bytes_ = row_.substr(pos, static_cast<size_t>(len));
+      break;
+    }
+    case TypeId::kNull:
+      v.null_ = true;
+      break;
+  }
+  return v;
+}
+
+ValueView RowView::column(size_t i) const {
+  if (IsNull(i)) {
+    ValueView v;
+    v.type_ = schema_->columns[i].type;
+    v.null_ = true;
+    return v;
+  }
+  return DecodeAt(OffsetOf(i), i);
+}
+
+void RowView::Materialize(Tuple* out) const {
+  if (out->size() != ncols_) out->resize(ncols_);
+  size_t pos = (ncols_ + 7) / 8;
+  for (size_t i = 0; i < ncols_; ++i) {
+    Value& slot = (*out)[i];
+    if (IsNull(i)) {
+      slot.SetNull();
+      continue;
+    }
+    switch (schema_->columns[i].type) {
+      case TypeId::kBoolean:
+        slot.SetBool(row_[pos] != 0);
+        pos += 1;
+        break;
+      case TypeId::kInteger: {
+        int64_t raw;
+        __builtin_memcpy(&raw, row_.data() + pos, sizeof(raw));
+        slot.SetInt(raw);
+        pos += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        double d;
+        __builtin_memcpy(&d, row_.data() + pos, sizeof(d));
+        slot.SetDouble(d);
+        pos += 8;
+        break;
+      }
+      case TypeId::kVarchar:
+      case TypeId::kXadt: {
+        uint64_t len = GetVarintUnchecked(row_, &pos);
+        std::string_view payload = row_.substr(pos, static_cast<size_t>(len));
+        if (schema_->columns[i].type == TypeId::kVarchar) {
+          slot.SetVarchar(payload);
+        } else {
+          slot.SetXadt(payload);
+        }
+        pos += static_cast<size_t>(len);
+        break;
+      }
+      case TypeId::kNull:
+        slot.SetNull();
+        break;
+    }
+  }
+}
+
+}  // namespace xorator::ordb

@@ -1,6 +1,7 @@
 #include "ordb/tuple.h"
 
 #include "common/varint.h"
+#include "ordb/row_codec.h"
 
 namespace xorator::ordb {
 
@@ -52,68 +53,14 @@ void EncodeTuple(const TableSchema& schema, const Tuple& tuple,
 }
 
 Result<Tuple> DecodeTuple(const TableSchema& schema, std::string_view bytes) {
-  size_t n = schema.columns.size();
-  size_t bitmap_bytes = (n + 7) / 8;
-  if (bytes.size() < bitmap_bytes) {
-    return Status::Internal("tuple shorter than its null bitmap");
-  }
+  // One validating pass, then an in-place materialization — the string
+  // copies happen once, straight from the encoded record into the tuple's
+  // Value slots (row_codec.h; DESIGN.md section 14). Callers that can keep
+  // the record buffer alive should parse a RowView themselves and skip the
+  // materialization entirely.
+  XO_ASSIGN_OR_RETURN(RowView row, RowView::Parse(schema, bytes));
   Tuple tuple;
-  tuple.reserve(n);
-  size_t pos = bitmap_bytes;
-  for (size_t i = 0; i < n; ++i) {
-    bool null =
-        (static_cast<uint8_t>(bytes[i / 8]) >> (i % 8)) & 1;
-    if (null) {
-      tuple.push_back(Value::Null());
-      continue;
-    }
-    switch (schema.columns[i].type) {
-      case TypeId::kBoolean: {
-        if (pos + 1 > bytes.size()) {
-          return Status::Internal("truncated boolean in tuple");
-        }
-        tuple.push_back(Value::Bool(bytes[pos] != 0));
-        pos += 1;
-        break;
-      }
-      case TypeId::kInteger: {
-        if (pos + 8 > bytes.size()) {
-          return Status::Internal("truncated integer in tuple");
-        }
-        int64_t raw;
-        __builtin_memcpy(&raw, bytes.data() + pos, sizeof(raw));
-        pos += 8;
-        tuple.push_back(Value::Int(raw));
-        break;
-      }
-      case TypeId::kDouble: {
-        if (pos + 8 > bytes.size()) {
-          return Status::Internal("truncated double in tuple");
-        }
-        double d;
-        __builtin_memcpy(&d, bytes.data() + pos, sizeof(d));
-        pos += 8;
-        tuple.push_back(Value::Double(d));
-        break;
-      }
-      case TypeId::kVarchar:
-      case TypeId::kXadt: {
-        XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-        if (pos + len > bytes.size()) {
-          return Status::Internal("truncated string in tuple");
-        }
-        std::string s(bytes.substr(pos, len));
-        pos += len;
-        tuple.push_back(schema.columns[i].type == TypeId::kVarchar
-                            ? Value::Varchar(std::move(s))
-                            : Value::Xadt(std::move(s)));
-        break;
-      }
-      case TypeId::kNull:
-        tuple.push_back(Value::Null());
-        break;
-    }
-  }
+  row.Materialize(&tuple);
   return tuple;
 }
 

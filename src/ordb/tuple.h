@@ -27,12 +27,16 @@ struct TableSchema {
 };
 
 /// Serializes `tuple` (which must match `schema`) into `*out`: a null
-/// bitmap, then zigzag varints for integers/booleans and length-prefixed
-/// bytes for strings/XADT.
+/// bitmap, then fixed 8-byte integers/doubles, 1-byte booleans, and varint
+/// length-prefixed bytes for strings/XADT (the RowView wire format,
+/// row_codec.h).
 void EncodeTuple(const TableSchema& schema, const Tuple& tuple,
                  std::string* out);
 
-/// Decodes a tuple previously produced by EncodeTuple.
+/// Decodes a tuple previously produced by EncodeTuple into owning Values.
+/// Strict: malformed records (truncated prefixes, overflowing lengths,
+/// trailing bytes) are rejected. Zero-copy readers should use
+/// RowView::Parse (row_codec.h) directly instead.
 [[nodiscard]] Result<Tuple> DecodeTuple(const TableSchema& schema, std::string_view bytes);
 
 /// Approximate in-memory footprint, used for sort-heap accounting.

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/lifetime.h"
 #include "common/result.h"
 
 namespace xorator::ordb {
@@ -59,6 +60,48 @@ class Value {
     return v;
   }
 
+  // In-place re-assignment, used by RowView::Materialize (row_codec.h) so a
+  // scan loop can refill the same Tuple row after row: the string setters
+  // assign into str_, reusing its capacity, so the steady state allocates
+  // nothing. SetNull() clears (but keeps) the string storage so a stale
+  // payload can never leak through AsString().
+  void SetNull() {
+    type_ = TypeId::kNull;
+    int_ = 0;
+    double_ = 0;
+    str_.clear();
+  }
+  void SetBool(bool b) {
+    type_ = TypeId::kBoolean;
+    int_ = b ? 1 : 0;
+    double_ = 0;
+    str_.clear();
+  }
+  void SetInt(int64_t i) {
+    type_ = TypeId::kInteger;
+    int_ = i;
+    double_ = 0;
+    str_.clear();
+  }
+  void SetDouble(double d) {
+    type_ = TypeId::kDouble;
+    int_ = 0;
+    double_ = d;
+    str_.clear();
+  }
+  void SetVarchar(std::string_view s) {
+    type_ = TypeId::kVarchar;
+    int_ = 0;
+    double_ = 0;
+    str_.assign(s);
+  }
+  void SetXadt(std::string_view bytes) {
+    type_ = TypeId::kXadt;
+    int_ = 0;
+    double_ = 0;
+    str_.assign(bytes);
+  }
+
   TypeId type() const { return type_; }
   bool is_null() const { return type_ == TypeId::kNull; }
 
@@ -67,9 +110,10 @@ class Value {
   double AsDouble() const {
     return type_ == TypeId::kDouble ? double_ : static_cast<double>(int_);
   }
-  /// VARCHAR text or raw XADT bytes.
-  const std::string& AsString() const { return str_; }
-  std::string&& TakeString() { return std::move(str_); }
+  /// VARCHAR text or raw XADT bytes. The reference borrows from this Value
+  /// (statically checked under Clang, DESIGN.md section 14).
+  const std::string& AsString() const XO_LIFETIME_BOUND { return str_; }
+  std::string&& TakeString() XO_LIFETIME_BOUND { return std::move(str_); }
 
   /// Three-way comparison; requires comparable types (numeric/numeric or
   /// same type). Nulls compare less than everything (used only for sorting).

@@ -5,6 +5,7 @@
 #include <vector>
 #include <string_view>
 
+#include "common/lifetime.h"
 #include "common/result.h"
 
 namespace xorator::xadt {
@@ -21,7 +22,11 @@ namespace xorator::xadt {
 ///   * a kEnd event's `end_offset` is one past the last byte of the element.
 /// Self-closing raw elements produce a kStart immediately followed by a
 /// kEnd.
-class FragmentScanner {
+///
+/// The scanner is a gsl::Pointer into the encoded bytes (DESIGN.md
+/// section 14): it never copies them, so Clang builds reject constructing
+/// one over a temporary owner in a single statement.
+class XO_GSL_POINTER(char) FragmentScanner {
  public:
   enum class EventKind { kStart, kEnd, kText, kEof };
 
@@ -37,12 +42,16 @@ class FragmentScanner {
     size_t end_offset = 0;
   };
 
-  /// `bytes` must outlive the scanner. Accepts all three representations
-  /// (raw, compressed, and the directory-prefixed form, whose directory is
-  /// parsed into top_offsets()).
-  [[nodiscard]] static Result<FragmentScanner> Create(std::string_view bytes);
+  /// `bytes` must outlive the scanner (enforced on Clang builds via the
+  /// lifetime-bound parameter). Accepts all three representations (raw,
+  /// compressed, and the directory-prefixed form, whose directory is
+  /// parsed into top_ranges()).
+  [[nodiscard]] static Result<FragmentScanner> Create(
+      std::string_view bytes XO_LIFETIME_BOUND);
 
-  [[nodiscard]] Result<Event> Next();
+  /// The returned Event's views point into the scanner (and its bytes);
+  /// they are valid only until the next call.
+  [[nodiscard]] Result<Event> Next() XO_LIFETIME_BOUND;
 
   bool compressed() const { return compressed_; }
 
@@ -57,8 +66,10 @@ class FragmentScanner {
   }
 
   /// Element name of the start event at `offset` (which must be the first
-  /// byte of an element in this value), without advancing the scanner.
-  [[nodiscard]] Result<std::string_view> NameAt(size_t offset) const;
+  /// byte of an element in this value), without advancing the scanner. The
+  /// view points into the scanner's bytes (raw form) or its dictionary.
+  [[nodiscard]] Result<std::string_view> NameAt(size_t offset) const
+      XO_LIFETIME_BOUND;
 
   /// Offset where the token/markup stream begins (after the marker byte
   /// and, for the compressed form, the dictionary).
@@ -66,7 +77,7 @@ class FragmentScanner {
 
   /// The dictionary prefix of a compressed value ('C' + dictionary), usable
   /// verbatim as the header of a sliced output value.
-  std::string_view header() const {
+  std::string_view header() const XO_LIFETIME_BOUND {
     return bytes_.substr(payload_base_, content_begin_ - payload_base_);
   }
 

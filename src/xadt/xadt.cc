@@ -159,7 +159,7 @@ namespace {
 /// Strips a directory prefix, returning the embedded 'R'/'C' payload (the
 /// input itself when no directory is present). Malformed directories yield
 /// an empty view, which downstream decoding rejects.
-std::string_view StripDirectory(std::string_view bytes) {
+std::string_view StripDirectory(std::string_view bytes XO_LIFETIME_BOUND) {
   if (bytes.empty() || bytes[0] != kDirectoryMarker) return bytes;
   size_t pos = 1;
   auto count = GetVarint(bytes, &pos);
@@ -310,7 +310,12 @@ Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
   };
   struct SearchFrame {
     size_t depth;
-    std::string text;
+    bool matched;
+    // Sliding window over the subtree's character data: only the last
+    // search_key.size()-1 bytes are retained, enough to catch a key that
+    // straddles two text events, so the frame never copies the whole
+    // subtree's text (DESIGN.md section 14).
+    std::string window;
   };
   std::vector<Candidate> candidates;  // open rootElm elements (stack)
   std::vector<SearchFrame> searches;  // open searchElm elements (stack)
@@ -328,12 +333,21 @@ Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
           candidates.push_back({event.offset, depth, search_elm.empty()});
         }
         if (!search_elm.empty() && event.name == search_elm) {
-          searches.push_back({depth, {}});
+          searches.push_back({depth, search_key.empty(), {}});
         }
         ++depth;
         break;
       case FragmentScanner::EventKind::kText:
-        for (SearchFrame& f : searches) f.text.append(event.text);
+        for (SearchFrame& f : searches) {
+          if (f.matched) continue;
+          f.window.append(event.text);
+          if (Contains(f.window, search_key)) {
+            f.matched = true;
+            f.window.clear();
+          } else if (f.window.size() >= search_key.size()) {
+            f.window.erase(0, f.window.size() - (search_key.size() - 1));
+          }
+        }
         break;
       case FragmentScanner::EventKind::kEnd: {
         --depth;
@@ -342,7 +356,7 @@ Result<std::string> GetElm(std::string_view in, std::string_view root_elm,
           // candidate within `level` levels above it.
           SearchFrame frame = std::move(searches.back());
           searches.pop_back();
-          if (search_key.empty() || Contains(frame.text, search_key)) {
+          if (frame.matched) {
             for (Candidate& c : candidates) {
               if (level <= 0 ||
                   depth - c.depth <= static_cast<size_t>(level)) {
@@ -390,7 +404,10 @@ Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
   }
   struct SearchFrame {
     size_t depth;
-    std::string text;
+    // Sliding window, as in GetElm: keep only the trailing
+    // search_key.size()-1 bytes so cross-event matches still land without
+    // buffering the subtree's full character data.
+    std::string window;
   };
   ExpansionBudget budget;
   std::vector<SearchFrame> searches;
@@ -410,9 +427,12 @@ Result<int64_t> FindKeyInElm(std::string_view in, std::string_view search_elm,
       case FragmentScanner::EventKind::kText:
         RETURN_IF_ERROR(budget.Charge(event.text.size() * searches.size()));
         for (SearchFrame& f : searches) {
-          f.text.append(event.text);
+          f.window.append(event.text);
           // Early exit as soon as any tracked element matches.
-          if (Contains(f.text, search_key)) return 1;
+          if (Contains(f.window, search_key)) return 1;
+          if (f.window.size() >= search_key.size()) {
+            f.window.erase(0, f.window.size() - (search_key.size() - 1));
+          }
         }
         break;
       case FragmentScanner::EventKind::kEnd:

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lifetime.h"
+
 namespace xorator::xml {
 
 /// One attribute on an element node.
@@ -42,18 +44,25 @@ class Node {
   bool is_text() const { return kind_ == Kind::kText; }
 
   /// Element tag name; empty for text nodes.
-  const std::string& name() const { return name_; }
+  const std::string& name() const XO_LIFETIME_BOUND { return name_; }
   /// Text content; empty for element nodes.
-  const std::string& text() const { return text_; }
+  const std::string& text() const XO_LIFETIME_BOUND { return text_; }
 
-  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::vector<Attribute>& attributes() const XO_LIFETIME_BOUND {
+    return attributes_;
+  }
   void AddAttribute(std::string name, std::string value) {
     attributes_.push_back({std::move(name), std::move(value)});
   }
-  /// Returns the attribute value or nullptr if absent.
-  const std::string* FindAttribute(std::string_view name) const;
+  /// Pointer to the attribute's value, or nullptr if absent. The pointer
+  /// aims into this node's attribute table: it is lifetime-bound to the
+  /// node and invalidated by AddAttribute (vector growth may reallocate).
+  /// `name` is only read during the call and may be a temporary.
+  const std::string* FindAttribute(std::string_view name) const
+      XO_LIFETIME_BOUND;
 
-  const std::vector<std::unique_ptr<Node>>& children() const {
+  const std::vector<std::unique_ptr<Node>>& children() const
+      XO_LIFETIME_BOUND {
     return children_;
   }
   Node* parent() const { return parent_; }
@@ -65,13 +74,18 @@ class Node {
   /// Convenience: appends `<name>text</name>`.
   Node* AddElementWithText(std::string name, std::string text);
 
-  /// First child element with the given tag name, or nullptr.
-  const Node* FirstChildElement(std::string_view name) const;
+  /// First child element with the given tag name, or nullptr. The child is
+  /// owned by this node, so the pointer is lifetime-bound to it.
+  const Node* FirstChildElement(std::string_view name) const XO_LIFETIME_BOUND;
 
-  /// All child elements (skipping text nodes).
+  /// All child elements (skipping text nodes). The vector is an owned copy,
+  /// but the Node pointers inside it are non-owning: they stay valid only
+  /// while this node (which owns the children) is alive and its child list
+  /// is not mutated.
   std::vector<const Node*> ChildElements() const;
 
-  /// Child elements with the given tag name, in document order.
+  /// Child elements with the given tag name, in document order. Same
+  /// lifetime contract as ChildElements() above.
   std::vector<const Node*> ChildElements(std::string_view name) const;
 
   /// Concatenation of all descendant text (the XPath string-value).

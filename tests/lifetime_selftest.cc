@@ -1,0 +1,107 @@
+/// Compile-time self-test for the lifetime-annotation layer
+/// (src/common/lifetime.h; DESIGN.md section 14).
+///
+/// This file is never linked into a test binary; CMake compiles it with
+/// `-fsyntax-only` in four configurations (see tests/CMakeLists.txt):
+///
+///  * Without any XO_LIFETIME_SELFTEST_* macro it must compile cleanly on
+///    every compiler — proving the annotation macros expand to valid
+///    attributes (or to nothing, on GCC) and the annotated APIs stay usable
+///    through their intended protocols.
+///
+///  * With XO_LIFETIME_SELFTEST_PAGE / _TEMP / _ARENA defined (one ctest
+///    each), the blocks below add one deliberate dangling-view bug apiece.
+///    Under Clang with -Werror=dangling -Werror=dangling-gsl
+///    -Werror=return-stack-address each compilation MUST fail; the ctest
+///    entries are registered WILL_FAIL, so a "pass" here means the
+///    diagnostics actually reject the escape. If one of these tests ever
+///    succeeds, the -Werror wiring in the top-level CMakeLists has rotted.
+
+#include <string>
+#include <string_view>
+
+#include "common/lifetime.h"
+#include "common/result.h"
+#include "common/str_util.h"
+#include "ordb/buffer_pool.h"
+#include "ordb/row_codec.h"
+#include "ordb/tuple.h"
+#include "xadt/scanner.h"
+
+namespace xorator {
+
+/// Helper declared but never defined: this translation unit is only ever
+/// syntax-checked.
+std::string MakeTemporaryString();
+
+namespace {
+
+/// The intended protocol: borrow the page bytes inside the guard's scope
+/// and copy anything that must survive it.
+[[maybe_unused]] Result<std::string> LegalPageUse(ordb::BufferPool* pool,
+                                                  ordb::PageId id) {
+  XO_ASSIGN_OR_RETURN(ordb::PageRef ref, pool->Fetch(id));
+  const char* bytes = ref.data();
+  std::string copy(bytes, 8);
+  RETURN_IF_ERROR(ref.Release());
+  return copy;
+}
+
+/// Views derived from a parameter may be returned: the annotation forwards
+/// the borrow to the caller's owner.
+[[maybe_unused]] std::string_view LegalViewUse(
+    std::string_view s XO_LIFETIME_BOUND) {
+  return StripWhitespace(s);
+}
+
+/// A RowView parsed over a caller-owned buffer is used in place, then
+/// materialized into owning Values before the buffer goes away.
+[[maybe_unused]] Result<ordb::Tuple> LegalRowUse(
+    const ordb::TableSchema& schema, const std::string& record) {
+  XO_ASSIGN_OR_RETURN(ordb::RowView row, ordb::RowView::Parse(schema, record));
+  ordb::Tuple out;
+  row.Materialize(&out);
+  return out;
+}
+
+#ifdef XO_LIFETIME_SELFTEST_PAGE
+
+/// Deliberate violation: the page bytes escape the PageRef guard. The pin
+/// is released when `ref` dies at end of scope, so the returned pointer
+/// aims at a frame the pool may recycle — the lifetimebound chain through
+/// Result::operator-> and PageRef::data() must reject the return.
+[[maybe_unused]] const char* BrokenPageEscape(ordb::BufferPool* pool,
+                                              ordb::PageId id) {
+  auto ref = pool->Fetch(id);
+  return ref->data();
+}
+
+#endif  // XO_LIFETIME_SELFTEST_PAGE
+
+#ifdef XO_LIFETIME_SELFTEST_TEMP
+
+/// Deliberate violation: a view over a temporary owner. The string dies at
+/// the end of the full-expression, before the view's first use.
+[[maybe_unused]] void BrokenTemporaryView() {
+  std::string_view dangling = MakeTemporaryString();
+  [[maybe_unused]] size_t n = dangling.size();
+}
+
+#endif  // XO_LIFETIME_SELFTEST_TEMP
+
+#ifdef XO_LIFETIME_SELFTEST_ARENA
+
+/// Deliberate violation: a RowView's payload escapes the record buffer it
+/// was parsed over. `raw()` is lifetime-bound to the view, which is bound
+/// to the local `record`, so returning the bytes must be rejected.
+[[maybe_unused]] std::string_view BrokenRowEscape(
+    const ordb::TableSchema& schema) {
+  std::string record = MakeTemporaryString();
+  auto row = ordb::RowView::Parse(schema, record);
+  return row->raw();
+}
+
+#endif  // XO_LIFETIME_SELFTEST_ARENA
+
+}  // namespace
+}  // namespace xorator

@@ -34,6 +34,12 @@ Checks, in order of appearance in DESIGN.md:
              body), so that deadlines, cancellation, and memory budgets stay
              responsive no matter which operators a plan composes
              (DESIGN.md section 12).
+  lifetime   Library functions returning a borrowed view (std::string_view,
+             std::span, RowView, ValueView) must declare what the view
+             borrows from with XO_LIFETIME_BOUND (common/lifetime.h) on a
+             parameter or on `this`, so Clang builds catch dangling uses
+             (DESIGN.md section 14). Functions returning views of static
+             storage (the enum-name tables) are allowlisted by name.
 
 Usage:
   lint.py --root <repo-root>      lint the tree, exit 1 on findings
@@ -86,6 +92,26 @@ RAW_PIN_ALLOWLIST = ("src/ordb/buffer_pool.h", "src/ordb/buffer_pool.cc")
 # self-test fixture under testdata/src/ordb/ exercises the same rule.
 GUARD_LOOP_SUFFIXES = ("ordb/executor.cc",)
 GUARD_LOOP_RE = re.compile(r"::\s*Next\s*\(")
+
+# Declarations (and in-class definitions) of functions returning a borrowed
+# view. Out-of-class definitions (`Type Class::Fn(...)`) deliberately do not
+# match: the attribute lives on the declaration.
+VIEW_RETURN_RE = re.compile(
+    r"\b(?:Result\s*<\s*std\s*::\s*string_view\s*>|std\s*::\s*string_view"
+    r"|std\s*::\s*span\s*<[^;{}()]*>|RowView|ValueView)\s+"
+    r"([A-Za-z_]\w*)\s*\(")
+# A view-returning match is only a declaration when the line up to it holds
+# nothing but declaration specifiers (this skips locals and expressions,
+# e.g. `const std::string_view v(payload);`).
+VIEW_DECL_PREFIX_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*|static\s+|inline\s+|constexpr\s+|"
+    r"virtual\s+|friend\s+|explicit\s+)*$")
+# Functions whose views aim at static storage (enum-name tables): there is
+# no owner to bind the lifetime to.
+LIFETIME_STATIC_ALLOWLIST = frozenset({
+    "StatusCodeToString", "ColumnTypeName", "TypeName", "CompareOpName",
+    "HealthStateName",
+})
 
 DECL_RE = re.compile(
     r"^(?:template\s*<.*>\s*)?"
@@ -258,6 +284,45 @@ def check_guard_loop(root, path, stripped_text, findings):
                                     "responsive (DESIGN.md section 12)"))
 
 
+def check_lifetime(path, stripped_text, findings):
+    """View-returning declarations must carry XO_LIFETIME_BOUND.
+
+    A function handing out a std::string_view / std::span / RowView /
+    ValueView borrows storage owned by something else; the annotation names
+    that something (a parameter, or `this`) so Clang's lifetime analysis can
+    reject dangling uses at the call site (DESIGN.md section 14). The check
+    scans the declaration from the return type to the terminating `;` or
+    body `{` and looks for the token anywhere in it."""
+    n = len(stripped_text)
+    for m in VIEW_RETURN_RE.finditer(stripped_text):
+        if m.group(1) in LIFETIME_STATIC_ALLOWLIST:
+            continue
+        line_start = stripped_text.rfind("\n", 0, m.start()) + 1
+        if not VIEW_DECL_PREFIX_RE.match(stripped_text[line_start:m.start()]):
+            continue
+        # The declaration runs to the first `;` or `{` outside parentheses
+        # (attribute arguments like XO_CALLABLE_WHEN("...") nest in parens).
+        depth, j = 1, m.end()
+        while j < n:
+            c = stripped_text[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif depth == 0 and c in ";{":
+                break
+            j += 1
+        if "XO_LIFETIME_BOUND" not in stripped_text[m.start():j]:
+            line = stripped_text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(path, line, "lifetime",
+                                    f"'{m.group(1)}' returns a borrowed view "
+                                    "without XO_LIFETIME_BOUND; annotate the "
+                                    "owning parameter or `this` "
+                                    "(common/lifetime.h, DESIGN.md section "
+                                    "14), or allowlist it if the view aims "
+                                    "at static storage"))
+
+
 def check_discard(path, stripped_lines, findings):
     for no, line in enumerate(stripped_lines, 1):
         if DISCARD_RE.search(line):
@@ -324,6 +389,7 @@ def lint_file(root, path, findings, lib):
         check_throw(path, stripped, findings)
         check_banned(path, stripped, findings)
         check_raw_mutex(root, path, stripped, findings)
+        check_lifetime(path, stripped_text, findings)
     # The pin protocol is global: tests and benches hold pins through
     # PageRef guards too.
     check_raw_pin(root, path, stripped, findings)
@@ -358,6 +424,7 @@ def self_test(script_dir):
         "bad_discard.cc": {"discard"},
         "bad_raw_mutex.cc": {"raw-mutex"},
         "bad_raw_pin.cc": {"raw-pin"},
+        "bad_lifetime.cc": {"lifetime"},
         "ordb/executor.cc": {"guard-loop"},
         "clean.h": set(),
     }

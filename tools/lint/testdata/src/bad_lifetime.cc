@@ -1,0 +1,27 @@
+// Fixture for the `lifetime` rule: a view returned without declaring what
+// it borrows from. The fix is
+//   std::string_view FirstToken(std::string_view s XO_LIFETIME_BOUND);
+#include <string_view>
+
+namespace xorator {
+
+/// First space-delimited token of `s` (the whole of `s` if no space).
+std::string_view FirstToken(std::string_view s) {
+  size_t sep = s.find(' ');
+  return sep == std::string_view::npos ? s : s.substr(0, sep);
+}
+
+/// Annotated correctly: must NOT be flagged.
+std::string_view Identity(std::string_view s XO_LIFETIME_BOUND) { return s; }
+
+/// Static-storage view, allowlisted by name: must NOT be flagged.
+std::string_view TypeName(int t) { return t == 0 ? "null" : "other"; }
+
+/// A local view variable with constructor syntax: not a declaration, must
+/// NOT be flagged.
+void Consume() {
+  const std::string_view view("payload");
+  (void)view;
+}
+
+}  // namespace xorator

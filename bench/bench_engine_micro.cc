@@ -276,6 +276,71 @@ void BM_BufferPoolChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferPoolChurn);
 
+// Shard contention in the buffer pool (DESIGN.md section 15): every
+// benchmark thread hammers Fetch/Unpin on resident pages. With
+// `disjoint:1` each thread's pages all hash to its own bucket, so under
+// the sharded pool the threads touch disjoint latches and never contend;
+// with `disjoint:0` every page hashes to bucket 0 and all threads fight
+// over one latch — the pre-shard single-`mu_` behaviour reproduced on
+// demand. The gap between the two arms (and between `disjoint:1` here
+// and the single-latch baseline recorded in BENCH_engine_micro.json) is
+// the direct measure of what the shard split buys.
+void BM_DisjointPageFetch(benchmark::State& state) {
+  // Shared across all benchmark threads and deliberately leaked, same
+  // reasoning as BM_ConcurrentReaders below.
+  struct Shared {
+    MemoryPager pager;
+    BufferPool pool{&pager, 128};  // 16 buckets, all pages resident
+    std::vector<PageId> pages;
+  };
+  static Shared* shared = [] {
+    auto* s = new Shared();
+    for (int i = 0; i < 128; ++i) {
+      auto p = s->pool.Create();
+      if (!p.ok()) return static_cast<Shared*>(nullptr);
+      const PageId id = p->id();
+      if (!p->Release().ok()) return static_cast<Shared*>(nullptr);
+      s->pages.push_back(id);
+    }
+    if (!s->pool.FlushAll().ok()) return static_cast<Shared*>(nullptr);
+    return s;
+  }();
+  if (shared == nullptr) {
+    state.SkipWithError("pool setup failed");
+    return;
+  }
+  const bool disjoint = state.range(0) != 0;
+  const size_t buckets = shared->pool.bucket_count();
+  // disjoint:1 — thread t's pages satisfy id % buckets == t % buckets.
+  // disjoint:0 — everyone's pages satisfy id % buckets == 0.
+  std::vector<PageId> mine;
+  for (PageId id : shared->pages) {
+    const size_t want = disjoint
+                            ? static_cast<size_t>(state.thread_index()) % buckets
+                            : 0;
+    if (id % buckets == want) mine.push_back(id);
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    auto frame = shared->pool.Fetch(mine[next]);
+    if (!frame.ok()) {
+      state.SkipWithError("fetch failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*frame);
+    next = (next + 1) % mine.size();
+    // The guard unpins as `frame` dies here.
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisjointPageFetch)
+    ->ArgName("disjoint")
+    ->Arg(1)
+    ->Arg(0)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
 // Read-side scaling of the statement lock (DESIGN.md section 10): the same
 // indexed point SELECT from 1..8 threads against one shared database.
 // SELECT takes the statement lock shared, so items/sec should grow with

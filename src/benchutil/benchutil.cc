@@ -76,7 +76,9 @@ std::string FmtBytes(uint64_t bytes) {
 }
 
 bool FullScale() {
-  const char* env = std::getenv("XORATOR_BENCH_FULL");
+  // Benchmarks read the environment once at startup, before any worker
+  // threads exist; nothing in the process ever calls setenv.
+  const char* env = std::getenv("XORATOR_BENCH_FULL");  // NOLINT(concurrency-mt-unsafe)
   return env != nullptr && env[0] == '1';
 }
 

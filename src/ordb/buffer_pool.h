@@ -22,6 +22,7 @@ class EngineHealth;
 
 /// Counters for buffer-pool behaviour, surfaced by benchmarks, the
 /// fault-injection tests, PRAGMA health and the resilience stats line.
+/// Aggregated across the pool's bucket shards by BufferPool::stats().
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -164,7 +165,8 @@ class XO_CONSUMABLE(unconsumed) XO_GSL_OWNER(char) PageRef {
   bool dirty_ = false;
 };
 
-/// A fixed-capacity LRU buffer pool over a Pager.
+/// A fixed-capacity LRU buffer pool over a Pager, sharded into
+/// independently-latched buckets (DESIGN.md section 15).
 ///
 /// Usage: Fetch/Create return a PageRef guard holding one pin; the frame
 /// stays resident until the guard is released (destructor or Release()),
@@ -173,16 +175,25 @@ class XO_CONSUMABLE(unconsumed) XO_GSL_OWNER(char) PageRef {
 /// caller (enforced by the `raw-pin` lint rule, tools/lint), so a leaked
 /// or doubled pin is a compile error, not an eviction stall.
 ///
-/// Thread safety: fully thread-safe. An internal mutex (`mu_`, statically
-/// checked via Clang Thread Safety Analysis) guards the frame table, LRU
-/// clock, pin counts and counters, and is held across the underlying pager
-/// I/O, so the Pager itself needs no locking of its own. The bytes behind
-/// a PageRef are valid — and the frame immune to eviction — until the
-/// guard releases its pin; the pin count, not the mutex, is what protects
-/// the page bytes. Writers of page contents must still be mutually
-/// excluded from readers of the same page by a higher-level lock (the
-/// Database statement lock: statements that mutate pages run exclusively;
-/// see DESIGN.md section 10 for the lock hierarchy).
+/// Thread safety: fully thread-safe. The frame table is sharded by page id
+/// into bucket_count() buckets; each bucket carries its own latch
+/// (`Bucket::mu`, statically checked via Clang Thread Safety Analysis)
+/// over its frames, LRU clock, pin counts, quarantine set and counters, so
+/// concurrent Fetch/Unpin on pages in different buckets never contend.
+/// The Pager is NOT internally synchronized, so all pager I/O and
+/// allocation funnels through one `io_mu_` below the bucket latches; the
+/// incremental scrubber's cursor and scratch sit under `scrub_mu_` above
+/// them (LockRank kBufferPoolMaint > kBufferPoolBucket > kPagerIo;
+/// DESIGN.md section 10 has the full numeric hierarchy). Cross-bucket
+/// operations (FlushAll, PinnedFrameCount, stats, the quarantine
+/// snapshots, set_wal/set_health) visit buckets one at a time in canonical
+/// ascending index order — the same-rank ordering the runtime lock-rank
+/// detector enforces. The bytes behind a PageRef are valid — and the frame
+/// immune to eviction — until the guard releases its pin; the pin count,
+/// not the latch, is what protects the page bytes. Writers of page
+/// contents must still be mutually excluded from readers of the same page
+/// by a higher-level lock (the Database statement lock: statements that
+/// mutate pages run exclusively; see DESIGN.md section 10).
 ///
 /// Durability duties (see DESIGN.md "Durability & fault tolerance"):
 /// - every fetched page is checksum-verified (kCorruption on mismatch);
@@ -194,79 +205,100 @@ class XO_CONSUMABLE(unconsumed) XO_GSL_OWNER(char) PageRef {
 ///   with exponential backoff.
 ///
 /// Failure containment (DESIGN.md §13): a page that fails its checksum is
-/// quarantined — later fetches fail fast with kCorruption and no disk I/O
-/// — and reported to the attached EngineHealth (set_health) as degraded
-/// operation; a WAL-append failure during write-back latches read-only
-/// mode. ScrubSlice() proactively checksum-verifies the file in budgeted
-/// increments, feeding the same quarantine set.
+/// quarantined in its bucket — later fetches fail fast with kCorruption
+/// and no disk I/O — and reported to the attached EngineHealth
+/// (set_health) as degraded operation; a WAL-append failure during
+/// write-back latches read-only mode. ScrubSlice() proactively
+/// checksum-verifies the file in budgeted increments, feeding the same
+/// per-bucket quarantine sets.
 class BufferPool {
  public:
-  /// `capacity` is in pages.
+  /// `capacity` is in pages, distributed across the bucket shards. The
+  /// bucket count scales with capacity (one bucket per kMinFramesPerBucket
+  /// frames, capped at kMaxBuckets), so tiny test pools keep the exact
+  /// single-latch eviction order while production-sized pools shard.
   BufferPool(Pager* pager, size_t capacity);
 
   /// Debug sentinel: asserts no pin outlived the pool (a leaked pin would
   /// have wedged eviction; with PageRef it means a guard outlived us).
   ~BufferPool();
 
-  /// Attaches the write-ahead log consulted before write-backs. Pass
-  /// nullptr to detach (memory-backed databases run without one).
-  void set_wal(Wal* wal) XO_EXCLUDES(mu_);
+  /// Attaches the write-ahead log consulted before write-backs (fanned out
+  /// to every bucket). Pass nullptr to detach (memory-backed databases run
+  /// without one).
+  void set_wal(Wal* wal);
 
   /// Attaches the engine health machine that checksum failures and WAL
   /// write-back failures report to; nullptr detaches (tests that exercise
   /// the pool stand-alone).
-  void set_health(EngineHealth* health) XO_EXCLUDES(mu_);
+  void set_health(EngineHealth* health);
 
   /// Pins `id` and returns its guard. The page starts clean: call
-  /// MarkDirty() on the guard after modifying the bytes.
-  [[nodiscard]] Result<PageRef> Fetch(PageId id) XO_EXCLUDES(mu_);
+  /// MarkDirty() on the guard after modifying the bytes. Takes only the
+  /// bucket latch that owns `id` (plus io_mu_ on a miss).
+  [[nodiscard]] Result<PageRef> Fetch(PageId id);
 
   /// Allocates a new page (already zeroed) and returns its guard. The
   /// page starts dirty — it must reach disk even if never written to.
-  [[nodiscard]] Result<PageRef> Create() XO_EXCLUDES(mu_);
+  [[nodiscard]] Result<PageRef> Create() XO_EXCLUDES(io_mu_);
 
-  /// Writes back all dirty frames.
-  [[nodiscard]] Status FlushAll() XO_EXCLUDES(mu_);
+  /// Writes back all dirty frames, bucket by bucket in canonical order.
+  [[nodiscard]] Status FlushAll();
 
-  /// Number of frames currently holding at least one pin. Zero at every
-  /// quiescent point (checkpoints, pool destruction); the fault-injection
-  /// suite asserts this after each failed operation.
-  [[nodiscard]] size_t PinnedFrameCount() const XO_EXCLUDES(mu_);
+  /// Number of frames currently holding at least one pin, summed across
+  /// buckets. Zero at every quiescent point (checkpoints, pool
+  /// destruction); the fault-injection suite asserts this after each
+  /// failed operation.
+  [[nodiscard]] size_t PinnedFrameCount() const;
 
-  /// Snapshot of the counters (copied under the pool mutex).
-  [[nodiscard]] BufferPoolStats stats() const XO_EXCLUDES(mu_);
+  /// Snapshot of the counters, aggregated bucket by bucket (each bucket
+  /// copied under its latch; the sum is not a single atomic snapshot under
+  /// concurrency, which only matters to tests that read it quiesced).
+  [[nodiscard]] BufferPoolStats stats() const XO_EXCLUDES(io_mu_);
 
   /// True if `id` is currently quarantined (fetches of it fail fast).
-  [[nodiscard]] bool IsQuarantined(PageId id) const XO_EXCLUDES(mu_);
+  [[nodiscard]] bool IsQuarantined(PageId id) const;
 
-  /// Snapshot of the quarantined page ids (unordered).
-  [[nodiscard]] std::vector<PageId> QuarantinedPages() const XO_EXCLUDES(mu_);
+  /// Snapshot of the quarantined page ids (unordered), across all buckets.
+  [[nodiscard]] std::vector<PageId> QuarantinedPages() const;
 
-  /// Empties the quarantine set. Called by Database::TryRecover after WAL
-  /// recovery restored pre-images (the pages will be re-verified on their
-  /// next fetch, and re-quarantined if still bad).
-  void ClearQuarantine() XO_EXCLUDES(mu_);
+  /// Empties every bucket's quarantine set. Called by Database::TryRecover
+  /// after WAL recovery restored pre-images (the pages will be re-verified
+  /// on their next fetch, and re-quarantined if still bad).
+  void ClearQuarantine();
 
   /// Checksum-verifies up to `max_pages` on-disk pages starting at the
-  /// persistent scrub cursor, quarantining failures (DESIGN.md §13). Pages
-  /// resident in the pool are skipped (their canonical bytes are in
+  /// persistent scrub cursor, quarantining failures (DESIGN.md §13). The
+  /// cursor is a single page-id sequence over the whole file, so one pass
+  /// sweeps every bucket's pages; each page is checked under its owning
+  /// bucket's latch (excluding a concurrent write-back of that page).
+  /// Pages resident in the pool are skipped (their canonical bytes are in
   /// memory); already-quarantined pages are not re-read. Paced by the
   /// thread's bound QueryGuard, if any: the slice unwinds at the guard's
   /// deadline/cancel like any other scan. The cursor survives between
   /// calls, so repeated slices walk the whole file incrementally.
   [[nodiscard]] Result<ScrubReport> ScrubSlice(uint64_t max_pages)
-      XO_EXCLUDES(mu_);
+      XO_EXCLUDES(scrub_mu_);
 
   /// Best-effort raw read of `id` into `buf` (kPageSize bytes), bypassing
   /// both the quarantine check and checksum verification, and never
   /// caching the bytes. For salvage only: a skip-mode heap scan uses this
   /// to extract the next-page link from a quarantined chain page.
-  [[nodiscard]] Status ReadForSalvage(PageId id, char* buf) XO_EXCLUDES(mu_);
+  [[nodiscard]] Status ReadForSalvage(PageId id, char* buf);
 
   size_t capacity() const { return capacity_; }
 
+  /// Number of independently-latched bucket shards.
+  size_t bucket_count() const { return num_buckets_; }
+
   /// Attempts a pager op, absorbing up to this many transient faults.
   static constexpr int kMaxIoRetries = 4;
+
+  /// Sharding bounds: one bucket per this many frames of capacity...
+  static constexpr size_t kMinFramesPerBucket = 8;
+  /// ...up to this many buckets (diminishing returns past the thread
+  /// counts the engine serves; keeps cross-bucket sweeps cheap).
+  static constexpr size_t kMaxBuckets = 16;
 
  private:
   friend class PageRef;
@@ -279,44 +311,82 @@ class BufferPool {
     uint64_t last_used = 0;
   };
 
+  /// One shard of the pool: a latch and everything it guards. Buckets live
+  /// in one contiguous array (buckets_), so canonical ascending-index
+  /// order is ascending-address order — the same-rank ordering the
+  /// LockRank detector admits for kBufferPoolBucket.
+  struct Bucket {
+    /// This bucket's latch. Guards every member below and is held across
+    /// the bucket's pager I/O (which additionally serializes on io_mu_).
+    mutable xo::Mutex mu{xo::LockRank::kBufferPoolBucket};
+    /// Per-bucket copy of the pool-wide WAL pointer (set_wal fans out).
+    Wal* wal XO_GUARDED_BY(mu) = nullptr;
+    /// Per-bucket copy of the fault sink; EngineHealth's own mutex is a
+    /// leaf below the bucket rank, so reporting from under the latch
+    /// cannot invert the hierarchy.
+    EngineHealth* health XO_GUARDED_BY(mu) = nullptr;
+    std::vector<Frame> frames XO_GUARDED_BY(mu);
+    std::unordered_map<PageId, size_t> frame_of_page XO_GUARDED_BY(mu);
+    std::unique_ptr<char[]> scratch XO_GUARDED_BY(mu);  // pre-image staging
+    /// Pages of this bucket whose checksum failed; fetches fail fast until
+    /// recovery clears the set (DESIGN.md §13 quarantine lifecycle).
+    std::unordered_set<PageId> quarantined XO_GUARDED_BY(mu);
+    uint64_t clock XO_GUARDED_BY(mu) = 0;
+    BufferPoolStats stats XO_GUARDED_BY(mu);
+  };
+
+  /// The bucket owning `id` (pure hash; safe without any lock).
+  Bucket& BucketOf(PageId id) const { return buckets_[id % num_buckets_]; }
+
   // The raw pin protocol. Private on purpose: every external pin flows
   // through a PageRef guard, so balance is structural. Only PageRef and
   // the Fetch/Create wrappers below may call these.
-  [[nodiscard]] Result<char*> FetchPage(PageId id) XO_EXCLUDES(mu_);
-  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage() XO_EXCLUDES(mu_);
-  [[nodiscard]] Status Unpin(PageId id, bool dirty) XO_EXCLUDES(mu_);
+  [[nodiscard]] Result<char*> FetchPage(PageId id);
+  [[nodiscard]] Result<std::pair<PageId, char*>> NewPage()
+      XO_EXCLUDES(io_mu_);
+  [[nodiscard]] Status Unpin(PageId id, bool dirty);
 
-  [[nodiscard]] Result<size_t> GetVictimFrame() XO_REQUIRES(mu_);
+  [[nodiscard]] Result<size_t> GetVictimFrame(Bucket& b) XO_REQUIRES(b.mu);
   /// True when dirty write-back must stop: the engine latched kReadOnly or
   /// kFailed on a journaled pool, so the pre-image log cannot be trusted.
-  [[nodiscard]] bool WritebackFrozen() const XO_REQUIRES(mu_);
+  [[nodiscard]] bool WritebackFrozen(const Bucket& b) const
+      XO_REQUIRES(b.mu);
   /// Stamps the checksum, logs the WAL pre-image, writes the frame back.
-  [[nodiscard]] Status WriteBack(Frame& frame) XO_REQUIRES(mu_);
-  [[nodiscard]] Status ReadRetry(PageId id, char* buf) XO_REQUIRES(mu_);
-  [[nodiscard]] Status WriteRetry(PageId id, const char* buf) XO_REQUIRES(mu_);
-  /// Adds `id` to the quarantine set and reports degraded health once.
-  void QuarantineLocked(PageId id) XO_REQUIRES(mu_);
+  [[nodiscard]] Status WriteBack(Bucket& b, Frame& frame) XO_REQUIRES(b.mu);
+  /// Pager reads/writes with bounded retry, serialized on io_mu_ (the
+  /// Pager itself is not internally synchronized).
+  [[nodiscard]] Status ReadRetry(PageId id, char* buf) XO_EXCLUDES(io_mu_);
+  [[nodiscard]] Status WriteRetry(PageId id, const char* buf)
+      XO_EXCLUDES(io_mu_);
+  /// Adds `id` to its bucket's quarantine set and reports degraded health
+  /// once.
+  void QuarantineLocked(Bucket& b, PageId id) XO_REQUIRES(b.mu);
 
-  Pager* const pager_;  // only touched under mu_ (or by Database exclusively)
+  Pager* const pager_;  // reached only under io_mu_ (see ReadRetry)
   const size_t capacity_;
+  const size_t num_buckets_;
+  /// The bucket shards, fixed at construction. A contiguous array so that
+  /// index order and address order agree (see Bucket).
+  const std::unique_ptr<Bucket[]> buckets_;
 
-  /// Guards every mutable member below. Acquired after the Database
-  /// statement lock and before Wal::mu_ (DESIGN.md section 10).
-  mutable xo::Mutex mu_;
-  Wal* wal_ XO_GUARDED_BY(mu_) = nullptr;
-  /// Fault sink; EngineHealth's own mutex is a leaf below mu_, so
-  /// reporting from under the pool lock cannot invert the hierarchy.
-  EngineHealth* health_ XO_GUARDED_BY(mu_) = nullptr;
-  std::vector<Frame> frames_ XO_GUARDED_BY(mu_);
-  std::unordered_map<PageId, size_t> frame_of_page_ XO_GUARDED_BY(mu_);
-  std::unique_ptr<char[]> scratch_ XO_GUARDED_BY(mu_);  // pre-image staging
-  /// Pages whose checksum failed; fetches fail fast until recovery clears
-  /// the set (DESIGN.md §13 quarantine lifecycle).
-  std::unordered_set<PageId> quarantined_ XO_GUARDED_BY(mu_);
+  /// Serializes all Pager access (I/O, allocation, page_count): the Pager
+  /// is not internally synchronized, and before sharding it inherited
+  /// mutual exclusion from the single pool latch. Rank kPagerIo — below
+  /// the bucket latches, independent of Wal::mu_.
+  mutable xo::Mutex io_mu_{xo::LockRank::kPagerIo};
+  /// Transient pager faults absorbed across all buckets (stats().retries).
+  uint64_t io_retries_ XO_GUARDED_BY(io_mu_) = 0;
+
+  /// Guards the incremental scrubber's cursor, scratch page and counters.
+  /// Rank kBufferPoolMaint — above the bucket latches, because a slice
+  /// acquires each page's bucket latch while holding it.
+  mutable xo::Mutex scrub_mu_{xo::LockRank::kBufferPoolMaint};
   /// Next page ScrubSlice examines; wraps at the end of the file.
-  PageId scrub_cursor_ XO_GUARDED_BY(mu_) = 0;
-  uint64_t clock_ XO_GUARDED_BY(mu_) = 0;
-  BufferPoolStats stats_ XO_GUARDED_BY(mu_);
+  PageId scrub_cursor_ XO_GUARDED_BY(scrub_mu_) = 0;
+  std::unique_ptr<char[]> scrub_scratch_ XO_GUARDED_BY(scrub_mu_);
+  uint64_t scrub_pages_scanned_ XO_GUARDED_BY(scrub_mu_) = 0;
+  uint64_t scrub_pages_bad_ XO_GUARDED_BY(scrub_mu_) = 0;
+  uint64_t scrub_passes_ XO_GUARDED_BY(scrub_mu_) = 0;
 };
 
 // PageRef members that touch the pool (and the guard-returning wrappers)

@@ -108,7 +108,7 @@ class Catalog {
 
   /// Guards the registry containers below (not the pointees; see the
   /// class comment). Leaf lock: nothing else is acquired while held.
-  mutable xo::SharedMutex mu_;
+  mutable xo::SharedMutex mu_{xo::LockRank::kCatalog};
   std::vector<std::unique_ptr<TableInfo>> tables_ XO_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<IndexInfo>> indexes_ XO_GUARDED_BY(mu_);
   std::map<std::string, TableInfo*, std::less<>> table_by_name_

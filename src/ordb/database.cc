@@ -16,7 +16,7 @@ namespace {
 /// Process-wide record of the most recent destructor/Close() checkpoint,
 /// stored as raw code+message (not a Status) so that nothing enforces a
 /// check on the global itself at process exit.
-xo::Mutex g_close_status_mu;
+xo::Mutex g_close_status_mu{xo::LockRank::kLeafCloseStatus};
 StatusCode g_close_status_code XO_GUARDED_BY(g_close_status_mu) =
     StatusCode::kOk;
 std::string g_close_status_message  // NOLINT(runtime/string)

@@ -310,9 +310,9 @@ class Database {
 
   /// The statement lock (see the class comment): shared for read-only
   /// statements, exclusive for mutating ones. Outermost lock of the
-  /// hierarchy — BufferPool::mu_, Wal::mu_ and Catalog::mu_ nest under it
-  /// (DESIGN.md section 10).
-  mutable xo::SharedMutex mu_;
+  /// hierarchy (rank kStatement) — the buffer-pool latches, Wal::mu_ and
+  /// Catalog::mu_ all rank below it (DESIGN.md section 10).
+  mutable xo::SharedMutex mu_{xo::LockRank::kStatement};
   DbOptions options_;
   /// Engine health (internally synchronized leaf). Declared before the
   /// storage components so it outlives them: the buffer pool may report
@@ -340,7 +340,7 @@ class Database {
   /// mu_: Cancel() takes only guards_mu_, and registration happens before
   /// mu_ is acquired — so cancellation can never deadlock against (or wait
   /// on) the statement lock (DESIGN.md sections 10 and 12).
-  mutable xo::Mutex guards_mu_;
+  mutable xo::Mutex guards_mu_{xo::LockRank::kLeafGuardRegistry};
   /// In-flight guarded statements by caller-chosen query id. Values point
   /// at stack-allocated guards owned by Query(); GuardRegistration
   /// guarantees removal before the guard dies.

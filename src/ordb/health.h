@@ -53,8 +53,8 @@ struct HealthSnapshot {
 /// mutation entry point polls it without locking — while the detail string
 /// is guarded by an internal mutex. That mutex is a leaf of the lock
 /// hierarchy: storage components report faults from under their own locks
-/// (e.g. BufferPool::mu_ during a write-back), so EngineHealth must never
-/// acquire anything on its way down.
+/// (e.g. a buffer-pool bucket latch during a write-back), so EngineHealth
+/// must never acquire anything on its way down.
 ///
 /// Escalations latch: reporting a severity at or below the current state
 /// refreshes the detail at equal severity and is otherwise a no-op, so the
@@ -113,9 +113,10 @@ class EngineHealth {
   /// refreshes the detail at equal severity.
   void Escalate(HealthState to, std::string detail) XO_EXCLUDES(mu_);
 
-  /// Guards detail_ only (state/transitions are atomics). Leaf lock:
-  /// reporters call in from under BufferPool::mu_ and Wal::mu_.
-  mutable xo::Mutex mu_;
+  /// Guards detail_ only (state/transitions are atomics). Leaf lock (rank
+  /// kLeafHealth): reporters call in from under the buffer-pool bucket
+  /// latches and Wal::mu_.
+  mutable xo::Mutex mu_{xo::LockRank::kLeafHealth};
   std::atomic<int> state_{static_cast<int>(HealthState::kHealthy)};
   std::atomic<uint64_t> transitions_{0};
   std::string detail_ XO_GUARDED_BY(mu_);

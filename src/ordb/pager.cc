@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 namespace xorator::ordb {
 
@@ -12,14 +13,16 @@ Status SyncToDisk(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IOError("cannot open '" + path +
-                           "' to sync it: " + std::strerror(errno));
+                           "' to sync it: " +
+                           std::system_category().message(errno));
   }
   const int rc = ::fsync(fd);
   const int saved_errno = errno;
   ::close(fd);
   if (rc != 0) {
     return Status::IOError("fsync of '" + path +
-                           "' failed: " + std::strerror(saved_errno));
+                           "' failed: " +
+                           std::system_category().message(saved_errno));
   }
   return Status::OK();
 }

@@ -22,9 +22,10 @@ namespace xorator::ordb {
 /// never freed (the engine has no vacuum — see DESIGN.md non-goals).
 ///
 /// Thread safety: implementations are NOT internally synchronized. In the
-/// engine a pager is only reached from under BufferPool::mu_ (page I/O and
-/// allocation) or the exclusive Database statement lock (Checkpoint's
-/// Flush), which serializes all access (DESIGN.md section 10).
+/// engine a pager is only reached from under BufferPool::io_mu_ (page I/O,
+/// allocation and page_count — the sharded pool's single I/O funnel, rank
+/// kPagerIo) or the exclusive Database statement lock (Checkpoint's Flush,
+/// recovery), which serializes all access (DESIGN.md sections 10 and 15).
 class Pager {
  public:
   virtual ~Pager() = default;

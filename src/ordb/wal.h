@@ -81,10 +81,11 @@ class Wal {
 
   const std::string path_;
 
-  /// Guards the log stream and the epoch state below. Innermost lock of
-  /// the engine hierarchy: acquired under BufferPool::mu_ during
-  /// write-backs, never the other way around.
-  mutable xo::Mutex mu_;
+  /// Guards the log stream and the epoch state below. Rank kWal: acquired
+  /// from under a buffer-pool bucket latch during write-backs, never the
+  /// other way around; only the leaf ranks sit below it (DESIGN.md
+  /// section 10).
+  mutable xo::Mutex mu_{xo::LockRank::kWal};
   std::ofstream file_ XO_GUARDED_BY(mu_);
   PageId checkpoint_page_count_ XO_GUARDED_BY(mu_) = 0;
   std::unordered_set<PageId> logged_ XO_GUARDED_BY(mu_);

@@ -43,7 +43,7 @@ class Counter {
 #endif
 
  private:
-  mutable xo::Mutex mu_;
+  mutable xo::Mutex mu_{xo::LockRank::kLeafHealth};
   int value_ XO_GUARDED_BY(mu_) = 0;
 };
 
@@ -73,7 +73,7 @@ class Registry {
     return value_;
   }
 
-  mutable xo::SharedMutex mu_;
+  mutable xo::SharedMutex mu_{xo::LockRank::kCatalog};
   int value_ XO_GUARDED_BY(mu_) = 0;
 };
 

@@ -34,6 +34,14 @@ Checks, in order of appearance in DESIGN.md:
              body), so that deadlines, cancellation, and memory budgets stay
              responsive no matter which operators a plan composes
              (DESIGN.md section 12).
+  lock-rank  Every xo::Mutex / xo::SharedMutex declared in library code must
+             be constructed with an explicit LockRank (common/mutex.h), so
+             the runtime lock-rank detector can police DESIGN.md section
+             10's acquisition hierarchy. A rank-less declaration does not
+             compile (the default constructor is deleted), but the lint
+             additionally requires the rank to appear on the declaration
+             itself — not fed in through an init-list variable — so the
+             hierarchy stays greppable.
   lifetime   Library functions returning a borrowed view (std::string_view,
              std::span, RowView, ValueView) must declare what the view
              borrows from with XO_LIFETIME_BOUND (common/lifetime.h) on a
@@ -80,6 +88,14 @@ RAW_MUTEX_RE = re.compile(
 # The annotated wrapper layer itself — the one file allowed to touch the
 # raw primitives (everything else goes through xo::Mutex & friends).
 RAW_MUTEX_ALLOWLIST = ("src/common/mutex.h",)
+
+# A declaration of an annotated mutex: the type followed by a variable
+# name (a `*` or `&` after the type is a pointer/reference and carries no
+# rank; `MutexLock` and friends do not match the \b boundary).
+LOCK_RANK_DECL_RE = re.compile(
+    r"\bxo\s*::\s*(?:Shared)?Mutex\b\s+[A-Za-z_]\w*\s*[{(;=]")
+# The wrapper layer itself (declares the types, not instances of them).
+LOCK_RANK_ALLOWLIST = ("src/common/mutex.h",)
 
 # The raw pin protocol, banned outside the buffer pool itself: every other
 # pin is owned by a PageRef guard (BufferPool::Fetch/Create), whose
@@ -222,6 +238,34 @@ def check_raw_mutex(root, path, stripped_lines, findings):
                                     "to Thread Safety Analysis; use "
                                     "xo::Mutex / xo::SharedMutex and their "
                                     "guards (common/mutex.h)"))
+
+
+def check_lock_rank(root, path, stripped_text, findings):
+    """Every annotated-mutex declaration names its LockRank in place.
+
+    The deleted default constructor already forces *some* rank expression;
+    this check pins it to the declaration (`xo::Mutex mu_{
+    xo::LockRank::k...};`) so `grep LockRank` reproduces the whole lock
+    hierarchy, and a reviewer never has to chase an initializer through
+    constructor plumbing to learn where a mutex sits in DESIGN.md
+    section 10's order."""
+    rel = path.relative_to(root).as_posix()
+    if rel in LOCK_RANK_ALLOWLIST:
+        return
+    n = len(stripped_text)
+    for m in LOCK_RANK_DECL_RE.finditer(stripped_text):
+        # The declaration runs from the match to its terminating `;`.
+        j = stripped_text.find(";", m.start())
+        j = n if j == -1 else j
+        if "LockRank" not in stripped_text[m.start():j]:
+            line = stripped_text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(path, line, "lock-rank",
+                                    "xo::Mutex / xo::SharedMutex declared "
+                                    "without an explicit LockRank; state "
+                                    "the rank on the declaration (e.g. "
+                                    "xo::Mutex mu_{xo::LockRank::kWal};) "
+                                    "so the DESIGN.md section 10 hierarchy "
+                                    "stays greppable"))
 
 
 def check_raw_pin(root, path, stripped_lines, findings):
@@ -389,6 +433,7 @@ def lint_file(root, path, findings, lib):
         check_throw(path, stripped, findings)
         check_banned(path, stripped, findings)
         check_raw_mutex(root, path, stripped, findings)
+        check_lock_rank(root, path, stripped_text, findings)
         check_lifetime(path, stripped_text, findings)
     # The pin protocol is global: tests and benches hold pins through
     # PageRef guards too.
@@ -423,6 +468,7 @@ def self_test(script_dir):
         "bad_banned.cc": {"banned"},
         "bad_discard.cc": {"discard"},
         "bad_raw_mutex.cc": {"raw-mutex"},
+        "bad_lock_rank.cc": {"lock-rank"},
         "bad_raw_pin.cc": {"raw-pin"},
         "bad_lifetime.cc": {"lifetime"},
         "ordb/executor.cc": {"guard-loop"},

@@ -1,0 +1,29 @@
+// Fixture: annotated mutexes declared without an explicit LockRank on the
+// declaration, which the lock-rank rule rejects (the real construct does
+// not even compile — the default constructor is deleted — but the lint
+// keeps the rank greppable at the declaration site).
+#include "common/mutex.h"
+
+namespace fixture {
+
+xo::Mutex g_mu;
+xo::SharedMutex g_rw;
+
+/// A member declaration without a rank is rejected the same way.
+class Holder {
+ public:
+  int Read() const {
+    xo::MutexLock lock(&mu_);  // guard use is fine; the decl is the finding
+    return value_;
+  }
+
+ private:
+  mutable xo::Mutex mu_;
+  int value_ = 0;
+};
+
+/// Ranked declarations (the fix) are accepted — these must NOT fire.
+xo::Mutex g_ranked{xo::LockRank::kLeafHealth};
+xo::SharedMutex g_ranked_rw{xo::LockRank::kCatalog};
+
+}  // namespace fixture

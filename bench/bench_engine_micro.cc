@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/span.h"
 #include "common/varint.h"
 #include "ordb/bptree.h"
 #include "ordb/buffer_pool.h"
@@ -144,7 +145,7 @@ Result<Tuple> DecodeTupleCopying(const TableSchema& schema,
     }
     switch (schema.columns[i].type) {
       case TypeId::kBoolean: {
-        if (pos + 1 > bytes.size()) {
+        if (bytes.size() - pos < 1) {
           return Status::Internal("truncated boolean in tuple");
         }
         tuple.push_back(Value::Bool(bytes[pos] != 0));
@@ -152,29 +153,25 @@ Result<Tuple> DecodeTupleCopying(const TableSchema& schema,
         break;
       }
       case TypeId::kInteger: {
-        if (pos + 8 > bytes.size()) {
+        if (bytes.size() - pos < 8) {
           return Status::Internal("truncated integer in tuple");
         }
-        int64_t raw;
-        __builtin_memcpy(&raw, bytes.data() + pos, sizeof(raw));
+        tuple.push_back(Value::Int(xo::LoadFixedUnchecked<int64_t>(bytes, pos)));
         pos += 8;
-        tuple.push_back(Value::Int(raw));
         break;
       }
       case TypeId::kDouble: {
-        if (pos + 8 > bytes.size()) {
+        if (bytes.size() - pos < 8) {
           return Status::Internal("truncated double in tuple");
         }
-        double d;
-        __builtin_memcpy(&d, bytes.data() + pos, sizeof(d));
+        tuple.push_back(Value::Double(xo::LoadFixedUnchecked<double>(bytes, pos)));
         pos += 8;
-        tuple.push_back(Value::Double(d));
         break;
       }
       case TypeId::kVarchar:
       case TypeId::kXadt: {
         XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-        if (pos + len > bytes.size()) {
+        if (len > bytes.size() - pos) {
           return Status::Internal("truncated string in tuple");
         }
         std::string s(bytes.substr(pos, len));

@@ -1,0 +1,132 @@
+#ifndef XORATOR_COMMON_SAFE_MATH_H_
+#define XORATOR_COMMON_SAFE_MATH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "common/result.h"
+
+// Checked integer arithmetic for the data plane (DESIGN.md section 16).
+//
+// Every on-disk format this engine reads — slotted pages, B+-tree nodes,
+// the varint row codec, WAL records, XADT fragment directories — is
+// navigated by offsets and lengths decoded from bytes an attacker (or a
+// failing disk) controls. Unchecked arithmetic on those values turns a
+// corrupt byte into silent wraparound and an out-of-bounds access instead
+// of a clean kCorruption. The rules:
+//
+//   * Arithmetic on decoded offsets/lengths goes through CheckedAdd /
+//     CheckedSub / CheckedMul, which fail closed with kCorruption.
+//   * Narrowing a wider value into a field goes through checked_cast,
+//     which fails closed with kInvalidArgument (callers in decode paths
+//     typically cannot reach it: they validate ranges first).
+//   * Intentional wraparound — CRC folding, hash mixing, PRNG steps — is
+//     spelled WrapAdd / WrapSub / WrapMul so `-fsanitize=integer` (the
+//     Clang Sanitize build, see the top-level CMakeLists.txt) never fires
+//     on it and a reader can grep every deliberate wrap site.
+//
+// All helpers are built on the `__builtin_*_overflow` intrinsics, which
+// compile to a flag check (or a single `mul` + overflow test) and are
+// defined for every integer type and sign mix; the sanitizers do not
+// instrument them, which is exactly what makes WrapAdd an escape hatch.
+
+namespace xo {
+
+/// Checked `a + b`: fails closed with kCorruption on overflow. Use for any
+/// sum involving a decoded offset or length.
+template <typename T>
+[[nodiscard]] inline xorator::Result<T> CheckedAdd(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return xorator::Status::Corruption("integer overflow in checked add");
+  }
+  return out;
+}
+
+/// Checked `a - b`: fails closed with kCorruption on overflow/underflow
+/// (for unsigned types: whenever b > a).
+template <typename T>
+[[nodiscard]] inline xorator::Result<T> CheckedSub(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return xorator::Status::Corruption("integer underflow in checked sub");
+  }
+  return out;
+}
+
+/// Checked `a * b`: fails closed with kCorruption on overflow. Use when
+/// scaling a decoded count by an entry size.
+template <typename T>
+[[nodiscard]] inline xorator::Result<T> CheckedMul(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return xorator::Status::Corruption("integer overflow in checked mul");
+  }
+  return out;
+}
+
+/// Checked narrowing/sign conversion: fails closed with kInvalidArgument
+/// when `v` is not representable in `To`. The explicit conversion keeps
+/// `-fsanitize=implicit-conversion` and `-Werror=shorten-64-to-32` quiet
+/// while still refusing to silently truncate.
+template <typename To, typename From>
+[[nodiscard]] inline xorator::Result<To> checked_cast(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  To out;
+  if (__builtin_add_overflow(v, From{0}, &out)) {
+    return xorator::Status::InvalidArgument(
+        "value " + std::to_string(v) + " does not fit the destination type");
+  }
+  return out;
+}
+
+/// True if `v` is representable in `To` (the predicate form of
+/// checked_cast, for callers that want their own error message).
+template <typename To, typename From>
+[[nodiscard]] inline bool FitsIn(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  To out;
+  return !__builtin_add_overflow(v, From{0}, &out);
+}
+
+/// Deliberately wrapping `a + b` (two's-complement). The escape hatch for
+/// CRC folding, hash mixing and PRNG steps under `-fsanitize=integer`:
+/// the intrinsic is never instrumented, and the name marks the wrap as
+/// intended (DESIGN.md section 16).
+template <typename T>
+[[nodiscard]] constexpr T WrapAdd(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  bool overflowed = __builtin_add_overflow(a, b, &out);
+  static_cast<void>(overflowed);  // wrap is the point
+  return out;
+}
+
+/// Deliberately wrapping `a - b`; see WrapAdd.
+template <typename T>
+[[nodiscard]] constexpr T WrapSub(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  bool overflowed = __builtin_sub_overflow(a, b, &out);
+  static_cast<void>(overflowed);  // wrap is the point
+  return out;
+}
+
+/// Deliberately wrapping `a * b`; see WrapAdd.
+template <typename T>
+[[nodiscard]] constexpr T WrapMul(T a, std::type_identity_t<T> b) {
+  static_assert(std::is_integral_v<T>);
+  T out;
+  bool overflowed = __builtin_mul_overflow(a, b, &out);
+  static_cast<void>(overflowed);  // wrap is the point
+  return out;
+}
+
+}  // namespace xo
+
+#endif  // XORATOR_COMMON_SAFE_MATH_H_

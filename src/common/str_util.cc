@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdint>
 
+#include "common/safe_math.h"
+
 namespace xorator {
 
 std::string ToLower(std::string_view s) {
@@ -87,10 +89,12 @@ bool LikeMatch(std::string_view value, std::string_view pattern) {
 }
 
 uint64_t Hash64(std::string_view s) {
+  // FNV-1a; the multiply wraps by design (xo::WrapMul keeps
+  // -fsanitize=integer quiet and marks the wrap as intended).
   uint64_t h = 14695981039346656037ULL;
   for (unsigned char c : s) {
     h ^= c;
-    h *= 1099511628211ULL;
+    h = xo::WrapMul(h, 1099511628211ULL);
   }
   return h;
 }

@@ -1,5 +1,7 @@
 #include "common/varint.h"
 
+#include "common/span.h"
+
 namespace xorator {
 
 void PutVarint(std::string* dst, uint64_t value) {
@@ -11,16 +13,11 @@ void PutVarint(std::string* dst, uint64_t value) {
 }
 
 Result<uint64_t> GetVarint(std::string_view src, size_t* pos) {
-  uint64_t value = 0;
-  int shift = 0;
-  while (*pos < src.size()) {
-    uint8_t byte = static_cast<uint8_t>(src[(*pos)++]);
-    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
-    if (shift > 63) return Status::OutOfRange("varint too long");
-  }
-  return Status::OutOfRange("truncated varint");
+  xo::BoundedReader reader(src);
+  XO_RETURN_NOT_OK(reader.SeekTo(*pos));
+  XO_ASSIGN_OR_RETURN(uint64_t value, reader.ReadVarint());
+  *pos = reader.position();
+  return value;
 }
 
 }  // namespace xorator

@@ -14,7 +14,8 @@ namespace xorator {
 void PutVarint(std::string* dst, uint64_t value);
 
 /// Decodes a varint at `*pos` in `src`, advancing `*pos` past it.
-/// Fails with OutOfRange if the buffer ends mid-varint.
+/// Fails closed with Corruption if the buffer ends mid-varint or the
+/// varint is wider than 64 bits (`*pos` is left unchanged on failure).
 [[nodiscard]] Result<uint64_t> GetVarint(std::string_view src, size_t* pos);
 
 /// ZigZag encoding so small negative integers stay small on the wire.

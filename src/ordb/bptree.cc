@@ -1,6 +1,6 @@
 #include "ordb/bptree.h"
 
-#include <cstring>
+#include "common/span.h"
 
 namespace xorator::ordb {
 
@@ -31,54 +31,73 @@ struct EntryKey {
   }
 };
 
-bool IsLeaf(const char* node) { return node[kNodeBase] == 0; }
-void SetLeaf(char* node, bool leaf) { node[kNodeBase] = leaf ? 0 : 1; }
+// Node bytes are accessed through span.h only. Entry offsets are of the
+// form kEntryOffset + i * entry_bytes with i < count; the count comes off
+// disk, so every fetch runs ValidateBPlusTreeNode before the unchecked
+// accessors below may trust it (a corrupt count would otherwise index past
+// the 8 KB frame).
+std::string_view NodeView(const char* node XO_LIFETIME_BOUND) {
+  return std::string_view(node, kPageSize);
+}
+xo::MutableByteSpan NodeSpan(char* node XO_LIFETIME_BOUND) {
+  return xo::MutableByteSpan(node, kPageSize);
+}
+
+bool IsLeaf(const char* node) {
+  return xo::LoadFixedUnchecked<uint8_t>(NodeView(node), kNodeBase) == 0;
+}
+void SetLeaf(char* node, bool leaf) {
+  xo::StoreFixedUnchecked<uint8_t>(NodeSpan(node), kNodeBase, leaf ? 0 : 1);
+}
 uint16_t Count(const char* node) {
-  uint16_t c;
-  std::memcpy(&c, node + kNodeBase + 2, 2);
-  return c;
+  return xo::LoadFixedUnchecked<uint16_t>(NodeView(node), kNodeBase + 2);
 }
 void SetCount(char* node, uint16_t c) {
-  std::memcpy(node + kNodeBase + 2, &c, 2);
+  xo::StoreFixedUnchecked(NodeSpan(node), kNodeBase + 2, c);
 }
 PageId Link(const char* node) {
-  PageId p;
-  std::memcpy(&p, node + kNodeBase + 4, 4);
-  return p;
+  return xo::LoadFixedUnchecked<PageId>(NodeView(node), kNodeBase + 4);
 }
 void SetLink(char* node, PageId p) {
-  std::memcpy(node + kNodeBase + 4, &p, 4);
+  xo::StoreFixedUnchecked(NodeSpan(node), kNodeBase + 4, p);
 }
 
 EntryKey LeafEntry(const char* node, size_t i) {
-  EntryKey e;
-  std::memcpy(&e.key, node + kEntryOffset + i * kLeafEntryBytes, 8);
-  std::memcpy(&e.rid, node + kEntryOffset + i * kLeafEntryBytes + 8, 8);
-  return e;
+  const size_t off = kEntryOffset + i * kLeafEntryBytes;
+  return EntryKey{xo::LoadFixedUnchecked<uint64_t>(NodeView(node), off),
+                  xo::LoadFixedUnchecked<uint64_t>(NodeView(node), off + 8)};
 }
 void SetLeafEntry(char* node, size_t i, EntryKey e) {
-  std::memcpy(node + kEntryOffset + i * kLeafEntryBytes, &e.key, 8);
-  std::memcpy(node + kEntryOffset + i * kLeafEntryBytes + 8, &e.rid, 8);
+  const size_t off = kEntryOffset + i * kLeafEntryBytes;
+  xo::StoreFixedUnchecked(NodeSpan(node), off, e.key);
+  xo::StoreFixedUnchecked(NodeSpan(node), off + 8, e.rid);
 }
 
 EntryKey InternalSep(const char* node, size_t i) {
-  EntryKey e;
-  std::memcpy(&e.key, node + kEntryOffset + i * kInternalEntryBytes, 8);
-  std::memcpy(&e.rid, node + kEntryOffset + i * kInternalEntryBytes + 8, 8);
-  return e;
+  const size_t off = kEntryOffset + i * kInternalEntryBytes;
+  return EntryKey{xo::LoadFixedUnchecked<uint64_t>(NodeView(node), off),
+                  xo::LoadFixedUnchecked<uint64_t>(NodeView(node), off + 8)};
 }
 PageId InternalChild(const char* node, size_t i) {
   // child 0 lives in the header link; child i (i >= 1) follows separator i-1.
   if (i == 0) return Link(node);
-  PageId p;
-  std::memcpy(&p,
-              node + kEntryOffset + (i - 1) * kInternalEntryBytes + 16, 4);
-  return p;
+  return xo::LoadFixedUnchecked<PageId>(
+      NodeView(node), kEntryOffset + (i - 1) * kInternalEntryBytes + 16);
 }
 void SetInternalEntry(char* node, size_t i, EntryKey sep, PageId child) {
-  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes, &sep.key, 8);
-  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes + 8, &sep.rid, 8);
-  std::memcpy(node + kEntryOffset + i * kInternalEntryBytes + 16, &child, 4);
+  const size_t off = kEntryOffset + i * kInternalEntryBytes;
+  xo::StoreFixedUnchecked(NodeSpan(node), off, sep.key);
+  xo::StoreFixedUnchecked(NodeSpan(node), off + 8, sep.rid);
+  xo::StoreFixedUnchecked(NodeSpan(node), off + 16, child);
+}
+
+/// Shifts `n` entries of `entry_bytes` each from entry index `src` to
+/// entry index `dst` (overlap-safe); kCorruption when either range would
+/// escape the frame.
+[[nodiscard]] Status ShiftEntries(char* node, size_t dst, size_t src,
+                                  size_t n, size_t entry_bytes) {
+  return xo::MoveWithin(NodeSpan(node), kEntryOffset + dst * entry_bytes,
+                        kEntryOffset + src * entry_bytes, n * entry_bytes);
 }
 
 // First index i such that target < separator[i]; the search key descends
@@ -112,6 +131,26 @@ size_t LeafLowerBound(const char* node, EntryKey target) {
 
 }  // namespace
 
+Status ValidateBPlusTreeNode(std::string_view node) {
+  if (node.size() != kPageSize) {
+    return Status::Corruption("B+-tree node is not a full page");
+  }
+  const uint8_t type = xo::LoadFixedUnchecked<uint8_t>(node, kNodeBase);
+  if (type > 1) {
+    return Status::Corruption("unknown B+-tree node type " +
+                              std::to_string(type));
+  }
+  const uint16_t count =
+      xo::LoadFixedUnchecked<uint16_t>(node, kNodeBase + 2);
+  const size_t capacity = type == 0 ? kLeafCapacity : kInternalCapacity;
+  if (count > capacity) {
+    return Status::Corruption("B+-tree node claims " + std::to_string(count) +
+                              " entries, capacity is " +
+                              std::to_string(capacity));
+  }
+  return Status::OK();
+}
+
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   XO_ASSIGN_OR_RETURN(PageRef page, pool->Create());
   SetLeaf(page.data(), true);
@@ -127,14 +166,14 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
                                                           uint64_t rid) {
   XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(node_id));
   char* node = node_ref.data();
+  RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node)));
   EntryKey entry{key, rid};
   if (IsLeaf(node)) {
     uint16_t count = Count(node);
     size_t pos = LeafLowerBound(node, entry);
     if (count < kLeafCapacity) {
-      std::memmove(node + kEntryOffset + (pos + 1) * kLeafEntryBytes,
-                   node + kEntryOffset + pos * kLeafEntryBytes,
-                   (count - pos) * kLeafEntryBytes);
+      RETURN_IF_ERROR(
+          ShiftEntries(node, pos + 1, pos, count - pos, kLeafEntryBytes));
       SetLeafEntry(node, pos, entry);
       SetCount(node, count + 1);
       node_ref.MarkDirty();
@@ -148,8 +187,12 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     SetLeaf(right, true);
     size_t mid = count / 2;
     size_t right_count = count - mid;
-    std::memcpy(right + kEntryOffset, node + kEntryOffset + mid * kLeafEntryBytes,
-                right_count * kLeafEntryBytes);
+    XO_ASSIGN_OR_RETURN(
+        std::string_view upper_half,
+        xo::ViewBytes(xo::SpanOf(NodeView(node)),
+                      kEntryOffset + mid * kLeafEntryBytes,
+                      right_count * kLeafEntryBytes));
+    RETURN_IF_ERROR(xo::CopyInto(NodeSpan(right), kEntryOffset, upper_half));
     SetCount(right, static_cast<uint16_t>(right_count));
     SetLink(right, Link(node));
     SetCount(node, static_cast<uint16_t>(mid));
@@ -158,9 +201,8 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
     char* target = pos <= mid ? node : right;
     size_t tpos = pos <= mid ? pos : pos - mid;
     uint16_t tcount = Count(target);
-    std::memmove(target + kEntryOffset + (tpos + 1) * kLeafEntryBytes,
-                 target + kEntryOffset + tpos * kLeafEntryBytes,
-                 (tcount - tpos) * kLeafEntryBytes);
+    RETURN_IF_ERROR(
+        ShiftEntries(target, tpos + 1, tpos, tcount - tpos, kLeafEntryBytes));
     SetLeafEntry(target, tpos, entry);
     SetCount(target, tcount + 1);
     EntryKey sep = LeafEntry(right, 0);
@@ -187,12 +229,12 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node_id,
   PageId new_child = child_split.right;
   XO_ASSIGN_OR_RETURN(node_ref, pool_->Fetch(node_id));
   node = node_ref.data();
+  RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node)));
   uint16_t count = Count(node);
   size_t pos = ChildIndexFor(node, sep);
   if (count < kInternalCapacity) {
-    std::memmove(node + kEntryOffset + (pos + 1) * kInternalEntryBytes,
-                 node + kEntryOffset + pos * kInternalEntryBytes,
-                 (count - pos) * kInternalEntryBytes);
+    RETURN_IF_ERROR(
+        ShiftEntries(node, pos + 1, pos, count - pos, kInternalEntryBytes));
     SetInternalEntry(node, pos, sep, new_child);
     SetCount(node, count + 1);
     node_ref.MarkDirty();
@@ -266,6 +308,7 @@ Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
   PageId cur = root_;
   while (true) {
     XO_ASSIGN_OR_RETURN(PageRef node, pool_->Fetch(cur));
+    RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node.data())));
     if (IsLeaf(node.data())) {
       RETURN_IF_ERROR(node.Release());
       return cur;
@@ -288,6 +331,7 @@ Result<std::vector<uint64_t>> BPlusTree::FindRange(uint64_t lo,
   while (leaf != kInvalidPageId) {
     XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(leaf));
     const char* node = node_ref.data();
+    RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node)));
     uint16_t count = Count(node);
     size_t i = LeafLowerBound(node, target);
     bool done = false;
@@ -314,6 +358,7 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
   while (true) {
     XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(cur));
     char* node = node_ref.data();
+    RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node)));
     if (!IsLeaf(node)) {
       PageId next = InternalChild(node, ChildIndexFor(node, target));
       RETURN_IF_ERROR(node_ref.Release());
@@ -325,9 +370,8 @@ Status BPlusTree::Delete(uint64_t key, uint64_t rid) {
     if (i < count) {
       EntryKey e = LeafEntry(node, i);
       if (e.key == key && e.rid == rid) {
-        std::memmove(node + kEntryOffset + i * kLeafEntryBytes,
-                     node + kEntryOffset + (i + 1) * kLeafEntryBytes,
-                     (count - i - 1) * kLeafEntryBytes);
+        RETURN_IF_ERROR(
+            ShiftEntries(node, i, i + 1, count - i - 1, kLeafEntryBytes));
         SetCount(node, count - 1);
         node_ref.MarkDirty();
         RETURN_IF_ERROR(node_ref.Release());
@@ -347,6 +391,7 @@ Status BPlusTree::CheckNode(PageId node_id, uint64_t lo, uint64_t hi,
   // guard's destructor now releases the pin on the violation returns.
   XO_ASSIGN_OR_RETURN(PageRef node_ref, pool_->Fetch(node_id));
   const char* node = node_ref.data();
+  RETURN_IF_ERROR(ValidateBPlusTreeNode(NodeView(node)));
   uint16_t count = Count(node);
   if (IsLeaf(node)) {
     if (*leaf_depth == -1) {

@@ -2,6 +2,7 @@
 #define XORATOR_ORDB_BPTREE_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -9,6 +10,14 @@
 #include "ordb/page.h"
 
 namespace xorator::ordb {
+
+/// Structural validation of one B+-tree node image (a full kPageSize
+/// buffer): type byte is leaf/internal, entry count fits the node's
+/// capacity. Every tree operation runs it on each node it fetches before
+/// trusting the count — a corrupt count would otherwise index entries past
+/// the 8 KB frame. Exposed for the page fuzzer and the adversarial bounds
+/// tests. Fails closed with kCorruption.
+[[nodiscard]] Status ValidateBPlusTreeNode(std::string_view node);
 
 /// Order-preserving index key for INTEGER columns.
 inline uint64_t IntIndexKey(int64_t v) {

@@ -2,10 +2,10 @@
 
 #include <cassert>
 #include <cstdio>
-#include <cstring>
 #include <set>
 #include <unordered_set>
 
+#include "common/span.h"
 #include "common/str_util.h"
 #include "common/varint.h"
 
@@ -230,9 +230,10 @@ Status Database::SaveCatalog() {
                             " bytes) overflows the 8 KB meta page");
   }
   XO_ASSIGN_OR_RETURN(PageRef meta, pool_->Fetch(0));
-  char* page = meta.data();
-  std::memset(page + kPageHeaderBytes, 0, kPageSize - kPageHeaderBytes);
-  std::memcpy(page + kPageHeaderBytes, blob.data(), blob.size());
+  xo::MutableByteSpan page(meta.data(), kPageSize);
+  RETURN_IF_ERROR(xo::FillZero(page, kPageHeaderBytes,
+                               kPageSize - kPageHeaderBytes));
+  RETURN_IF_ERROR(xo::CopyInto(page, kPageHeaderBytes, blob));
   meta.MarkDirty();
   return meta.Release();
 }
@@ -241,8 +242,11 @@ Status Database::LoadCatalog() {
   std::string payload;
   {
     XO_ASSIGN_OR_RETURN(PageRef meta, pool_->Fetch(0));
-    payload.assign(meta.data() + kPageHeaderBytes,
-                   kPageSize - kPageHeaderBytes);
+    XO_ASSIGN_OR_RETURN(
+        std::string_view body,
+        xo::ViewBytes(xo::ByteSpan(meta.data(), kPageSize), kPageHeaderBytes,
+                      kPageSize - kPageHeaderBytes));
+    payload.assign(body);
     XO_RETURN_NOT_OK(meta.Release());
   }
   const std::string_view view(payload);

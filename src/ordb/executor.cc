@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/span.h"
 #include "common/str_util.h"
 #include "common/varint.h"
 #include "ordb/row_codec.h"
@@ -94,8 +95,7 @@ std::string RowFingerprint(const Tuple& row) {
         break;
       }
       case TypeId::kDouble: {
-        double d = v.AsDouble();
-        key.append(reinterpret_cast<const char*>(&d), sizeof(d));
+        xo::AppendFixed(&key, v.AsDouble());
         break;
       }
       case TypeId::kVarchar:

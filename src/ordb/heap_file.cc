@@ -1,6 +1,8 @@
 #include "ordb/heap_file.h"
 
-#include <cstring>
+#include <algorithm>
+
+#include "common/span.h"
 
 namespace xorator::ordb {
 
@@ -12,6 +14,11 @@ constexpr size_t kOverflowHeader = kOverflowBase + 8;
 constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
 // Records at most this large are stored inline in a slotted page.
 constexpr size_t kMaxInline = kPageSize - 64;
+// Preallocation cap for overflow reads: the stub's total-length field is
+// untrusted bytes, so reserve() must not take it at face value (a corrupt
+// stub could otherwise demand an arbitrary allocation before the chain
+// walk proves it short). Longer genuine records just grow amortized.
+constexpr size_t kMaxOverflowReserve = size_t{1} << 20;
 }  // namespace
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
@@ -46,18 +53,18 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
     size_t chunk = std::min(kOverflowCapacity, record.size() - pos);
     XO_ASSIGN_OR_RETURN(PageRef page, pool_->Create());
     ++page_count_;
-    uint32_t next = kInvalidPageId;
-    uint32_t len = static_cast<uint32_t>(chunk);
-    char* data = page.data();
-    std::memcpy(data + kOverflowBase, &next, 4);
-    std::memcpy(data + kOverflowBase + 4, &len, 4);
-    std::memcpy(data + kOverflowHeader, record.data() + pos, chunk);
+    xo::MutableByteSpan frame(page.data(), kPageSize);
+    xo::StoreFixedUnchecked<uint32_t>(frame, kOverflowBase, kInvalidPageId);
+    xo::StoreFixedUnchecked(frame, kOverflowBase + 4,
+                            static_cast<uint32_t>(chunk));
+    RETURN_IF_ERROR(
+        xo::CopyInto(frame, kOverflowHeader, record.substr(pos, chunk)));
     const PageId cur = page.id();
     RETURN_IF_ERROR(page.Release());
     if (prev != kInvalidPageId) {
       XO_ASSIGN_OR_RETURN(PageRef prev_ref, pool_->Fetch(prev));
-      uint32_t link = cur;
-      std::memcpy(prev_ref.data() + kOverflowBase, &link, 4);
+      xo::StoreFixedUnchecked<uint32_t>(
+          xo::MutableByteSpan(prev_ref.data(), kPageSize), kOverflowBase, cur);
       prev_ref.MarkDirty();
       RETURN_IF_ERROR(prev_ref.Release());
     } else {
@@ -67,10 +74,8 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
     pos += chunk;
   }
   payload.push_back(kOverflowMarker);
-  uint32_t head32 = head;
-  uint64_t total = record.size();
-  payload.append(reinterpret_cast<const char*>(&head32), 4);
-  payload.append(reinterpret_cast<const char*>(&total), 8);
+  xo::AppendU32(&payload, head);
+  xo::AppendU64(&payload, record.size());
   return InsertEncoded(payload);
 }
 
@@ -102,24 +107,32 @@ Result<Rid> HeapFile::InsertEncoded(std::string_view payload) {
 }
 
 Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
-  if (stub.size() != 12) return Status::Internal("bad overflow stub");
-  uint32_t page_id;
-  uint64_t total;
-  std::memcpy(&page_id, stub.data(), 4);
-  std::memcpy(&total, stub.data() + 4, 8);
+  xo::BoundedReader reader(stub);
+  XO_ASSIGN_OR_RETURN(uint32_t page_id, reader.ReadU32());
+  XO_ASSIGN_OR_RETURN(const uint64_t total, reader.ReadU64());
+  if (!reader.AtEnd()) return Status::Internal("bad overflow stub");
   std::string out;
-  out.reserve(total);
+  out.reserve(static_cast<size_t>(
+      std::min<uint64_t>(total, kMaxOverflowReserve)));
+  // A valid chain for `total` bytes is at most this many pages; a corrupt
+  // chain that cycles (or dribbles zero-length chunks) trips the bound
+  // instead of looping forever.
+  const uint64_t max_chain_pages = total / kOverflowCapacity + 2;
+  uint64_t chain_pages = 0;
   while (page_id != kInvalidPageId && out.size() < total) {
+    if (++chain_pages > max_chain_pages) {
+      return Status::Corruption("overflow chain longer than its record");
+    }
     XO_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(page_id));
-    const char* data = ref.data();
-    uint32_t next, len;
-    std::memcpy(&next, data + kOverflowBase, 4);
-    std::memcpy(&len, data + kOverflowBase + 4, 4);
-    if (len > kPageSize - kOverflowHeader) {
+    xo::ByteSpan frame(ref.data(), kPageSize);
+    XO_ASSIGN_OR_RETURN(uint32_t next, xo::LoadU32(frame, kOverflowBase));
+    XO_ASSIGN_OR_RETURN(uint32_t len, xo::LoadU32(frame, kOverflowBase + 4));
+    auto chunk = xo::ViewBytes(frame, kOverflowHeader, len);
+    if (!chunk.ok()) {
       return Status::Corruption("overflow page " + std::to_string(page_id) +
                                 " has a bad chunk length");
     }
-    out.append(data + kOverflowHeader, len);
+    out.append(*chunk);
     RETURN_IF_ERROR(ref.Release());
     page_id = next;
   }

@@ -5,17 +5,18 @@
 namespace xorator::ordb {
 
 uint32_t ComputePageChecksum(const char* page) {
-  return Crc32(page + 4, kPageSize - 4);
+  std::string_view payload = std::string_view(page, kPageSize).substr(4);
+  return Crc32(payload.data(), payload.size());
 }
 
 void SetPageChecksum(char* page) {
-  uint32_t crc = ComputePageChecksum(page);
-  std::memcpy(page, &crc, 4);
+  xo::StoreFixedUnchecked(xo::MutableByteSpan(page, kPageSize), 0,
+                          ComputePageChecksum(page));
 }
 
 bool VerifyPageChecksum(const char* page) {
-  uint32_t stored;
-  std::memcpy(&stored, page, 4);
+  uint32_t stored =
+      xo::LoadFixedUnchecked<uint32_t>(std::string_view(page, kPageSize), 0);
   if (stored == ComputePageChecksum(page)) return true;
   for (size_t i = 0; i < kPageSize; ++i) {
     if (page[i] != 0) return false;
@@ -24,7 +25,7 @@ bool VerifyPageChecksum(const char* page) {
 }
 
 void SlottedPage::Init() {
-  std::memset(data_, 0, kPageSize);
+  xo::FillZeroUnchecked(mutable_page(), 0, kPageSize);
   Write16(kPageHeaderBytes, 0);  // slot_count
   Write16(kPageHeaderBytes + 2, static_cast<uint16_t>(kPageSize - 1));
   Write32(kPageHeaderBytes + 4, kInvalidPageId);  // next_page
@@ -46,10 +47,12 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
   if (!Fits(record.size())) {
     return Status::OutOfRange("page full");
   }
+  // Fits() proved both the record range and the new slot entry lie inside
+  // [dir_end, data_begin) <= kPageSize, so the stores below cannot escape.
   uint16_t count = slot_count();
   size_t data_begin = static_cast<size_t>(data_start()) + 1;
   size_t offset = data_begin - record.size();
-  std::memcpy(data_ + offset, record.data(), record.size());
+  RETURN_IF_ERROR(xo::CopyInto(mutable_page(), offset, record));
   size_t slot_off = kHeaderBytes + kSlotBytes * count;
   Write16(slot_off, static_cast<uint16_t>(offset));
   Write16(slot_off + 2, static_cast<uint16_t>(record.size()));
@@ -60,21 +63,29 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
 
 Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
   if (slot >= slot_count()) return Status::NotFound("bad slot");
+  // slot_count is itself untrusted (a corrupt header can claim more slots
+  // than the directory can hold), so the directory reads are checked too.
   size_t slot_off = kHeaderBytes + kSlotBytes * slot;
-  uint16_t offset = Read16(slot_off);
-  uint16_t len = Read16(slot_off + 2);
+  XO_ASSIGN_OR_RETURN(uint16_t offset, xo::LoadU16(page(), slot_off));
+  XO_ASSIGN_OR_RETURN(uint16_t len, xo::LoadU16(page(), slot_off + 2));
   if (offset == 0) return Status::NotFound("deleted slot");
-  if (offset < kHeaderBytes || static_cast<size_t>(offset) + len > kPageSize) {
+  if (offset < kHeaderBytes) {
+    return Status::Corruption("slot " + std::to_string(slot) +
+                              " points inside the page header");
+  }
+  auto view = xo::ViewBytes(page(), offset, len);
+  if (!view.ok()) {
     return Status::Corruption("slot " + std::to_string(slot) +
                               " points outside the page");
   }
-  return std::string_view(data_ + offset, len);
+  return *view;
 }
 
 Status SlottedPage::Delete(uint16_t slot) {
   if (slot >= slot_count()) return Status::NotFound("bad slot");
   size_t slot_off = kHeaderBytes + kSlotBytes * slot;
-  if (Read16(slot_off) == 0) return Status::NotFound("already deleted");
+  XO_ASSIGN_OR_RETURN(uint16_t offset, xo::LoadU16(page(), slot_off));
+  if (offset == 0) return Status::NotFound("already deleted");
   Write16(slot_off, 0);
   return Status::OK();
 }

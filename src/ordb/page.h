@@ -2,11 +2,11 @@
 #define XORATOR_ORDB_PAGE_H_
 
 #include <cstdint>
-#include <cstring>
 #include <string_view>
 
 #include "common/lifetime.h"
 #include "common/result.h"
+#include "common/span.h"
 
 namespace xorator::ordb {
 
@@ -109,18 +109,31 @@ class XO_GSL_POINTER(char) SlottedPage {
   static constexpr size_t kHeaderBytes = kPageHeaderBytes + 8;
   static constexpr size_t kSlotBytes = 4;
 
+  xo::ByteSpan page() const XO_LIFETIME_BOUND {
+    return xo::ByteSpan(data_, kPageSize);
+  }
+  xo::MutableByteSpan mutable_page() XO_LIFETIME_BOUND {
+    return xo::MutableByteSpan(data_, kPageSize);
+  }
+
+  /// Header accessors: offsets are compile-time constants well inside the
+  /// 16-byte header, hence the unchecked loads/stores. Slot-directory
+  /// offsets are computed from the (untrusted) slot count and must go
+  /// through the checked xo::LoadU16/StoreU16 instead.
   uint16_t Read16(size_t off) const {
-    uint16_t v;
-    std::memcpy(&v, data_ + off, 2);
-    return v;
+    return xo::LoadFixedUnchecked<uint16_t>(
+        std::string_view(data_, kPageSize), off);
   }
   uint32_t Read32(size_t off) const {
-    uint32_t v;
-    std::memcpy(&v, data_ + off, 4);
-    return v;
+    return xo::LoadFixedUnchecked<uint32_t>(
+        std::string_view(data_, kPageSize), off);
   }
-  void Write16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
-  void Write32(size_t off, uint32_t v) { std::memcpy(data_ + off, &v, 4); }
+  void Write16(size_t off, uint16_t v) {
+    xo::StoreFixedUnchecked(mutable_page(), off, v);
+  }
+  void Write32(size_t off, uint32_t v) {
+    xo::StoreFixedUnchecked(mutable_page(), off, v);
+  }
 
   uint16_t data_start() const { return Read16(kPageHeaderBytes + 2); }
 

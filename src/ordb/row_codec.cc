@@ -1,6 +1,6 @@
 #include "ordb/row_codec.h"
 
-#include "common/varint.h"
+#include "common/span.h"
 
 namespace xorator::ordb {
 
@@ -46,48 +46,49 @@ Value ValueView::ToValue() const {
 
 Result<RowView> RowView::Parse(const TableSchema& schema,
                                std::string_view row) {
+  // This is the validating pass the unchecked accessors below rely on:
+  // the BoundedReader proves every field — bitmap, numerics, varint
+  // lengths, string payloads — lies inside `row` before any view is
+  // handed out. Corrupt records fail closed with kCorruption here.
   RowView v;
   v.schema_ = &schema;
   v.row_ = row;
   v.ncols_ = schema.columns.size();
   const size_t bitmap_bytes = (v.ncols_ + 7) / 8;
-  if (row.size() < bitmap_bytes) {
-    return Status::Internal("row shorter than its null bitmap");
+  xo::BoundedReader reader(row);
+  if (!reader.Skip(bitmap_bytes).ok()) {
+    return Status::Corruption("row shorter than its null bitmap");
   }
-  size_t pos = bitmap_bytes;
   for (size_t i = 0; i < v.ncols_; ++i) {
-    if (i < kInlineOffsets) v.offsets_[i] = static_cast<uint32_t>(pos);
+    if (i < kInlineOffsets) {
+      v.offsets_[i] = static_cast<uint32_t>(reader.position());
+    }
     if (v.IsNull(i)) continue;
     switch (schema.columns[i].type) {
       case TypeId::kBoolean:
-        if (row.size() - pos < 1) {
-          return Status::Internal("truncated boolean in row");
+        if (!reader.Skip(1).ok()) {
+          return Status::Corruption("truncated boolean in row");
         }
-        pos += 1;
         break;
       case TypeId::kInteger:
       case TypeId::kDouble:
-        if (row.size() - pos < 8) {
-          return Status::Internal("truncated numeric in row");
+        if (!reader.Skip(8).ok()) {
+          return Status::Corruption("truncated numeric in row");
         }
-        pos += 8;
         break;
       case TypeId::kVarchar:
       case TypeId::kXadt: {
-        XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(row, &pos));
-        // Phrased to dodge overflow: pos + len could wrap, size - pos not.
-        if (len > row.size() - pos) {
-          return Status::Internal("string length overflows row");
+        if (!reader.ReadLengthPrefixedBytes().ok()) {
+          return Status::Corruption("string length overflows row");
         }
-        pos += static_cast<size_t>(len);
         break;
       }
       case TypeId::kNull:
         break;
     }
   }
-  if (pos != row.size()) {
-    return Status::Internal("trailing bytes after the last column");
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after the last column");
   }
   return v;
 }
@@ -128,15 +129,11 @@ ValueView RowView::DecodeAt(size_t pos, size_t col) const {
       v.int_ = row_[pos] != 0 ? 1 : 0;
       break;
     case TypeId::kInteger: {
-      int64_t raw;
-      __builtin_memcpy(&raw, row_.data() + pos, sizeof(raw));
-      v.int_ = raw;
+      v.int_ = xo::LoadFixedUnchecked<int64_t>(row_, pos);
       break;
     }
     case TypeId::kDouble: {
-      double d;
-      __builtin_memcpy(&d, row_.data() + pos, sizeof(d));
-      v.double_ = d;
+      v.double_ = xo::LoadFixedUnchecked<double>(row_, pos);
       break;
     }
     case TypeId::kVarchar:
@@ -177,16 +174,12 @@ void RowView::Materialize(Tuple* out) const {
         pos += 1;
         break;
       case TypeId::kInteger: {
-        int64_t raw;
-        __builtin_memcpy(&raw, row_.data() + pos, sizeof(raw));
-        slot.SetInt(raw);
+        slot.SetInt(xo::LoadFixedUnchecked<int64_t>(row_, pos));
         pos += 8;
         break;
       }
       case TypeId::kDouble: {
-        double d;
-        __builtin_memcpy(&d, row_.data() + pos, sizeof(d));
-        slot.SetDouble(d);
+        slot.SetDouble(xo::LoadFixedUnchecked<double>(row_, pos));
         pos += 8;
         break;
       }

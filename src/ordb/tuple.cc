@@ -1,5 +1,6 @@
 #include "ordb/tuple.h"
 
+#include "common/span.h"
 #include "common/varint.h"
 #include "ordb/row_codec.h"
 
@@ -32,13 +33,11 @@ void EncodeTuple(const TableSchema& schema, const Tuple& tuple,
         // Integers are stored fixed-width (like a real engine's BIGINT
         // column); the paper's storage-size comparison depends on the
         // relational baseline paying normal per-column costs.
-        int64_t raw = v.AsInt();
-        out->append(reinterpret_cast<const char*>(&raw), sizeof(raw));
+        xo::AppendFixed(out, v.AsInt());
         break;
       }
       case TypeId::kDouble: {
-        double d = v.AsDouble();
-        out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+        xo::AppendFixed(out, v.AsDouble());
         break;
       }
       case TypeId::kVarchar:

@@ -1,5 +1,8 @@
 #include "ordb/value.h"
 
+#include <bit>
+
+#include "common/safe_math.h"
 #include "common/str_util.h"
 
 namespace xorator::ordb {
@@ -49,18 +52,17 @@ uint64_t Value::Hash() const {
       return 0x9e3779b97f4a7c15ULL;
     case TypeId::kBoolean:
     case TypeId::kInteger:
-      return static_cast<uint64_t>(int_) * 0x9e3779b97f4a7c15ULL;
+      return xo::WrapMul(static_cast<uint64_t>(int_), 0x9e3779b97f4a7c15ULL);
     case TypeId::kDouble: {
       // Hash doubles through their integer value when exact so that
       // 1 == 1.0 hashes consistently.
       auto as_int = static_cast<int64_t>(double_);
       if (static_cast<double>(as_int) == double_) {
-        return static_cast<uint64_t>(as_int) * 0x9e3779b97f4a7c15ULL;
+        return xo::WrapMul(static_cast<uint64_t>(as_int),
+                           0x9e3779b97f4a7c15ULL);
       }
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(double_));
-      __builtin_memcpy(&bits, &double_, sizeof(bits));
-      return bits * 0x9e3779b97f4a7c15ULL;
+      return xo::WrapMul(std::bit_cast<uint64_t>(double_),
+                         0x9e3779b97f4a7c15ULL);
     }
     case TypeId::kVarchar:
     case TypeId::kXadt:

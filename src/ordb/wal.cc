@@ -1,10 +1,11 @@
 #include "ordb/wal.h"
 
-#include <cstring>
 #include <filesystem>
 #include <map>
 
 #include "common/crc32.h"
+#include "common/safe_math.h"
+#include "common/span.h"
 #include "ordb/pager.h"
 
 namespace xorator::ordb {
@@ -14,8 +15,6 @@ namespace {
 constexpr uint32_t kWalMagic = 0x4C415758u;    // "XWAL"
 constexpr uint32_t kWalVersion = 1;
 constexpr uint32_t kRecordMarker = 0x47504D49u;  // "IMPG"
-constexpr size_t kHeaderBytes = 16;
-constexpr size_t kRecordHeaderBytes = 12;
 
 uint32_t RecordCrc(PageId page_id, const char* payload) {
   uint32_t crc = Crc32(&page_id, sizeof(page_id));
@@ -23,18 +22,45 @@ uint32_t RecordCrc(PageId page_id, const char* payload) {
 }
 
 Status WriteHeader(std::ofstream& file, PageId checkpoint_page_count) {
-  char header[kHeaderBytes];
-  uint64_t pages = checkpoint_page_count;
-  std::memcpy(header, &kWalMagic, 4);
-  std::memcpy(header + 4, &kWalVersion, 4);
-  std::memcpy(header + 8, &pages, 8);
-  file.write(header, kHeaderBytes);
+  std::string header;
+  header.reserve(kWalHeaderBytes);
+  xo::AppendU32(&header, kWalMagic);
+  xo::AppendU32(&header, kWalVersion);
+  xo::AppendU64(&header, checkpoint_page_count);
+  file.write(header.data(), static_cast<std::streamsize>(header.size()));
   file.flush();
   if (file.fail()) return Status::IOError("cannot write WAL header");
   return Status::OK();
 }
 
 }  // namespace
+
+Result<WalHeader> ParseWalHeader(std::string_view bytes) {
+  xo::BoundedReader reader(bytes);
+  XO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  XO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  XO_ASSIGN_OR_RETURN(uint64_t pages, reader.ReadU64());
+  if (magic != kWalMagic || version != kWalVersion) {
+    return Status::Corruption("not a v" + std::to_string(kWalVersion) +
+                              " WAL header");
+  }
+  if (!xo::FitsIn<PageId>(pages)) {
+    return Status::Corruption("WAL header claims " + std::to_string(pages) +
+                              " pages, more than a PageId can address");
+  }
+  return WalHeader{static_cast<PageId>(pages)};
+}
+
+Result<WalRecordHeader> ParseWalRecordHeader(std::string_view bytes) {
+  xo::BoundedReader reader(bytes);
+  XO_ASSIGN_OR_RETURN(uint32_t marker, reader.ReadU32());
+  XO_ASSIGN_OR_RETURN(PageId page_id, reader.ReadU32());
+  XO_ASSIGN_OR_RETURN(uint32_t crc, reader.ReadU32());
+  if (marker != kRecordMarker) {
+    return Status::Corruption("bad WAL record marker");
+  }
+  return WalRecordHeader{page_id, crc};
+}
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                                        PageId checkpoint_page_count) {
@@ -77,12 +103,12 @@ Status Wal::LogPageImage(PageId page_id, const char* page) {
   if (fault_hook_ != nullptr) {
     XO_RETURN_NOT_OK(fault_hook_());
   }
-  char header[kRecordHeaderBytes];
-  uint32_t crc = RecordCrc(page_id, page);
-  std::memcpy(header, &kRecordMarker, 4);
-  std::memcpy(header + 4, &page_id, 4);
-  std::memcpy(header + 8, &crc, 4);
-  file_.write(header, kRecordHeaderBytes);
+  std::string header;
+  header.reserve(kWalRecordHeaderBytes);
+  xo::AppendU32(&header, kRecordMarker);
+  xo::AppendU32(&header, page_id);
+  xo::AppendU32(&header, RecordCrc(page_id, page));
+  file_.write(header.data(), static_cast<std::streamsize>(header.size()));
   file_.write(page, kPageSize);
   file_.flush();
   if (file_.fail()) {
@@ -119,46 +145,42 @@ Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
   std::ifstream wal(wal_path, std::ios::binary);
   if (!wal) return stats;  // no journal — nothing to recover
 
-  char header[kHeaderBytes];
-  wal.read(header, kHeaderBytes);
-  if (wal.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+  char header[kWalHeaderBytes];
+  wal.read(header, kWalHeaderBytes);
+  if (wal.gcount() != static_cast<std::streamsize>(kWalHeaderBytes)) {
     return stats;  // header never made it to disk — no epoch ever started
   }
-  uint32_t magic, version;
-  uint64_t pages;
-  std::memcpy(&magic, header, 4);
-  std::memcpy(&version, header + 4, 4);
-  std::memcpy(&pages, header + 8, 8);
-  if (magic != kWalMagic || version != kWalVersion) {
-    return Status::Corruption("'" + wal_path + "' is not a v" +
-                              std::to_string(kWalVersion) + " WAL");
+  auto parsed_header =
+      ParseWalHeader(std::string_view(header, kWalHeaderBytes));
+  if (!parsed_header.ok()) {
+    return Status::Corruption("'" + wal_path +
+                              "' is not a usable WAL: " +
+                              parsed_header.status().message());
   }
+  const PageId pages = parsed_header->checkpoint_page_count;
 
   // Collect intact pre-images; stop at the first torn record (crash tail).
   // The first record per page wins: it is the page's checkpoint-time image.
   std::map<PageId, std::string> images;
   while (true) {
-    char rec_header[kRecordHeaderBytes];
-    wal.read(rec_header, kRecordHeaderBytes);
-    if (wal.gcount() != static_cast<std::streamsize>(kRecordHeaderBytes)) {
+    char rec_header[kWalRecordHeaderBytes];
+    wal.read(rec_header, kWalRecordHeaderBytes);
+    if (wal.gcount() != static_cast<std::streamsize>(kWalRecordHeaderBytes)) {
       stats.torn_tail_bytes += static_cast<uint64_t>(wal.gcount());
       break;
     }
-    uint32_t marker, crc;
-    PageId page_id;
-    std::memcpy(&marker, rec_header, 4);
-    std::memcpy(&page_id, rec_header + 4, 4);
-    std::memcpy(&crc, rec_header + 8, 4);
+    auto rec =
+        ParseWalRecordHeader(std::string_view(rec_header, kWalRecordHeaderBytes));
     std::string payload(kPageSize, '\0');
     wal.read(payload.data(), kPageSize);
-    if (marker != kRecordMarker ||
+    if (!rec.ok() ||
         wal.gcount() != static_cast<std::streamsize>(kPageSize) ||
-        crc != RecordCrc(page_id, payload.data())) {
+        rec->crc != RecordCrc(rec->page_id, payload.data())) {
       stats.torn_tail_bytes +=
-          kRecordHeaderBytes + static_cast<uint64_t>(wal.gcount());
+          kWalRecordHeaderBytes + static_cast<uint64_t>(wal.gcount());
       break;
     }
-    images.emplace(page_id, std::move(payload));
+    images.emplace(rec->page_id, std::move(payload));
   }
   wal.close();
 
@@ -187,8 +209,13 @@ Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
     if (db.fail()) return Status::IOError("flush failed during recovery");
   }
 
+  // The header validated pages <= PageId max, but the checkpoint size is
+  // still attacker bytes: compute it with checked arithmetic.
+  XO_ASSIGN_OR_RETURN(
+      const uint64_t checkpoint_bytes,
+      xo::CheckedMul<uint64_t>(pages, kPageSize));
   std::error_code ec;
-  std::filesystem::resize_file(db_path, pages * kPageSize, ec);
+  std::filesystem::resize_file(db_path, checkpoint_bytes, ec);
   if (ec) {
     return Status::IOError("cannot truncate '" + db_path +
                            "' to its checkpoint size: " + ec.message());
@@ -198,7 +225,7 @@ Result<RecoveryStats> RecoverFromWal(const std::string& db_path,
   // pages, never neither.
   XO_RETURN_NOT_OK(SyncToDisk(db_path));
   stats.recovered = true;
-  stats.page_count = static_cast<PageId>(pages);
+  stats.page_count = pages;
   return stats;
 }
 

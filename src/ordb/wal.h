@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 
 #include "common/mutex.h"
@@ -14,6 +15,34 @@
 #include "ordb/page.h"
 
 namespace xorator::ordb {
+
+/// On-disk WAL framing sizes (header and per-record header).
+inline constexpr size_t kWalHeaderBytes = 16;
+inline constexpr size_t kWalRecordHeaderBytes = 12;
+
+/// Decoded WAL file header: [magic:u32][version:u32][pages:u64].
+struct WalHeader {
+  /// Data-file size (pages) at the checkpoint this log protects.
+  PageId checkpoint_page_count = 0;
+};
+
+/// Decoded WAL record header: [marker:u32][page_id:u32][crc32:u32].
+struct WalRecordHeader {
+  PageId page_id = kInvalidPageId;
+  uint32_t crc = 0;
+};
+
+/// Parses and validates a WAL file header. Fails closed with kCorruption
+/// on truncation, a bad magic/version, or a page count that does not fit
+/// a PageId (which would silently truncate in the recovery resize).
+/// Pure — exposed for the page fuzzer and the adversarial bounds tests.
+[[nodiscard]] Result<WalHeader> ParseWalHeader(std::string_view bytes);
+
+/// Parses and validates one WAL record header (the payload CRC is checked
+/// separately, against the payload). Fails closed with kCorruption on
+/// truncation or a bad marker; recovery treats that as the crash tail.
+[[nodiscard]] Result<WalRecordHeader> ParseWalRecordHeader(
+    std::string_view bytes);
 
 /// Write-ahead log of physical page images, giving the engine crash
 /// atomicity at Checkpoint() granularity (the design of SQLite's rollback

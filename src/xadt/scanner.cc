@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/safe_math.h"
 #include "common/varint.h"
 #include "ordb/query_guard.h"
 #include "xml/parser.h"
@@ -33,24 +34,29 @@ Result<FragmentScanner> FragmentScanner::Create(std::string_view bytes) {
     XO_ASSIGN_OR_RETURN(uint64_t count, GetVarint(bytes, &pos));
     // Each directory entry needs at least two bytes; reject corrupt counts
     // before reserving memory for them.
+    // The directory is stored metadata, not document text, so its failures
+    // are kCorruption; its offsets and lengths are attacker bytes and all
+    // arithmetic on them is checked (a wrapped start+len used to rely on
+    // the range checks below catching the wrapped values).
     if (count > (bytes.size() - pos) / 2) {
-      return Status::ParseError("XADT directory count exceeds value size");
+      return Status::Corruption("XADT directory count exceeds value size");
     }
     scanner.top_ranges_.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       XO_ASSIGN_OR_RETURN(uint64_t start, GetVarint(bytes, &pos));
       XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-      scanner.top_ranges_.emplace_back(start, start + len);
+      XO_ASSIGN_OR_RETURN(uint64_t end, xo::CheckedAdd(start, len));
+      scanner.top_ranges_.emplace_back(start, end);
     }
     base = pos;
     if (base >= bytes.size()) {
-      return Status::ParseError("directory XADT value without payload");
+      return Status::Corruption("directory XADT value without payload");
     }
     for (auto& [start, end] : scanner.top_ranges_) {
-      start += base;
-      end += base;
+      XO_ASSIGN_OR_RETURN(start, xo::CheckedAdd<uint64_t>(start, base));
+      XO_ASSIGN_OR_RETURN(end, xo::CheckedAdd<uint64_t>(end, base));
       if (end > bytes.size() || start >= end) {
-        return Status::ParseError("bad XADT directory range");
+        return Status::Corruption("bad XADT directory range");
       }
     }
   }
@@ -105,7 +111,9 @@ Status FragmentScanner::ParseDictionary(size_t dict_begin) {
   dict_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes_, &pos));
-    if (pos + len > bytes_.size()) {
+    // Subtraction form: pos <= size() after GetVarint, so this cannot
+    // wrap the way `pos + len` could.
+    if (len > bytes_.size() - pos) {
       return Status::ParseError("truncated XADT dictionary");
     }
     dict_.emplace_back(bytes_.substr(pos, len));
@@ -271,7 +279,7 @@ Result<FragmentScanner::Event> FragmentScanner::NextCompressed() {
       for (uint64_t i = 0; i < nattrs; ++i) {
         XO_ASSIGN_OR_RETURN(uint64_t name_id, GetVarint(bytes_, &pos_));
         XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes_, &pos_));
-        if (name_id >= dict_.size() || pos_ + len > bytes_.size()) {
+        if (name_id >= dict_.size() || len > bytes_.size() - pos_) {
           return Status::ParseError("bad XADT attribute token");
         }
         pos_ += len;
@@ -296,7 +304,7 @@ Result<FragmentScanner::Event> FragmentScanner::NextCompressed() {
     }
     case kTokText: {
       XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes_, &pos_));
-      if (pos_ + len > bytes_.size()) {
+      if (len > bytes_.size() - pos_) {
         return Status::ParseError("truncated XADT text token");
       }
       event.kind = EventKind::kText;

@@ -82,7 +82,9 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
   names.reserve(name_count);
   for (uint64_t i = 0; i < name_count; ++i) {
     XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-    if (pos + len > bytes.size()) {
+    // Subtraction form: pos <= size() after GetVarint, so this cannot
+    // wrap the way `pos + len` could.
+    if (len > bytes.size() - pos) {
       return Status::ParseError("truncated XADT dictionary");
     }
     names.emplace_back(bytes.substr(pos, len));
@@ -112,7 +114,7 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
         for (uint64_t i = 0; i < nattrs; ++i) {
           XO_ASSIGN_OR_RETURN(uint64_t name_id, GetVarint(bytes, &pos));
           XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-          if (name_id >= names.size() || pos + len > bytes.size()) {
+          if (name_id >= names.size() || len > bytes.size() - pos) {
             return Status::ParseError("bad XADT attribute token");
           }
           RETURN_IF_ERROR(budget.Charge(names[name_id].size() + len));
@@ -133,7 +135,7 @@ Result<std::unique_ptr<xml::Node>> DecodeCompressed(std::string_view bytes) {
         break;
       case kTokText: {
         XO_ASSIGN_OR_RETURN(uint64_t len, GetVarint(bytes, &pos));
-        if (pos + len > bytes.size()) {
+        if (len > bytes.size() - pos) {
           return Status::ParseError("truncated XADT text token");
         }
         RETURN_IF_ERROR(budget.Charge(sizeof(xml::Node) + len));

@@ -193,7 +193,8 @@ TEST(XadtCompressionTest, RepeatedTagsCompressWell) {
   }
   std::string raw = EncodeXml(xml_text, false);
   std::string compressed = EncodeXml(xml_text, true);
-  EXPECT_LT(compressed.size(), raw.size() * 0.6);
+  EXPECT_LT(static_cast<double>(compressed.size()),
+            static_cast<double>(raw.size()) * 0.6);
 }
 
 TEST(XadtCompressionTest, UniqueTagsCompressPoorly) {

@@ -42,6 +42,13 @@ Checks, in order of appearance in DESIGN.md:
              additionally requires the rank to appear on the declaration
              itself — not fed in through an init-list variable — so the
              hierarchy stays greppable.
+  raw-bytes  Decode-path files (the slotted page, B+-tree, WAL, heap
+             overflow, varint, row codec, XADT and XML parsing sources) must
+             not touch raw bytes directly: memcpy/memmove, reinterpret_cast
+             and pointer arithmetic on buffer data are banned there. All
+             byte access goes through the checked xo::Span / BoundedReader
+             accessors of src/common/span.h — the single file allowed to
+             hold the unsafe primitives (DESIGN.md section 16).
   lifetime   Library functions returning a borrowed view (std::string_view,
              std::span, RowView, ValueView) must declare what the view
              borrows from with XO_LIFETIME_BOUND (common/lifetime.h) on a
@@ -102,6 +109,30 @@ LOCK_RANK_ALLOWLIST = ("src/common/mutex.h",)
 # typestate makes leak/double-release a compile error under Clang.
 RAW_PIN_RE = re.compile(r"\b(?:FetchPage|NewPage|Unpin)\s*\(")
 RAW_PIN_ALLOWLIST = ("src/ordb/buffer_pool.h", "src/ordb/buffer_pool.cc")
+
+# Decode-path sources: every file that interprets on-disk or wire bytes.
+# Matched by path suffix (like GUARD_LOOP_SUFFIXES) so the self-test fixture
+# under testdata/src/ordb/ exercises the same rule. src/common/span.h is the
+# single site allowed to hold the raw primitives; it is simply not listed.
+RAW_BYTES_SUFFIXES = (
+    "common/varint.h", "common/varint.cc",
+    "ordb/row_codec.h", "ordb/row_codec.cc",
+    "ordb/page.h", "ordb/page.cc",
+    "ordb/bptree.h", "ordb/bptree.cc",
+    "ordb/heap_file.cc",
+    "ordb/wal.h", "ordb/wal.cc",
+    "ordb/tuple.cc",
+    "ordb/database.cc",
+    "xadt/xadt.cc", "xadt/scanner.cc",
+    "xml/parser.cc",
+)
+# memcpy/memmove (qualified or not), reinterpret_cast, and pointer
+# arithmetic on a buffer (`.data() + off`, `data_ + off`, `buf + pos` is
+# too ambiguous to match textually — the first three cover every decode
+# idiom this repo ever used).
+RAW_BYTES_RE = re.compile(
+    r"\bmemcpy\s*\(|\bmemmove\s*\(|\breinterpret_cast\b"
+    r"|\bdata\s*\(\s*\)\s*\+|\bdata_\s*\+")
 
 # Files whose `::Next(...)` definitions are executor operator loops and must
 # poll the query guard (DESIGN.md section 12). Matched by path suffix so the
@@ -281,6 +312,29 @@ def check_raw_pin(root, path, stripped_lines, findings):
                                     "BufferPool::Fetch/Create instead"))
 
 
+def check_raw_bytes(root, path, stripped_lines, findings):
+    """Decode-path files must not touch raw bytes directly.
+
+    Every offset and length these files handle was decoded from attacker
+    (or failing-disk) bytes; a raw memcpy or `data() + off` there is an
+    unchecked trust of that input. The checked accessors in
+    src/common/span.h (xo::Span, BoundedReader, LoadFixed/StoreFixed,
+    ViewBytes, CopyInto, MoveWithin) bound every access and fail closed
+    with kCorruption; span.h itself is the one place allowed to hold the
+    unsafe primitives (DESIGN.md section 16)."""
+    rel = path.relative_to(root).as_posix()
+    if not rel.endswith(RAW_BYTES_SUFFIXES):
+        return
+    for no, line in enumerate(stripped_lines, 1):
+        if RAW_BYTES_RE.search(line):
+            findings.append(Finding(path, no, "raw-bytes",
+                                    "raw byte access in a decode path; use "
+                                    "the checked xo::Span / BoundedReader "
+                                    "accessors (common/span.h, DESIGN.md "
+                                    "section 16) instead of memcpy/"
+                                    "reinterpret_cast/pointer arithmetic"))
+
+
 def check_guard_loop(root, path, stripped_text, findings):
     """Every `::Next(...)` definition body must contain a CheckPoint call.
 
@@ -438,6 +492,7 @@ def lint_file(root, path, findings, lib):
     # The pin protocol is global: tests and benches hold pins through
     # PageRef guards too.
     check_raw_pin(root, path, stripped, findings)
+    check_raw_bytes(root, path, stripped, findings)
     check_guard_loop(root, path, stripped_text, findings)
     check_discard(path, stripped, findings)
 
@@ -472,6 +527,7 @@ def self_test(script_dir):
         "bad_raw_pin.cc": {"raw-pin"},
         "bad_lifetime.cc": {"lifetime"},
         "ordb/executor.cc": {"guard-loop"},
+        "ordb/row_codec.cc": {"raw-bytes"},
         "clean.h": set(),
     }
     failures = []

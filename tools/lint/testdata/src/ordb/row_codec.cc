@@ -1,0 +1,21 @@
+// raw-bytes fixture: a decode-path file touching raw bytes three ways —
+// memcpy, reinterpret_cast, and pointer arithmetic on data(). Each must be
+// flagged; the same tokens in comments and strings must not fire:
+// memcpy( reinterpret_cast data() +
+
+#include <cstring>
+#include <string>
+
+namespace xorator::ordb {
+
+void BadDecode(const std::string& row, char* out) {
+  const char* s = "memcpy( reinterpret_cast data() +";
+  (void)s;
+  std::memcpy(out, row.data(), 8);
+  const long* p = reinterpret_cast<const long*>(row.data());
+  (void)p;
+  const char* cursor = row.data() + 4;
+  (void)cursor;
+}
+
+}  // namespace xorator::ordb

@@ -1,0 +1,96 @@
+// xo_client: a command-line client for a running xo_server (DESIGN.md
+// section 17), built on the retrying server::Client.
+//
+//   ./build/examples/xo_client <port> "<SQL>"     run one statement
+//   ./build/examples/xo_client <port>             interactive: one SQL
+//                                                 statement per line
+//
+// Interactive commands besides SQL:
+//   \stats        server + engine counters (the STATS frame)
+//   \deadline N   set a per-statement deadline of N ms (0 clears it)
+//   \quit
+//
+// Retryable failures — admission rejections with a retry-after hint, the
+// read-only health latch, transport drops — are retried with bounded
+// exponential backoff + jitter before they surface here.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "xorator.h"
+
+namespace {
+
+using namespace xorator;
+
+void PrintResult(const server::ResultPayload& result) {
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    std::printf("%s%s", c == 0 ? "" : " | ", result.columns[c].c_str());
+  }
+  if (!result.columns.empty()) std::printf("\n");
+  for (const auto& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : " | ", row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", result.rows.size());
+}
+
+int RunStatement(server::Client* client, const std::string& sql,
+                 uint64_t deadline_millis) {
+  server::CallOptions call;
+  call.deadline_millis = deadline_millis;
+  auto r = client->Query(sql, call);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*r);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: xo_client <port> [sql]\n");
+    return 2;
+  }
+  server::ClientOptions options;
+  options.port = static_cast<uint16_t>(std::atoi(argv[1]));
+  server::Client client(std::move(options));
+
+  if (argc > 2) return RunStatement(&client, argv[2], 0);
+
+  uint64_t deadline_millis = 0;
+  std::string line;
+  std::printf("connected to 127.0.0.1:%s — SQL per line, \\stats, \\quit\n",
+              argv[1]);
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\stats") {
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     stats.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& [name, value] : stats->rows) {
+        std::printf("%-36s %s\n", name.c_str(), value.c_str());
+      }
+      continue;
+    }
+    if (line.rfind("\\deadline ", 0) == 0) {
+      deadline_millis = std::strtoull(line.c_str() + 10, nullptr, 10);
+      std::printf("deadline: %llu ms\n",
+                  static_cast<unsigned long long>(deadline_millis));
+      continue;
+    }
+    RunStatement(&client, line, deadline_millis);
+  }
+  return 0;
+}

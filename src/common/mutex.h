@@ -1,6 +1,8 @@
 #ifndef XORATOR_COMMON_MUTEX_H_
 #define XORATOR_COMMON_MUTEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -18,10 +20,13 @@
 // repository lint (tools/lint, rule `raw-mutex`) enforces that; this file
 // is the single allowlisted implementation site.
 //
-// The deliberately minimal surface (no timed waits, no condition
-// variables, no native_handle) keeps every acquisition analyzable: a
-// capability is only ever taken through `Lock`/`ReaderLock` members or
-// the scoped RAII guards below, so the analysis sees every edge.
+// The deliberately minimal surface (no timed mutex waits, no
+// native_handle) keeps every acquisition analyzable: a capability is only
+// ever taken through `Lock`/`ReaderLock` members or the scoped RAII guards
+// below, so the analysis sees every edge. Condition waits go through
+// xo::CondVar, whose Wait/WaitFor release and re-acquire the xo::Mutex via
+// the same rank-checked entry points, so a sleeping waiter keeps the
+// held-lock stack truthful.
 //
 // On top of the static analysis, every mutex carries a LockRank — the
 // DESIGN.md section 10 lock hierarchy made executable. Debug builds keep a
@@ -69,8 +74,14 @@ enum class LockRank : int {
   /// BufferPool::scrub_mu_ — the scrub cursor/scratch, which acquires
   /// bucket latches page by page while held.
   kBufferPoolMaint = 550,
-  /// Database::mu_ — the statement lock, outermost.
+  /// Database::mu_ — the statement lock, outermost engine lock.
   kStatement = 600,
+  /// server::Server::mu_ — the network front end's admission/queue state.
+  /// Above kStatement: the server is a layer over the engine, so even an
+  /// accidental engine call made while holding server state descends the
+  /// hierarchy. By design the server never holds its mutex across engine
+  /// calls (DESIGN.md section 17).
+  kServer = 700,
 };
 
 /// Human-readable name of `rank`, for the inversion abort message.
@@ -94,6 +105,8 @@ inline const char* LockRankName(LockRank rank) {
       return "BufferPoolMaint";
     case LockRank::kStatement:
       return "Statement";
+    case LockRank::kServer:
+      return "Server";
   }
   return "?";
 }
@@ -332,6 +345,58 @@ class XO_SCOPED_CAPABILITY WriterLock {
 
  private:
   SharedMutex* const mu_;
+};
+
+/// A condition variable usable with xo::Mutex. Wait/WaitFor release and
+/// re-acquire the mutex through its rank-checked Lock/Unlock entry points,
+/// so the runtime lock-rank detector's per-thread stack stays accurate
+/// across the sleep (the waiter holds nothing while blocked, exactly as at
+/// runtime). The capability annotations model the net effect — the caller
+/// holds `mu` before and after — while the internal release/re-acquire is
+/// opted out of the analysis (the standard condition-variable blind spot).
+///
+/// Spurious wakeups happen; always wait in a predicate loop. Signal/
+/// SignalAll need not hold the mutex, but the waited-on state must be
+/// written under it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks until notified (or spuriously
+  /// woken); re-acquires `*mu` before returning.
+  void Wait(Mutex* mu) XO_REQUIRES(mu) {
+    RankedLockAdapter adapter{mu};
+    cv_.wait(adapter);
+  }
+
+  /// Wait() with a timeout. Returns false when the wait timed out (the
+  /// mutex is re-acquired either way). A non-positive timeout polls.
+  bool WaitFor(Mutex* mu, int64_t timeout_millis) XO_REQUIRES(mu) {
+    RankedLockAdapter adapter{mu};
+    return cv_.wait_for(adapter, std::chrono::milliseconds(timeout_millis)) ==
+           std::cv_status::no_timeout;
+  }
+
+  /// Wakes one waiter.
+  void Signal() { cv_.notify_one(); }
+
+  /// Wakes every waiter.
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable adapter handing the wait's internal unlock/lock pair to
+  /// the rank-checked xo::Mutex entry points. The methods are excluded
+  /// from Thread Safety Analysis: they deliberately release a capability
+  /// the enclosing Wait() is annotated as holding throughout.
+  struct RankedLockAdapter {
+    Mutex* mu;
+    void lock() XO_NO_THREAD_SAFETY_ANALYSIS { mu->Lock(); }
+    void unlock() XO_NO_THREAD_SAFETY_ANALYSIS { mu->Unlock(); }
+  };
+
+  std::condition_variable_any cv_;
 };
 
 /// Scoped shared (reader) guard over an xo::SharedMutex. The destructor's

@@ -58,6 +58,9 @@ std::string Status::ToString() const {
   std::string out(StatusCodeToString(code_));
   out += ": ";
   out += message_;
+  if (retry_after_millis_ > 0) {
+    out += " [retry after " + std::to_string(retry_after_millis_) + "ms]";
+  }
   return out;
 }
 

@@ -117,6 +117,7 @@ class [[nodiscard]] Status {
   Status(const Status& other)
       : code_(other.code_),
         message_(other.message_),
+        retry_after_millis_(other.retry_after_millis_),
         file_(other.file_),
         line_(other.line_),
         checked_(other.code_ == StatusCode::kOk) {}
@@ -125,6 +126,7 @@ class [[nodiscard]] Status {
       EnforceChecked();
       code_ = other.code_;
       message_ = other.message_;
+      retry_after_millis_ = other.retry_after_millis_;
       file_ = other.file_;
       line_ = other.line_;
       checked_ = other.code_ == StatusCode::kOk;
@@ -137,10 +139,12 @@ class [[nodiscard]] Status {
   Status(Status&& other) noexcept
       : code_(other.code_),
         message_(std::move(other.message_)),
+        retry_after_millis_(other.retry_after_millis_),
         file_(other.file_),
         line_(other.line_),
         checked_(other.code_ == StatusCode::kOk) {
     other.code_ = StatusCode::kOk;
+    other.retry_after_millis_ = 0;
     other.checked_ = true;
   }
   Status& operator=(Status&& other) noexcept {
@@ -148,10 +152,12 @@ class [[nodiscard]] Status {
       EnforceChecked();
       code_ = other.code_;
       message_ = std::move(other.message_);
+      retry_after_millis_ = other.retry_after_millis_;
       file_ = other.file_;
       line_ = other.line_;
       checked_ = other.code_ == StatusCode::kOk;
       other.code_ = StatusCode::kOk;
+      other.retry_after_millis_ = 0;
       other.checked_ = true;
     }
     return *this;
@@ -207,13 +213,38 @@ class [[nodiscard]] Status {
   }
 
   /// True for failures worth re-issuing unchanged: transient I/O faults
-  /// (`kUnavailable`). The buffer pool's retry loop is keyed on this, not
-  /// on the raw code, so the retry policy and the taxonomy stay in one
-  /// place (see the StatusCode comment). Inspecting the class counts as
-  /// checking the status.
+  /// (`kUnavailable`), plus any status that carries an explicit
+  /// retry-after hint (the network front end's admission rejections are
+  /// `kResourceExhausted` *with* a hint — "the queue is full, come back in
+  /// N ms" — while a guard's budget trip is `kResourceExhausted` without
+  /// one and stays non-retryable). The buffer pool's retry loop and the
+  /// client library's backoff layer are both keyed on this, not on the raw
+  /// code, so the retry policy and the taxonomy stay in one place (see the
+  /// StatusCode comment). Inspecting the class counts as checking the
+  /// status.
   bool IsRetryable() const {
     MarkChecked();
-    return code_ == StatusCode::kUnavailable;
+    return code_ == StatusCode::kUnavailable || retry_after_millis_ > 0;
+  }
+
+  /// Optional retry-after hint in milliseconds (0 = no hint). Set by
+  /// producers that know when retrying could help: the server's admission
+  /// control ("queue full, back off this long") and the read-only health
+  /// latch ("TryRecover() may re-arm the engine; don't hot-retry"). The
+  /// hint survives the wire protocol (server/protocol.h, ERROR frames), so
+  /// a remote client's backoff layer sees exactly what a local caller
+  /// would. Inspecting the hint counts as checking the status.
+  uint32_t retry_after_millis() const {
+    MarkChecked();
+    return retry_after_millis_;
+  }
+
+  /// Attaches a retry-after hint (builder style, for use at the creation
+  /// site: `Status::ResourceExhausted("...").WithRetryAfter(25)`). A hint
+  /// makes the status IsRetryable(); it does not mark it checked.
+  Status&& WithRetryAfter(uint32_t millis) && {
+    retry_after_millis_ = millis;
+    return std::move(*this);
   }
 
   /// True for storage failures the engine should degrade on rather than
@@ -268,6 +299,9 @@ class [[nodiscard]] Status {
 
   StatusCode code_;
   std::string message_;
+  /// Retry-after hint in milliseconds; 0 means none. See
+  /// retry_after_millis().
+  uint32_t retry_after_millis_ = 0;
 #if XORATOR_STATUS_CHECK
   const char* file_ = "";
   unsigned line_ = 0;

@@ -954,27 +954,39 @@ Result<ScrubReport> Database::Scrub(uint64_t max_pages) {
   return pool_->ScrubSlice(max_pages);
 }
 
+std::vector<std::pair<std::string, std::string>>
+Database::ResilienceStatsLocked() {
+  const HealthSnapshot hs = health_.Snapshot();
+  const BufferPoolStats ps =
+      pool_ != nullptr ? pool_->stats() : BufferPoolStats{};
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("health", std::string(HealthStateName(hs.state)));
+  rows.emplace_back("health_detail", hs.detail);
+  rows.emplace_back("health_transitions", std::to_string(hs.transitions));
+  rows.emplace_back("io_retries", std::to_string(ps.retries));
+  rows.emplace_back("checksum_failures", std::to_string(ps.checksum_failures));
+  rows.emplace_back("quarantined_pages", std::to_string(ps.quarantined_pages));
+  rows.emplace_back("quarantine_hits", std::to_string(ps.quarantine_hits));
+  rows.emplace_back("scrub_pages_scanned",
+                    std::to_string(ps.scrub_pages_scanned));
+  rows.emplace_back("scrub_pages_bad", std::to_string(ps.scrub_pages_bad));
+  rows.emplace_back("scrub_passes", std::to_string(ps.scrub_passes));
+  return rows;
+}
+
+std::vector<std::pair<std::string, std::string>> Database::ResilienceStats() {
+  xo::ReaderLock lock(&mu_);
+  return ResilienceStatsLocked();
+}
+
 Result<QueryResult> Database::RunPragma(const sql::PragmaStmt& stmt) {
   if (EqualsIgnoreCase(stmt.name, "health")) {
-    const HealthSnapshot hs = health_.Snapshot();
-    const BufferPoolStats ps =
-        pool_ != nullptr ? pool_->stats() : BufferPoolStats{};
     QueryResult result;
     result.columns = {"name", "value"};
-    auto row = [&result](std::string_view name, std::string value) {
+    for (auto& [name, value] : ResilienceStatsLocked()) {
       result.rows.push_back(
-          {Value::Varchar(std::string(name)), Value::Varchar(std::move(value))});
-    };
-    row("health", std::string(HealthStateName(hs.state)));
-    row("health_detail", hs.detail);
-    row("health_transitions", std::to_string(hs.transitions));
-    row("io_retries", std::to_string(ps.retries));
-    row("checksum_failures", std::to_string(ps.checksum_failures));
-    row("quarantined_pages", std::to_string(ps.quarantined_pages));
-    row("quarantine_hits", std::to_string(ps.quarantine_hits));
-    row("scrub_pages_scanned", std::to_string(ps.scrub_pages_scanned));
-    row("scrub_pages_bad", std::to_string(ps.scrub_pages_bad));
-    row("scrub_passes", std::to_string(ps.scrub_passes));
+          {Value::Varchar(std::move(name)), Value::Varchar(std::move(value))});
+    }
     return result;
   }
   if (EqualsIgnoreCase(stmt.name, "scrub")) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include <optional>
@@ -210,6 +211,14 @@ class Database {
   /// Default page budget of one scrub slice (1 MB of 8 KB pages).
   static constexpr uint64_t kScrubSlicePages = 128;
 
+  /// Point-in-time (name, value) rows of the resilience report — health
+  /// state/detail/transitions plus the buffer pool's containment counters;
+  /// exactly the rows `PRAGMA health` returns. Public hook for the network
+  /// front end's STATS frame (DESIGN.md section 17), which merges these
+  /// with its own admission counters. Takes the statement lock shared.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  ResilienceStats() XO_EXCLUDES(mu_);
+
   // -- Direct (non-SQL) data path, used by the bulk loader. -----------------
 
   [[nodiscard]] Status CreateTable(const std::string& name, TableSchema schema)
@@ -279,6 +288,9 @@ class Database {
   /// pragmas only touch internally-synchronized components.
   [[nodiscard]] Result<QueryResult> RunPragma(const sql::PragmaStmt& stmt)
       XO_REQUIRES_SHARED(mu_);
+  /// Row-building body of ResilienceStats()/PRAGMA health.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  ResilienceStatsLocked() XO_REQUIRES_SHARED(mu_);
   /// The unlatched checkpoint body; CheckpointLocked wraps it with the
   /// health gate and failure latching.
   [[nodiscard]] Status DoCheckpointLocked() XO_REQUIRES(mu_);

@@ -83,7 +83,16 @@ Status EngineHealth::CheckWritable() const {
                     "; mutations are disabled";
   if (!detail_.empty()) msg += " (" + detail_ + ")";
   if (cur == HealthState::kReadOnly) {
+    // The state name, latched detail, and the recovery hint all ride the
+    // message, and the retry-after hint rides the status itself — both
+    // survive the wire protocol's ERROR frame, so a remote client's
+    // backoff layer can tell "retry later, recovery may re-arm the
+    // engine" from "give up" (DESIGN.md section 17). kReadOnly is not a
+    // hot-retry: nothing changes until TryRecover() runs, so the hint is
+    // deliberately coarse.
     msg += "; TryRecover() may re-arm it";
+    return Status::Unavailable(std::move(msg))
+        .WithRetryAfter(kReadOnlyRetryAfterMillis);
   }
   return Status::Unavailable(std::move(msg));
 }

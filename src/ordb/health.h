@@ -102,8 +102,16 @@ class EngineHealth {
 
   /// OK while mutations may run (kHealthy/kDegraded); otherwise
   /// kUnavailable carrying the state name and latched detail — the
-  /// fail-fast error mutation entry points return.
+  /// fail-fast error mutation entry points return. For kReadOnly the
+  /// status also carries a retry-after hint (kReadOnlyRetryAfterMillis):
+  /// retrying can help, but only after TryRecover() re-arms the engine,
+  /// so backoff layers should wait rather than hot-retry.
   [[nodiscard]] Status CheckWritable() const XO_EXCLUDES(mu_);
+
+  /// Retry-after hint attached to kReadOnly mutation rejections: long
+  /// enough that a well-behaved client backs off across a TryRecover()
+  /// window instead of hammering a latched engine.
+  static constexpr uint32_t kReadOnlyRetryAfterMillis = 500;
 
   /// OK unless the engine is kFailed (reads survive every other state).
   [[nodiscard]] Status CheckUsable() const XO_EXCLUDES(mu_);

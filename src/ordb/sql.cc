@@ -573,4 +573,31 @@ Result<Statement> ParseSql(std::string_view input) {
   return parser.ParseStatement();
 }
 
+StatementClass ClassifyStatement(std::string_view input) {
+  size_t i = 0;
+  while (i < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < input.size() &&
+         std::isalpha(static_cast<unsigned char>(input[j]))) {
+    ++j;
+  }
+  const std::string_view keyword = input.substr(i, j - i);
+  if (EqualsIgnoreCase(keyword, "SELECT") ||
+      EqualsIgnoreCase(keyword, "EXPLAIN")) {
+    return StatementClass::kRead;
+  }
+  if (EqualsIgnoreCase(keyword, "CREATE") ||
+      EqualsIgnoreCase(keyword, "INSERT") ||
+      EqualsIgnoreCase(keyword, "DELETE")) {
+    return StatementClass::kMutation;
+  }
+  if (EqualsIgnoreCase(keyword, "PRAGMA")) {
+    return StatementClass::kPragma;
+  }
+  return StatementClass::kUnknown;
+}
+
 }  // namespace xorator::ordb::sql

@@ -126,6 +126,30 @@ struct Statement {
   PragmaStmt pragma;
 };
 
+/// Coarse statement class, decidable from the leading keyword without a
+/// full parse. The network front end (src/server) uses this at admission
+/// time to shed mutations fast while the engine is latched read-only —
+/// before the statement spends a queue slot or a worker thread
+/// (DESIGN.md section 17).
+enum class StatementClass {
+  /// SELECT / EXPLAIN: takes the statement lock shared, never mutates.
+  kRead,
+  /// CREATE / INSERT / DELETE: requires a writable engine.
+  kMutation,
+  /// PRAGMA: introspection/maintenance; runs on a read-only engine.
+  kPragma,
+  /// Unrecognized leading keyword — let the parser produce the real error.
+  kUnknown,
+};
+
+/// Classifies `input` by its first keyword (case-insensitive, leading
+/// whitespace skipped). Never fails: garbage is kUnknown, and the caller
+/// falls through to ParseSql for the authoritative diagnosis. The
+/// classification is intentionally conservative — a kRead answer
+/// guarantees the statement cannot mutate, because the parser maps each
+/// leading keyword to exactly one statement kind.
+[[nodiscard]] StatementClass ClassifyStatement(std::string_view input);
+
 /// Parses one SQL statement (optionally ';'-terminated). Supported grammar:
 ///
 ///   SELECT [DISTINCT] item {, item}

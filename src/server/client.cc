@@ -1,0 +1,152 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace xorator::server {
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), rng_(options_.rng_seed) {}
+
+void Client::Disconnect() { socket_.Close(); }
+
+Result<Client::RawResponse> Client::RoundTrip(const std::string& frame) {
+  if (!socket_.valid()) {
+    ASSIGN_OR_RETURN(socket_,
+                     Connect(options_.host, options_.port,
+                             Deadline::After(options_.connect_timeout_millis)));
+  }
+  // One deadline spans the whole round trip: a server that accepted the
+  // request but never answers must not hang the caller.
+  const Deadline deadline = Deadline::After(options_.io_timeout_millis);
+  Status sent = WriteFull(socket_, frame, deadline);
+  if (!sent.ok()) {
+    socket_.Close();
+    // Re-shape to kUnavailable so the retry layer reconnects and retries:
+    // a write that died mid-frame poisoned this connection either way.
+    return Status::Unavailable("request send failed: " + sent.message());
+  }
+  std::string header_bytes;
+  Status read = ReadFull(socket_, &header_bytes, kFrameHeaderBytes, deadline);
+  if (!read.ok()) {
+    socket_.Close();
+    return Status::Unavailable("response read failed: " + read.message());
+  }
+  ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(header_bytes));
+  RawResponse response;
+  response.type = header.type;
+  if (header.payload_bytes > 0) {
+    read = ReadFull(socket_, &response.payload, header.payload_bytes,
+                    deadline);
+    if (!read.ok()) {
+      socket_.Close();
+      return Status::Unavailable("response payload read failed: " +
+                                 read.message());
+    }
+  }
+  return response;
+}
+
+int64_t Client::BackoffMillis(int attempt, uint32_t hint_millis) {
+  // Bounded exponential: base << attempt, saturating at the cap.
+  int64_t backoff = options_.backoff_base_millis;
+  for (int i = 0; i < attempt && backoff < options_.backoff_max_millis; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.backoff_max_millis);
+  // The server's hint is a floor, not a substitute: it says "no point
+  // retrying sooner", while the exponential keeps distinct clients from
+  // converging on the same retry schedule.
+  backoff = std::max(backoff, static_cast<int64_t>(hint_millis));
+  // Full jitter on top, so a burst of rejected clients decorrelates.
+  std::uniform_int_distribution<int64_t> jitter(0, std::max<int64_t>(
+                                                       backoff - 1, 0));
+  return backoff + jitter(rng_);
+}
+
+Result<Client::RawResponse> Client::RoundTripWithRetry(
+    const std::string& frame) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMillis(
+              attempt - 1, last.ok() ? 0 : last.retry_after_millis())));
+    }
+    Result<RawResponse> response = RoundTrip(frame);
+    if (!response.ok()) {
+      last = response.status();
+      if (!last.IsRetryable()) return last;
+      continue;
+    }
+    if (response->type == FrameType::kError) {
+      ASSIGN_OR_RETURN(ErrorPayload error, DecodeError(response->payload));
+      last = StatusFromError(error);
+      if (!last.IsRetryable()) return last;
+      continue;
+    }
+    return response;
+  }
+  return last;
+}
+
+Result<ResultPayload> Client::Query(const std::string& sql,
+                                    const CallOptions& call) {
+  QueryRequest request;
+  request.query_id = call.query_id;
+  request.deadline_millis = call.deadline_millis;
+  request.max_memory_bytes = call.max_memory_bytes;
+  request.skip_quarantined = call.skip_quarantined;
+  request.sql = sql;
+  ASSIGN_OR_RETURN(
+      RawResponse response,
+      RoundTripWithRetry(EncodeQueryRequest(FrameType::kQuery, request)));
+  if (response.type != FrameType::kResult) {
+    return Status::ParseError("unexpected response frame type " +
+                              std::to_string(static_cast<int>(response.type)));
+  }
+  return DecodeResult(response.payload);
+}
+
+Status Client::Execute(const std::string& sql, const CallOptions& call) {
+  QueryRequest request;
+  request.query_id = call.query_id;
+  request.deadline_millis = call.deadline_millis;
+  request.max_memory_bytes = call.max_memory_bytes;
+  request.skip_quarantined = call.skip_quarantined;
+  request.sql = sql;
+  ASSIGN_OR_RETURN(
+      RawResponse response,
+      RoundTripWithRetry(EncodeQueryRequest(FrameType::kExecute, request)));
+  if (response.type != FrameType::kResult) {
+    return Status::ParseError("unexpected response frame type " +
+                              std::to_string(static_cast<int>(response.type)));
+  }
+  return Status::OK();
+}
+
+Status Client::Cancel(uint64_t query_id) {
+  CancelRequest request;
+  request.query_id = query_id;
+  ASSIGN_OR_RETURN(RawResponse response,
+                   RoundTrip(EncodeCancelRequest(request)));
+  if (response.type == FrameType::kError) {
+    ASSIGN_OR_RETURN(ErrorPayload error, DecodeError(response.payload));
+    return StatusFromError(error);
+  }
+  return Status::OK();
+}
+
+Result<StatsPayload> Client::Stats() {
+  ASSIGN_OR_RETURN(RawResponse response,
+                   RoundTripWithRetry(EncodeStatsRequest()));
+  if (response.type != FrameType::kStatsResult) {
+    return Status::ParseError("unexpected response frame type " +
+                              std::to_string(static_cast<int>(response.type)));
+  }
+  return DecodeStats(response.payload);
+}
+
+}  // namespace xorator::server

@@ -1,0 +1,118 @@
+#ifndef XORATOR_SERVER_CLIENT_H_
+#define XORATOR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "common/result.h"
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace xorator::server {
+
+/// Client configuration.
+struct ClientOptions {
+  /// Server address (numeric IPv4).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Budget for establishing a TCP connection.
+  int64_t connect_timeout_millis = 1'000;
+  /// Budget for one request/response round trip on an established
+  /// connection (a per-request deadline_millis does not extend it).
+  int64_t io_timeout_millis = 30'000;
+  /// Retries after the first attempt. Only Status::IsRetryable() failures
+  /// — transport kUnavailable, admission kResourceExhausted with a hint,
+  /// the read-only health latch — are retried; everything else returns
+  /// immediately.
+  int max_retries = 4;
+  /// Bounded exponential backoff between retries: attempt n sleeps
+  /// max(server retry-after hint, base << n, capped at max) plus jitter in
+  /// [0, that). Deterministic given rng_seed.
+  int64_t backoff_base_millis = 10;
+  int64_t backoff_max_millis = 1'000;
+  uint64_t rng_seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Per-call options mirroring the QUERY/EXECUTE frame's resource envelope.
+struct CallOptions {
+  /// Client-chosen cancellation identity (0 = not cancellable by id).
+  uint64_t query_id = 0;
+  /// Wall-clock budget in ms, measured server-side from admission.
+  uint64_t deadline_millis = 0;
+  /// Tracked-memory budget in bytes.
+  uint64_t max_memory_bytes = 0;
+  /// Degraded-scan opt-in.
+  bool skip_quarantined = false;
+};
+
+/// Client for the xorator wire protocol (server/protocol.h): one lazy
+/// connection, per-call timeout, and bounded exponential backoff with
+/// jitter on retryable failures. A broken connection is dropped and
+/// re-established on the next attempt.
+///
+/// Thread safety: none — one Client per thread (the underlying protocol is
+/// strictly request/response per connection anyway).
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Runs SQL and returns the rendered result. Retryable failures are
+  /// retried per ClientOptions; the returned status on exhaustion is the
+  /// last failure (its retry_after_millis and message intact).
+  [[nodiscard]] Result<ResultPayload> Query(const std::string& sql,
+                                            const CallOptions& call = {});
+
+  /// Runs SQL for effect.
+  [[nodiscard]] Status Execute(const std::string& sql,
+                               const CallOptions& call = {});
+
+  /// Cancels the in-flight statement (on any connection of this server)
+  /// whose CallOptions carried `query_id`. NotFound when nothing with that
+  /// id is in flight. Never retried: by the time a retry landed, the
+  /// statement it targeted would be gone anyway.
+  [[nodiscard]] Status Cancel(uint64_t query_id);
+
+  /// Fetches the server's STATS rows (engine resilience + `server_*`
+  /// admission counters).
+  [[nodiscard]] Result<StatsPayload> Stats();
+
+  /// Drops the current connection (the next call reconnects). Mainly a
+  /// test hook for exercising the server's disconnect handling.
+  void Disconnect();
+
+  /// True while a connection is established (test hook).
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+ private:
+  /// Sends `frame` and reads one response frame, reconnecting first if
+  /// needed. Transport failures drop the connection and come back
+  /// kUnavailable (retryable); a kError response becomes its decoded
+  /// Status; kResult/kStatsResult come back as the payload bytes plus
+  /// their type.
+  struct RawResponse {
+    FrameType type = FrameType::kError;
+    std::string payload;
+  };
+  [[nodiscard]] Result<RawResponse> RoundTrip(const std::string& frame);
+
+  /// RoundTrip + retry loop: retries per ClientOptions while the failure
+  /// IsRetryable(), sleeping the backoff between attempts.
+  [[nodiscard]] Result<RawResponse> RoundTripWithRetry(
+      const std::string& frame);
+
+  /// Backoff for `attempt` (0-based): max(hint, min(base << attempt, max))
+  /// + jitter.
+  [[nodiscard]] int64_t BackoffMillis(int attempt, uint32_t hint_millis);
+
+  const ClientOptions options_;
+  Socket socket_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace xorator::server
+
+#endif  // XORATOR_SERVER_CLIENT_H_

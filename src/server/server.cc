@@ -1,0 +1,576 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "ordb/health.h"
+#include "ordb/sql.h"
+
+namespace xorator::server {
+
+namespace {
+
+/// Acceptor poll granularity: how often the accept loop wakes to check for
+/// shutdown and reap finished connection threads.
+constexpr int64_t kAcceptTickMillis = 50;
+
+/// Connection-thread poll granularity while its statement is queued or
+/// running: each tick re-checks completion and probes the socket for a
+/// client disconnect.
+constexpr int64_t kDisconnectProbeMillis = 20;
+
+/// Shutdown drain poll granularity.
+constexpr int64_t kDrainTickMillis = 20;
+
+/// Renders a QueryResult into the wire shape (values become their display
+/// strings; the examples and tests want text anyway, and it keeps the
+/// protocol free of the engine's type system).
+ResultPayload RenderResult(const ordb::QueryResult& result) {
+  ResultPayload payload;
+  payload.columns = result.columns;
+  payload.rows.reserve(result.rows.size());
+  for (const ordb::Tuple& row : result.rows) {
+    std::vector<std::string> rendered;
+    rendered.reserve(row.size());
+    for (const ordb::Value& value : row) {
+      rendered.push_back(value.ToString());
+    }
+    payload.rows.push_back(std::move(rendered));
+  }
+  payload.plan = result.plan;
+  return payload;
+}
+
+/// Encodes the frame for `result`, downgrading an over-cap result to a
+/// clean error frame.
+std::string EncodeResultOrError(const ResultPayload& result) {
+  Result<std::string> frame = EncodeResult(result);
+  if (frame.ok()) return std::move(frame).value();
+  return EncodeError(ErrorFromStatus(frame.status()));
+}
+
+}  // namespace
+
+Server::Server(ordb::Database* db, const ServerOptions& options)
+    : db_(db), options_(options) {}
+
+Result<std::unique_ptr<Server>> Server::Start(ordb::Database* db,
+                                              const ServerOptions& options) {
+  // The backlog is sized past max_connections so a burst reaches the
+  // acceptor (which rejects it fast with a proper error frame) instead of
+  // timing out in the kernel's SYN queue.
+  std::unique_ptr<Server> server(new Server(db, options));
+  ASSIGN_OR_RETURN(
+      server->listener_,
+      Listen(options.port, static_cast<int>(options.max_connections) + 16));
+  ASSIGN_OR_RETURN(server->port_, BoundPort(server->listener_));
+  const size_t workers =
+      options.worker_threads == 0 ? 1 : options.worker_threads;
+  server->workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::AcceptLoop() {
+  for (;;) {
+    // Reap connection threads that finished on their own, so a long-lived
+    // server does not accumulate dead std::thread objects. Joins happen
+    // outside the lock.
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+      xo::MutexLock lock(&mu_);
+      if (draining_) break;
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+          finished.push_back(std::move(*it));
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const std::unique_ptr<Connection>& conn : finished) {
+      conn->thread.join();
+    }
+
+    Result<Socket> accepted =
+        Accept(listener_, Deadline::After(kAcceptTickMillis));
+    if (!accepted.ok()) {
+      // The deadline is the idle tick; any other error (the listener going
+      // away under Shutdown) is re-checked against draining_ at the top.
+      if (accepted.status().code() != StatusCode::kDeadlineExceeded) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kAcceptTickMillis));
+      }
+      continue;
+    }
+    Socket socket = std::move(accepted).value();
+
+    // Admission and thread spawn in one critical section: the thread
+    // handle is only ever written here and joined by a thread that
+    // acquired mu_ afterwards, so the handle itself is race-free.
+    bool admit = false;
+    {
+      xo::MutexLock lock(&mu_);
+      if (!draining_ && stats_.active_connections < options_.max_connections) {
+        admit = true;
+        ++stats_.connections_accepted;
+        ++stats_.active_connections;
+        auto conn = std::make_unique<Connection>();
+        conn->socket = std::move(socket);
+        Connection* raw = conn.get();
+        raw->thread = std::thread([this, raw] {
+          ServeConnection(raw);
+          raw->finished.store(true, std::memory_order_release);
+        });
+        connections_.push_back(std::move(conn));
+      } else {
+        ++stats_.connections_rejected;
+      }
+    }
+    if (!admit) {
+      // Fast rejection: one small error frame, then close. The short
+      // deadline keeps a peer that will not even read a 40-byte frame from
+      // stalling the acceptor.
+      const std::string frame = EncodeError(ErrorFromStatus(
+          Status::ResourceExhausted("server connection limit reached")
+              .WithRetryAfter(options_.retry_after_millis)));
+      XO_DISCARD_STATUS(WriteFull(socket, frame, Deadline::After(100)),
+                        "rejected peer may already be gone");
+      continue;
+    }
+  }
+}
+
+void Server::ServeConnection(Connection* conn) {
+  for (;;) {
+    std::string header_bytes;
+    // Idle reads wait indefinitely: Shutdown() wakes them by shutting the
+    // socket down, which surfaces here as a failed read.
+    Status read = ReadFull(conn->socket, &header_bytes, kFrameHeaderBytes,
+                           Deadline::Infinite());
+    if (!read.ok()) {
+      // kUnavailable = clean close between frames; anything else is a
+      // truncated or failed header read.
+      if (read.code() != StatusCode::kUnavailable) {
+        xo::MutexLock lock(&mu_);
+        ++stats_.malformed_frames;
+      }
+      break;
+    }
+    Result<FrameHeader> header = DecodeFrameHeader(header_bytes);
+    if (!header.ok()) {
+      // A desynced byte stream cannot be re-synced; answer with the parse
+      // error and close.
+      {
+        xo::MutexLock lock(&mu_);
+        ++stats_.malformed_frames;
+      }
+      SendError(conn, header.status());
+      break;
+    }
+    std::string payload;
+    if (header->payload_bytes > 0) {
+      read = ReadFull(conn->socket, &payload, header->payload_bytes,
+                      Deadline::After(options_.io_timeout_millis));
+      if (!read.ok()) {
+        xo::MutexLock lock(&mu_);
+        ++stats_.malformed_frames;
+        break;
+      }
+    }
+
+    bool keep_serving = true;
+    switch (header->type) {
+      case FrameType::kQuery:
+      case FrameType::kExecute: {
+        Result<QueryRequest> request =
+            DecodeQueryRequest(payload, header->flags);
+        if (!request.ok()) {
+          {
+            xo::MutexLock lock(&mu_);
+            ++stats_.malformed_frames;
+          }
+          SendError(conn, request.status());
+          keep_serving = false;
+          break;
+        }
+        HandleStatement(conn, header->type, std::move(request).value());
+        break;
+      }
+      case FrameType::kCancel: {
+        Result<CancelRequest> request = DecodeCancelRequest(payload);
+        if (!request.ok()) {
+          {
+            xo::MutexLock lock(&mu_);
+            ++stats_.malformed_frames;
+          }
+          SendError(conn, request.status());
+          keep_serving = false;
+          break;
+        }
+        HandleCancel(conn, request.value());
+        break;
+      }
+      case FrameType::kStats:
+        HandleStats(conn);
+        break;
+      default: {
+        // A response frame type arriving as a request.
+        {
+          xo::MutexLock lock(&mu_);
+          ++stats_.malformed_frames;
+        }
+        SendError(conn,
+                  Status::ParseError("response frame type sent as a request"));
+        keep_serving = false;
+        break;
+      }
+    }
+    if (!keep_serving) break;
+  }
+  xo::MutexLock lock(&mu_);
+  --stats_.active_connections;
+  ++stats_.connections_closed;
+}
+
+void Server::HandleStatement(Connection* conn, FrameType type,
+                             QueryRequest request) {
+  // Graceful degradation: shed mutations at admission while the engine
+  // cannot write. The health latch's own status rides the wire — state
+  // name, latched detail, retry-after hint — so the client's backoff layer
+  // can tell "retry later" from "give up".
+  if (ordb::sql::ClassifyStatement(request.sql) ==
+      ordb::sql::StatementClass::kMutation) {
+    Status writable = db_->health()->CheckWritable();
+    if (!writable.ok()) {
+      {
+        xo::MutexLock lock(&mu_);
+        ++stats_.statements_shed_readonly;
+      }
+      SendError(conn, writable);
+      return;
+    }
+  }
+
+  auto task = std::make_shared<Task>();
+  task->type = type;
+  task->request = std::move(request);
+
+  Status rejection = Status::OK();
+  {
+    xo::MutexLock lock(&mu_);
+    if (draining_) {
+      ++stats_.statements_rejected_draining;
+      rejection = Status::Unavailable("server is shutting down");
+    } else if (queue_.size() >= options_.max_queue_depth) {
+      // Admission control: reject fast instead of queuing into collapse.
+      ++stats_.statements_rejected_queue;
+      rejection =
+          Status::ResourceExhausted("statement queue full (" +
+                                    std::to_string(options_.max_queue_depth) +
+                                    " statements queued)")
+              .WithRetryAfter(options_.retry_after_millis);
+    } else {
+      task->server_query_id = next_server_query_id_++;
+      task->admitted_at = std::chrono::steady_clock::now();
+      ++stats_.statements_admitted;
+      ++in_flight_;
+      queue_.push_back(task);
+      stats_.queue_depth = queue_.size();
+      if (stats_.queue_depth > stats_.peak_queue_depth) {
+        stats_.peak_queue_depth = stats_.queue_depth;
+      }
+      tasks_[task->server_query_id] = task;
+      if (task->request.query_id != 0) {
+        by_client_id_[task->request.query_id] = task;
+      }
+      work_cv_.Signal();
+    }
+  }
+  if (!rejection.ok()) {
+    SendError(conn, rejection);
+    return;
+  }
+
+  // Wait for the worker, watching the socket: a client that disconnects
+  // mid-query gets its statement cancelled instead of burning a worker for
+  // nobody.
+  bool probe_disconnect = true;
+  for (;;) {
+    bool fire_cancel = false;
+    {
+      xo::MutexLock lock(&mu_);
+      if (task->done) break;
+      if (probe_disconnect && !task->cancel_requested &&
+          PeerDisconnected(conn->socket)) {
+        task->cancel_requested = true;
+        task->abandoned = true;
+        probe_disconnect = false;
+        fire_cancel = true;
+        ++stats_.cancelled_on_disconnect;
+      }
+      if (!fire_cancel) {
+        // Wake on the completion broadcast or the next disconnect probe
+        // tick; spurious wakeups just re-run the checks.
+        done_cv_.WaitFor(&mu_, kDisconnectProbeMillis);
+        continue;
+      }
+    }
+    // Engine call outside the server lock (class comment). Cancel only
+    // touches the engine's leaf guard registry and never blocks; NotFound
+    // means the task is still queued (the worker honors cancel_requested
+    // at pickup) or already finished.
+    Status cancelled = db_->Cancel(task->server_query_id);
+    cancelled.IgnoreError();
+  }
+
+  std::string response;
+  bool abandoned;
+  {
+    xo::MutexLock lock(&mu_);
+    response = std::move(task->response);
+    abandoned = task->abandoned || response.empty();
+  }
+  if (!abandoned) {
+    SendFrame(conn, response);
+  }
+}
+
+void Server::HandleCancel(Connection* conn, const CancelRequest& request) {
+  uint64_t server_id = 0;
+  {
+    xo::MutexLock lock(&mu_);
+    auto it = by_client_id_.find(request.query_id);
+    if (it != by_client_id_.end()) {
+      it->second->cancel_requested = true;
+      server_id = it->second->server_query_id;
+    }
+  }
+  if (server_id == 0) {
+    SendError(conn, Status::NotFound("no in-flight statement with query id " +
+                                     std::to_string(request.query_id)));
+    return;
+  }
+  // Reaches the statement if it is already running; a still-queued one is
+  // covered by the cancel_requested flag the worker checks at pickup.
+  Status cancelled = db_->Cancel(server_id);
+  cancelled.IgnoreError();
+  SendFrame(conn, EncodeResultOrError(ResultPayload{}));
+}
+
+void Server::HandleStats(Connection* conn) {
+  // Engine rows first (health state/detail and the containment counters —
+  // the degraded-state advertisement), then the server's own counters.
+  StatsPayload stats;
+  stats.rows = db_->ResilienceStats();
+  const ServerStats s = server_stats();
+  const std::pair<const char*, uint64_t> counters[] = {
+      {"server_connections_accepted", s.connections_accepted},
+      {"server_connections_rejected", s.connections_rejected},
+      {"server_connections_closed", s.connections_closed},
+      {"server_active_connections", s.active_connections},
+      {"server_statements_admitted", s.statements_admitted},
+      {"server_statements_rejected_queue", s.statements_rejected_queue},
+      {"server_statements_shed_readonly", s.statements_shed_readonly},
+      {"server_statements_rejected_draining", s.statements_rejected_draining},
+      {"server_statements_ok", s.statements_ok},
+      {"server_statements_error", s.statements_error},
+      {"server_cancelled_on_disconnect", s.cancelled_on_disconnect},
+      {"server_malformed_frames", s.malformed_frames},
+      {"server_queue_depth", s.queue_depth},
+      {"server_peak_queue_depth", s.peak_queue_depth},
+  };
+  for (const auto& [name, value] : counters) {
+    stats.rows.emplace_back(name, std::to_string(value));
+  }
+  SendFrame(conn, EncodeStats(stats));
+}
+
+Server::TaskOutcome Server::RunTask(Task* task) {
+  // The deadline is measured from admission: queue wait counts against the
+  // budget, and a statement that died in the queue is answered without
+  // touching the engine — an overloaded server drains its backlog at
+  // rejection speed, not service speed.
+  ordb::QueryOptions query_options;
+  query_options.max_memory_bytes = task->request.max_memory_bytes;
+  query_options.query_id = task->server_query_id;
+  query_options.skip_quarantined = task->request.skip_quarantined;
+  if (task->request.deadline_millis > 0) {
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() -
+                            task->admitted_at)
+                            .count();
+    if (waited >= static_cast<int64_t>(task->request.deadline_millis)) {
+      return {EncodeError(ErrorFromStatus(Status::DeadlineExceeded(
+                  "deadline of " +
+                  std::to_string(task->request.deadline_millis) +
+                  "ms expired after " + std::to_string(waited) +
+                  "ms in the admission queue"))),
+              false};
+    }
+    query_options.deadline_millis =
+        task->request.deadline_millis - static_cast<uint64_t>(waited);
+  }
+
+  if (task->type == FrameType::kExecute) {
+    Status executed = db_->Execute(task->request.sql, query_options);
+    if (!executed.ok()) {
+      return {EncodeError(ErrorFromStatus(executed)), false};
+    }
+    return {EncodeResultOrError(ResultPayload{}), true};
+  }
+  Result<ordb::QueryResult> result =
+      db_->Query(task->request.sql, query_options);
+  if (!result.ok()) {
+    return {EncodeError(ErrorFromStatus(result.status())), false};
+  }
+  return {EncodeResultOrError(RenderResult(result.value())), true};
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      xo::MutexLock lock(&mu_);
+      while (queue_.empty() && !stopping_) {
+        work_cv_.Wait(&mu_);
+      }
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = queue_.front();
+      queue_.pop_front();
+      stats_.queue_depth = queue_.size();
+      task->started = true;
+      if (task->cancel_requested) {
+        // Cancelled (or abandoned) while queued: answer without running.
+        task->response = EncodeError(ErrorFromStatus(
+            Status::Cancelled("statement cancelled while queued")));
+        task->done = true;
+        ++stats_.statements_error;
+        FinishTaskLocked(task);
+        continue;
+      }
+    }
+
+    TaskOutcome outcome = RunTask(task.get());
+
+    xo::MutexLock lock(&mu_);
+    if (outcome.ok) {
+      ++stats_.statements_ok;
+    } else {
+      ++stats_.statements_error;
+    }
+    task->response = std::move(outcome.frame);
+    task->done = true;
+    FinishTaskLocked(task);
+  }
+}
+
+void Server::FinishTaskLocked(const std::shared_ptr<Task>& task) {
+  tasks_.erase(task->server_query_id);
+  if (task->request.query_id != 0) {
+    auto it = by_client_id_.find(task->request.query_id);
+    if (it != by_client_id_.end() && it->second == task) {
+      by_client_id_.erase(it);
+    }
+  }
+  --in_flight_;
+  done_cv_.SignalAll();
+}
+
+void Server::SendFrame(Connection* conn, std::string_view frame) {
+  XO_DISCARD_STATUS(
+      WriteFull(conn->socket, frame,
+                Deadline::After(options_.io_timeout_millis)),
+      "a peer that stopped reading forfeits its response; the read loop "
+      "observes the dead socket next");
+}
+
+void Server::SendError(Connection* conn, const Status& status) {
+  SendFrame(conn, EncodeError(ErrorFromStatus(status)));
+}
+
+void Server::Shutdown() {
+  {
+    xo::MutexLock lock(&mu_);
+    if (shut_down_) return;
+    if (draining_) {
+      // Another thread is mid-shutdown; wait for it to finish.
+      while (!shut_down_) {
+        done_cv_.WaitFor(&mu_, kDrainTickMillis);
+      }
+      return;
+    }
+    draining_ = true;
+  }
+
+  // Stop accepting. The acceptor polls with a short tick and re-checks
+  // draining_, so it exits within one tick; the listener closes after the
+  // join (never while the acceptor might still poll it).
+  acceptor_.join();
+  listener_.Close();
+
+  // Drain: let in-flight statements finish for the grace window.
+  const Deadline drain = Deadline::After(options_.drain_timeout_millis);
+  std::vector<uint64_t> running;
+  {
+    xo::MutexLock lock(&mu_);
+    while (in_flight_ > 0 && !drain.Expired()) {
+      done_cv_.WaitFor(&mu_, kDrainTickMillis);
+    }
+    // Hard timeout: cancel every straggler. Queued tasks die at pickup via
+    // cancel_requested; running ones via their query guard.
+    for (const auto& [id, task] : tasks_) {
+      task->cancel_requested = true;
+      if (task->started && !task->done) {
+        running.push_back(id);
+      }
+    }
+  }
+  for (uint64_t id : running) {
+    Status cancelled = db_->Cancel(id);
+    cancelled.IgnoreError();
+  }
+
+  // Stop the workers. They first drain the (now fully cancelled) queue —
+  // every admitted statement gets a response — then exit.
+  {
+    xo::MutexLock lock(&mu_);
+    stopping_ = true;
+    work_cv_.SignalAll();
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+
+  // End the connections. Read-half only: a thread blocked in its idle
+  // header read wakes with EOF and exits, while a thread still sending the
+  // response of a just-drained statement keeps its write half — the drain
+  // guarantee would be hollow if shutdown clipped the final frame.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    xo::MutexLock lock(&mu_);
+    connections.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& conn : connections) {
+    conn->socket.ShutdownRead();
+  }
+  for (const std::unique_ptr<Connection>& conn : connections) {
+    conn->thread.join();
+  }
+
+  xo::MutexLock lock(&mu_);
+  shut_down_ = true;
+  done_cv_.SignalAll();
+}
+
+ServerStats Server::server_stats() const {
+  xo::MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace xorator::server

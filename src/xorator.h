@@ -16,6 +16,8 @@
 ///   datagen/   - synthetic Shakespeare / SIGMOD corpora and a generic
 ///                DTD-driven generator
 ///   xpath/     - path-expression to SQL translation for either mapping
+///   server/    - the network front end: wire protocol, thread-pool socket
+///                server and retrying client (DESIGN.md section 17)
 
 #include "common/result.h"
 #include "common/status.h"
@@ -37,6 +39,8 @@
 #include "xml/dom.h"
 #include "xml/dtd.h"
 #include "xml/parser.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "xml/serializer.h"
 #include "xpath/xpath.h"
 

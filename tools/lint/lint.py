@@ -125,6 +125,7 @@ RAW_BYTES_SUFFIXES = (
     "ordb/database.cc",
     "xadt/xadt.cc", "xadt/scanner.cc",
     "xml/parser.cc",
+    "server/protocol.h", "server/protocol.cc",
 )
 # memcpy/memmove (qualified or not), reinterpret_cast, and pointer
 # arithmetic on a buffer (`.data() + off`, `data_ + off`, `buf + pos` is

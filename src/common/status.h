@@ -171,8 +171,28 @@ class [[nodiscard]] Status {
 
   Status(const Status&) = default;
   Status& operator=(const Status&) = default;
-  Status(Status&&) = default;
-  Status& operator=(Status&&) = default;
+
+  /// Moves leave the source OK with no retry-after hint in every build —
+  /// a defaulted move would leave the source's code and hint behind, so a
+  /// moved-from status could still answer IsRetryable() == true and
+  /// confuse a retry loop that reuses it.
+  Status(Status&& other) noexcept
+      : code_(other.code_),
+        message_(std::move(other.message_)),
+        retry_after_millis_(other.retry_after_millis_) {
+    other.code_ = StatusCode::kOk;
+    other.retry_after_millis_ = 0;
+  }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      code_ = other.code_;
+      message_ = std::move(other.message_);
+      retry_after_millis_ = other.retry_after_millis_;
+      other.code_ = StatusCode::kOk;
+      other.retry_after_millis_ = 0;
+    }
+    return *this;
+  }
 #endif
 
   /// Factory for the singleton-like OK status.

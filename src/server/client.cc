@@ -12,7 +12,9 @@ Client::Client(ClientOptions options)
 
 void Client::Disconnect() { socket_.Close(); }
 
-Result<Client::RawResponse> Client::RoundTrip(const std::string& frame) {
+Result<Client::RawResponse> Client::RoundTrip(const std::string& frame,
+                                              bool* request_delivered) {
+  if (request_delivered != nullptr) *request_delivered = false;
   if (!socket_.valid()) {
     ASSIGN_OR_RETURN(socket_,
                      Connect(options_.host, options_.port,
@@ -25,16 +27,28 @@ Result<Client::RawResponse> Client::RoundTrip(const std::string& frame) {
   if (!sent.ok()) {
     socket_.Close();
     // Re-shape to kUnavailable so the retry layer reconnects and retries:
-    // a write that died mid-frame poisoned this connection either way.
+    // a write that died mid-frame poisoned this connection either way. A
+    // truncated frame is also provably not executed — the server cannot
+    // decode a statement out of a partial frame — so request_delivered
+    // stays false.
     return Status::Unavailable("request send failed: " + sent.message());
   }
+  if (request_delivered != nullptr) *request_delivered = true;
   std::string header_bytes;
   Status read = ReadFull(socket_, &header_bytes, kFrameHeaderBytes, deadline);
   if (!read.ok()) {
     socket_.Close();
     return Status::Unavailable("response read failed: " + read.message());
   }
-  ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(header_bytes));
+  Result<FrameHeader> decoded = DecodeFrameHeader(header_bytes);
+  if (!decoded.ok()) {
+    // A header that fails to parse leaves the byte stream desynced; drop
+    // the connection like every other failure path so the next call
+    // reconnects instead of misparsing the leftover bytes.
+    socket_.Close();
+    return decoded.status();
+  }
+  const FrameHeader header = decoded.value();
   RawResponse response;
   response.type = header.type;
   if (header.payload_bytes > 0) {
@@ -67,7 +81,7 @@ int64_t Client::BackoffMillis(int attempt, uint32_t hint_millis) {
 }
 
 Result<Client::RawResponse> Client::RoundTripWithRetry(
-    const std::string& frame) {
+    const std::string& frame, bool retry_after_delivery) {
   Status last = Status::OK();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -75,10 +89,21 @@ Result<Client::RawResponse> Client::RoundTripWithRetry(
           std::chrono::milliseconds(BackoffMillis(
               attempt - 1, last.ok() ? 0 : last.retry_after_millis())));
     }
-    Result<RawResponse> response = RoundTrip(frame);
+    bool delivered = false;
+    Result<RawResponse> response = RoundTrip(frame, &delivered);
     if (!response.ok()) {
       last = response.status();
       if (!last.IsRetryable()) return last;
+      if (delivered && !retry_after_delivery) {
+        // The request reached the server but the response was lost — the
+        // statement may already have executed, so re-sending it could
+        // apply a mutation twice. Surface the ambiguity to the caller
+        // instead (see Client::Execute's at-most-once contract).
+        return Status::Unavailable(
+            "request delivered but the response was lost; the statement "
+            "may have executed, not retrying a non-idempotent call: " +
+            last.message());
+      }
       continue;
     }
     if (response->type == FrameType::kError) {
@@ -119,7 +144,8 @@ Status Client::Execute(const std::string& sql, const CallOptions& call) {
   request.sql = sql;
   ASSIGN_OR_RETURN(
       RawResponse response,
-      RoundTripWithRetry(EncodeQueryRequest(FrameType::kExecute, request)));
+      RoundTripWithRetry(EncodeQueryRequest(FrameType::kExecute, request),
+                         /*retry_after_delivery=*/call.idempotent));
   if (response.type != FrameType::kResult) {
     return Status::ParseError("unexpected response frame type " +
                               std::to_string(static_cast<int>(response.type)));

@@ -44,6 +44,15 @@ struct CallOptions {
   uint64_t max_memory_bytes = 0;
   /// Degraded-scan opt-in.
   bool skip_quarantined = false;
+  /// Marks the statement safe to re-send after an *ambiguous* transport
+  /// failure — one that struck after the request was fully delivered but
+  /// before a response arrived, so the server may already have executed
+  /// it. Execute() only auto-retries such failures when this is set (a
+  /// blind re-send could apply an INSERT/DELETE twice). Failures that
+  /// provably preceded delivery, and errors the server itself reports
+  /// (admission rejection, the read-only latch), are always retried —
+  /// those never executed. Query() ignores this: reads are idempotent.
+  bool idempotent = false;
 };
 
 /// Client for the xorator wire protocol (server/protocol.h): one lazy
@@ -66,7 +75,13 @@ class Client {
   [[nodiscard]] Result<ResultPayload> Query(const std::string& sql,
                                             const CallOptions& call = {});
 
-  /// Runs SQL for effect.
+  /// Runs SQL for effect. At-most-once by default: a transport failure
+  /// after the request was delivered (response read timed out, connection
+  /// reset) is returned as kUnavailable *without* retrying, because the
+  /// statement may already have executed and a re-send could apply the
+  /// mutation twice. Set CallOptions::idempotent to opt into at-least-once
+  /// retries; rejections the server answered with (which never executed)
+  /// are always retried per ClientOptions.
   [[nodiscard]] Status Execute(const std::string& sql,
                                const CallOptions& call = {});
 
@@ -97,12 +112,20 @@ class Client {
     FrameType type = FrameType::kError;
     std::string payload;
   };
-  [[nodiscard]] Result<RawResponse> RoundTrip(const std::string& frame);
+  /// `*request_delivered` (when non-null) is set true once the request
+  /// frame was fully written — the line between "safe to blindly re-send"
+  /// and "the server may have executed it".
+  [[nodiscard]] Result<RawResponse> RoundTrip(
+      const std::string& frame, bool* request_delivered = nullptr);
 
   /// RoundTrip + retry loop: retries per ClientOptions while the failure
-  /// IsRetryable(), sleeping the backoff between attempts.
+  /// IsRetryable(), sleeping the backoff between attempts. When
+  /// `retry_after_delivery` is false, a transport failure that struck
+  /// after the request was fully delivered is returned instead of retried
+  /// (the duplicate-mutation guard for non-idempotent EXECUTE); failures
+  /// before delivery and server-reported rejections are still retried.
   [[nodiscard]] Result<RawResponse> RoundTripWithRetry(
-      const std::string& frame);
+      const std::string& frame, bool retry_after_delivery = true);
 
   /// Backoff for `attempt` (0-based): max(hint, min(base << attempt, max))
   /// + jitter.

@@ -125,22 +125,44 @@ Result<std::string> EncodeResult(const ResultPayload& result) {
 }
 
 std::string EncodeError(const ErrorPayload& error) {
+  // The message can originate anywhere in the engine at any length; clamp
+  // it so an ERROR frame always fits the payload cap (the slack covers the
+  // code byte, the retry-after u32, and the length varint). An unframeable
+  // error reply would be rejected at the peer's header decode, turning a
+  // reported failure into a protocol failure.
+  constexpr size_t kMaxErrorMessageBytes = kMaxPayloadBytes - 32;
+  std::string_view message = error.message;
+  if (message.size() > kMaxErrorMessageBytes) {
+    message = message.substr(0, kMaxErrorMessageBytes);
+  }
   std::string payload;
   payload.push_back(static_cast<char>(error.code));
   xo::AppendU32(&payload, error.retry_after_millis);
-  AppendString(&payload, error.message);
+  AppendString(&payload, message);
   std::string frame;
   AppendFrame(&frame, FrameType::kError, 0, payload);
   return frame;
 }
 
 std::string EncodeStats(const StatsPayload& stats) {
-  std::string payload;
-  PutVarint(&payload, stats.rows.size());
+  // Stats rows are engine-provided; like EncodeError, keep the frame under
+  // the payload cap — by dropping tail rows — rather than emitting a reply
+  // the peer must reject as oversize. The slack covers the row-count
+  // varint.
+  std::string rows_bytes;
+  size_t included = 0;
+  constexpr size_t kCountSlack = 16;
   for (const auto& [name, value] : stats.rows) {
-    AppendString(&payload, name);
-    AppendString(&payload, value);
+    std::string row;
+    AppendString(&row, name);
+    AppendString(&row, value);
+    if (rows_bytes.size() + row.size() + kCountSlack > kMaxPayloadBytes) break;
+    rows_bytes += row;
+    ++included;
   }
+  std::string payload;
+  PutVarint(&payload, included);
+  payload += rows_bytes;
   std::string frame;
   AppendFrame(&frame, FrameType::kStatsResult, 0, payload);
   return frame;

@@ -137,10 +137,13 @@ void AppendFrame(std::string* out, FrameType type, uint8_t flags,
 [[nodiscard]] Result<std::string> EncodeResult(const ResultPayload& result);
 
 /// Encodes a kError response as a complete frame. `code` must fit a u8
-/// (StatusCode values do).
+/// (StatusCode values do). The message is truncated if it would push the
+/// payload past kMaxPayloadBytes — an error response is always frameable.
 [[nodiscard]] std::string EncodeError(const ErrorPayload& error);
 
-/// Encodes a kStatsResult response as a complete frame.
+/// Encodes a kStatsResult response as a complete frame. Rows past the
+/// kMaxPayloadBytes payload cap are dropped so the response is always
+/// frameable.
 [[nodiscard]] std::string EncodeStats(const StatsPayload& stats);
 
 /// Decodes the fixed header from the first kFrameHeaderBytes of `bytes`.

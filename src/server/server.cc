@@ -510,8 +510,11 @@ void Server::Shutdown() {
 
   // Stop accepting. The acceptor polls with a short tick and re-checks
   // draining_, so it exits within one tick; the listener closes after the
-  // join (never while the acceptor might still poll it).
-  acceptor_.join();
+  // join (never while the acceptor might still poll it). When Start()
+  // failed before spawning the acceptor (Listen or BoundPort failed), the
+  // handle is default-constructed and there is nothing to join — joining
+  // it anyway would throw inside the (noexcept) destructor.
+  if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
 
   // Drain: let in-flight statements finish for the grace window.

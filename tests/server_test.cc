@@ -32,6 +32,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -518,7 +519,201 @@ TEST(ServerTest, MalformedFramesGetCleanErrorsAndAreCounted) {
   EXPECT_TRUE(client.Query("SELECT a FROM t").ok());
 }
 
+// -- Hostile-peer client behavior. ------------------------------------------
+
+/// A minimal hostile peer for exercising the client's failure handling:
+/// accepts one connection at a time, reads one request frame, then writes
+/// `reply` (possibly nothing) and closes — so the client always sees the
+/// request delivered and the response lost or malformed.
+class FakePeer {
+ public:
+  explicit FakePeer(std::string reply = "") : reply_(std::move(reply)) {
+    auto listener = server::Listen(0, 8);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(*listener);
+    auto port = server::BoundPort(listener_);
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~FakePeer() {
+    stop_.store(true);
+    thread_.join();
+  }
+  uint16_t port() const { return port_; }
+  int accepted() const { return accepted_.load(); }
+
+ private:
+  void Loop() {
+    while (!stop_.load()) {
+      auto conn = server::Accept(listener_, server::Deadline::After(50));
+      if (!conn.ok()) {
+        conn.status().IgnoreError();
+        continue;
+      }
+      ++accepted_;
+      server::Socket socket = std::move(*conn);
+      std::string header_bytes;
+      Status read = server::ReadFull(socket, &header_bytes,
+                                     server::kFrameHeaderBytes,
+                                     server::Deadline::After(2000));
+      if (read.ok()) {
+        auto header = server::DecodeFrameHeader(header_bytes);
+        if (header.ok()) {
+          std::string payload;
+          XO_DISCARD_STATUS(
+              server::ReadFull(socket, &payload, header->payload_bytes,
+                               server::Deadline::After(2000)),
+              "the peer closes the connection either way");
+        } else {
+          header.status().IgnoreError();
+        }
+      }
+      if (!reply_.empty()) {
+        XO_DISCARD_STATUS(
+            server::WriteFull(socket, reply_, server::Deadline::After(2000)),
+            "test peer; the client-side outcome is what is asserted");
+      }
+    }  // the socket closes here, mid-conversation
+  }
+
+  const std::string reply_;
+  server::Socket listener_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepted_{0};
+};
+
+TEST(ServerTest, ExecuteIsNotRetriedAfterDeliveryUnlessIdempotent) {
+  FakePeer peer;  // reads the request, never answers
+
+  ClientOptions options;
+  options.port = peer.port();
+  options.max_retries = 2;
+  options.backoff_base_millis = 1;
+  options.backoff_max_millis = 4;
+
+  {
+    // Default EXECUTE: the request was delivered and the response lost —
+    // the statement may already have executed, so the client must not
+    // blindly re-send the mutation. One connection = one attempt.
+    Client client(options);
+    Status status = client.Execute("INSERT INTO t VALUES (9, 'nine')");
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+    EXPECT_NE(status.message().find("may have executed"), std::string::npos)
+        << status.message();
+    EXPECT_EQ(peer.accepted(), 1) << "non-idempotent EXECUTE was re-sent";
+  }
+  {
+    // Opting in restores the retry loop; every attempt reconnects.
+    const int before = peer.accepted();
+    Client client(options);
+    CallOptions call;
+    call.idempotent = true;
+    Status status = client.Execute("INSERT INTO t VALUES (9, 'nine')", call);
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+    EXPECT_EQ(peer.accepted() - before, 1 + options.max_retries);
+  }
+  {
+    // Query is idempotent by nature and keeps the retry loop.
+    const int before = peer.accepted();
+    Client client(options);
+    auto result = client.Query("SELECT a FROM t");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(peer.accepted() - before, 1 + options.max_retries);
+  }
+}
+
+TEST(ServerTest, ClientDropsItsConnectionOnAGarbageResponseHeader) {
+  // The peer answers with bytes that fail header decode: the client must
+  // drop the desynced connection (like every other failure path) so the
+  // next call reconnects instead of misparsing the leftover stream.
+  FakePeer peer(std::string(server::kFrameHeaderBytes, 'Z'));
+
+  ClientOptions options;
+  options.port = peer.port();
+  options.max_retries = 2;
+  Client client(options);
+  auto result = client.Query("SELECT a FROM t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+      << result.status().ToString();
+  EXPECT_FALSE(client.connected());
+  // Parse errors are not retryable: exactly one attempt was made.
+  EXPECT_EQ(peer.accepted(), 1);
+}
+
+// -- Response frames always fit the payload cap. ----------------------------
+
+TEST(ServerProtocolTest, OversizeErrorMessageIsTruncatedToAFrameableFrame) {
+  server::ErrorPayload error;
+  error.code = static_cast<uint8_t>(StatusCode::kInternal);
+  error.retry_after_millis = 7;
+  error.message.assign(server::kMaxPayloadBytes + 1024, 'x');
+  const std::string frame = server::EncodeError(error);
+  auto header = server::DecodeFrameHeader(
+      std::string_view(frame).substr(0, server::kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->type, server::FrameType::kError);
+  EXPECT_LE(header->payload_bytes, server::kMaxPayloadBytes);
+  auto decoded = server::DecodeError(
+      std::string_view(frame).substr(server::kFrameHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, error.code);
+  EXPECT_EQ(decoded->retry_after_millis, 7u);
+  EXPECT_LT(decoded->message.size(), error.message.size());
+  EXPECT_GT(decoded->message.size(), 0u);
+}
+
+TEST(ServerProtocolTest, OversizeStatsDropTailRowsButStayFrameable) {
+  server::StatsPayload stats;
+  const std::string big(1u << 20, 'v');
+  for (int i = 0; i < 8; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    stats.rows.emplace_back(std::move(key), big);
+  }
+  const std::string frame = server::EncodeStats(stats);
+  auto header = server::DecodeFrameHeader(
+      std::string_view(frame).substr(0, server::kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->type, server::FrameType::kStatsResult);
+  EXPECT_LE(header->payload_bytes, server::kMaxPayloadBytes);
+  auto decoded = server::DecodeStats(
+      std::string_view(frame).substr(server::kFrameHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // The head rows survive in order; the tail was dropped, not mangled.
+  ASSERT_LT(decoded->rows.size(), stats.rows.size());
+  ASSERT_GT(decoded->rows.size(), 0u);
+  for (size_t i = 0; i < decoded->rows.size(); ++i) {
+    EXPECT_EQ(decoded->rows[i].first, stats.rows[i].first);
+    EXPECT_EQ(decoded->rows[i].second, stats.rows[i].second);
+  }
+}
+
 // -- Shutdown. --------------------------------------------------------------
+
+TEST(ServerTest, StartFailsCleanlyWhenThePortIsTaken) {
+  auto db = MakeDb();
+  auto started = Server::Start(db.get());
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<Server> srv = std::move(*started);
+
+  // Binding the same fixed port must surface the listen error as a Result.
+  // Destroying the half-started server on that path runs ~Server →
+  // Shutdown() before any thread was spawned; joining the unstarted
+  // acceptor would std::terminate the process.
+  ServerOptions taken;
+  taken.port = srv->port();
+  auto second = Server::Start(db.get(), taken);
+  EXPECT_FALSE(second.ok());
+
+  // The winner is unaffected.
+  Client client(ClientFor(*srv));
+  EXPECT_TRUE(client.Query("SELECT a FROM t").ok());
+}
 
 TEST(ServerTest, ShutdownDrainsInFlightStatements) {
   auto db = MakeDb();

@@ -93,6 +93,28 @@ TEST(StatusUpdateTest, FirstErrorWins) {
   EXPECT_EQ(s.message(), "first");
 }
 
+TEST(StatusMoveTest, MovedFromStatusIsOkAndCarriesNoRetryHint) {
+  // The move contract holds in every build type (tracker on or off): the
+  // source is left OK with no retry-after hint, so a retry loop that
+  // reuses a moved-from status never sees IsRetryable() == true on it.
+  Status a = Status::Unavailable("flaky").WithRetryAfter(25);
+  EXPECT_TRUE(a.IsRetryable());
+  Status b = std::move(a);
+  EXPECT_TRUE(a.ok());  // NOLINT(bugprone-use-after-move): the contract
+  EXPECT_FALSE(a.IsRetryable());
+  EXPECT_EQ(a.retry_after_millis(), 0u);
+  EXPECT_TRUE(b.IsRetryable());
+  EXPECT_EQ(b.retry_after_millis(), 25u);
+
+  Status c = Status::OK();
+  c = std::move(b);
+  EXPECT_TRUE(b.ok());  // NOLINT(bugprone-use-after-move): the contract
+  EXPECT_FALSE(b.IsRetryable());
+  EXPECT_EQ(b.retry_after_millis(), 0u);
+  EXPECT_EQ(c.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(c.retry_after_millis(), 25u);
+}
+
 TEST(StatusTrackerTest, CheckedAndIgnoredStatusesNeverAbort) {
   // These must be safe in every build type.
   { Status s = Status::IOError("inspected"); EXPECT_FALSE(s.ok()); }
